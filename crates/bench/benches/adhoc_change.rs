@@ -1,0 +1,78 @@
+//! Claim C3 — ad-hoc change latency per operation kind: the full pipeline
+//! (structural preconditions, application to a private copy, postcondition
+//! verification, state compliance, state adaptation, substitution-block
+//! derivation) as experienced by a single running instance.
+
+use adept_core::{ChangeOp, NewActivity};
+use adept_engine::ProcessEngine;
+use adept_simgen::scenarios;
+use adept_state::DefaultDriver;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_adhoc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("adhoc_change");
+    group.sample_size(30);
+
+    let ops: Vec<(&str, Box<dyn Fn(&adept_model::ProcessSchema) -> ChangeOp>)> = vec![
+        (
+            "serial_insert",
+            Box::new(|s| ChangeOp::SerialInsert {
+                activity: NewActivity::named("extra"),
+                pred: s.node_by_name("get order").unwrap().id,
+                succ: s.node_by_name("collect data").unwrap().id,
+            }),
+        ),
+        (
+            "parallel_insert",
+            Box::new(|s| ChangeOp::ParallelInsert {
+                activity: NewActivity::named("extra"),
+                from: s.node_by_name("compose order").unwrap().id,
+                to: s.node_by_name("pack goods").unwrap().id,
+            }),
+        ),
+        (
+            "branch_insert",
+            Box::new(|s| ChangeOp::BranchInsert {
+                activity: NewActivity::named("extra"),
+                pred: s.node_by_name("get order").unwrap().id,
+                succ: s.node_by_name("collect data").unwrap().id,
+                guard: None,
+            }),
+        ),
+        (
+            "delete_activity",
+            Box::new(|s| ChangeOp::DeleteActivity {
+                node: s.node_by_name("pack goods").unwrap().id,
+            }),
+        ),
+        (
+            "insert_sync_edge",
+            Box::new(|s| ChangeOp::InsertSyncEdge {
+                from: s.node_by_name("confirm order").unwrap().id,
+                to: s.node_by_name("pack goods").unwrap().id,
+            }),
+        ),
+    ];
+
+    for (label, make) in &ops {
+        group.bench_function(*label, |b| {
+            b.iter_batched(
+                || {
+                    let engine = ProcessEngine::new();
+                    let name = engine.deploy(scenarios::order_process()).unwrap();
+                    let id = engine.create_instance(&name).unwrap();
+                    engine.run_instance(id, &mut DefaultDriver, Some(1)).unwrap();
+                    let op = make(&engine.repo.deployed(&name, 1).unwrap().schema);
+                    (engine, id, op)
+                },
+                |(engine, id, op)| black_box(engine.ad_hoc_change(id, &op)).unwrap(),
+                criterion::BatchSize::PerIteration,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_adhoc);
+criterion_main!(benches);

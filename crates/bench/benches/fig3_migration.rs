@@ -1,0 +1,64 @@
+//! Fig. 3 / Claim C1 — on-the-fly migration of whole instance populations:
+//! end-to-end throughput of `migrate_all` (compliance check + state
+//! adaptation + re-homing) for N instances, sequential vs. parallel
+//! workers. The paper: "the concomitant migration of thousands of
+//! instances ... on-the-fly ... avoid performance penalties".
+
+use adept_core::MigrationOptions;
+use adept_engine::ProcessEngine;
+use adept_simgen::{scenarios, RandomDriver};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+fn populate(n: usize) -> (ProcessEngine, String) {
+    let engine = ProcessEngine::new();
+    let name = engine.deploy(scenarios::order_process()).unwrap();
+    for k in 0..n {
+        let id = engine.create_instance(&name).unwrap();
+        let mut driver = RandomDriver::new(k as u64);
+        // Random progress: 0..=2 completed activities keeps most instances
+        // compliant (the interesting hot path).
+        engine
+            .run_instance(id, &mut driver, Some(k % 3))
+            .unwrap();
+    }
+    (engine, name)
+}
+
+fn bench_fig3(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3_migration");
+    group.sample_size(10);
+    for n in [100usize, 1_000, 10_000] {
+        group.throughput(Throughput::Elements(n as u64));
+        for threads in [1usize, 4] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("migrate_all/threads{threads}"), n),
+                &n,
+                |b, &n| {
+                    b.iter_batched(
+                        || {
+                            let (engine, name) = populate(n);
+                            engine
+                                .evolve_type(&name, &scenarios::fig1_delta_ops(
+                                    &engine.repo.deployed(&name, 1).unwrap().schema,
+                                ))
+                                .unwrap();
+                            (engine, name)
+                        },
+                        |(engine, name)| {
+                            let report = engine
+                                .migrate_all(&name, &MigrationOptions::default(), threads)
+                                .unwrap();
+                            black_box(report.migrated())
+                        },
+                        criterion::BatchSize::PerIteration,
+                    )
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig3);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Claim C5 — efficient state adaptation: the incremental per-operation
+//! marking transfer vs. re-deriving the marking by replaying the reduced
+//! history, sweeping the instance's history length.
+
+use adept_core::{adapt_instance_state, apply_op, ChangeOp, Delta, NewActivity};
+use adept_model::{LoopCond, SchemaBuilder};
+use adept_state::{DefaultDriver, Execution};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_adaptation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("state_adaptation");
+    group.sample_size(40);
+    for iterations in [1u32, 8, 32, 128] {
+        let mut b = SchemaBuilder::new("loopy");
+        b.activity("before");
+        b.loop_start();
+        b.activity("work a");
+        b.activity("work b");
+        b.loop_end(LoopCond::Times(iterations));
+        let after = b.activity("after");
+        let schema = b.build().unwrap();
+        let ex = Execution::new(&schema).unwrap();
+        let mut st = ex.init().unwrap();
+        ex.run(&mut st, &mut DefaultDriver, None).unwrap();
+
+        let mut evolved = schema.clone();
+        let end = evolved.end_node();
+        let rec = apply_op(
+            &mut evolved,
+            &ChangeOp::SerialInsert {
+                activity: NewActivity::named("audit"),
+                pred: after,
+                succ: end,
+            },
+        )
+        .unwrap();
+        let delta: Delta = std::iter::once(rec).collect();
+        let ex_new = Execution::new(&evolved).unwrap();
+        let events = st.history.len();
+
+        group.bench_with_input(
+            BenchmarkId::new("incremental", events),
+            &events,
+            |b, _| {
+                b.iter_batched(
+                    || st.clone(),
+                    |mut adapted| {
+                        adapt_instance_state(&schema, &ex.blocks, &ex_new, &delta, &mut adapted)
+                            .unwrap();
+                        black_box(adapted)
+                    },
+                    criterion::BatchSize::SmallInput,
+                )
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("full_replay", events),
+            &events,
+            |b, _| {
+                b.iter(|| {
+                    let reduced = st.history.reduced(&schema, &ex.blocks);
+                    black_box(ex_new.replay(&reduced).unwrap())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_adaptation);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Claim C4 — buildtime verification cost (structure + deadlock + data
+//! flow) as a function of schema size. Verification runs after every
+//! change operation, so its scaling underpins all change latencies.
+
+use adept_simgen::{generate_schema, GenParams};
+use adept_verify::verify_schema;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench_verification(c: &mut Criterion) {
+    let mut group = c.benchmark_group("verification");
+    group.sample_size(30);
+    for size in [10usize, 25, 50, 100, 200] {
+        let schema = generate_schema(&GenParams::sized(size), 7);
+        group.throughput(Throughput::Elements(schema.node_count() as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(schema.node_count()),
+            &schema,
+            |b, s| b.iter(|| black_box(verify_schema(s).is_correct())),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_verification);
+criterion_main!(benches);

@@ -1,0 +1,1 @@
+//! Benchmark crate for the ADEPT2 reproduction (benches live in `benches/`).

@@ -1,0 +1,84 @@
+//! Error type of the change-operation layer.
+
+use adept_model::{DataId, ModelError, NodeId};
+use adept_state::RuntimeError;
+use std::fmt;
+
+/// Errors raised when defining or applying change operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ChangeError {
+    /// Underlying model mutation failed.
+    Model(ModelError),
+    /// A structural precondition of the operation is violated. The message
+    /// names the condition.
+    Precondition(String),
+    /// The state precondition of an instance-level (ad-hoc) change is
+    /// violated, e.g. deleting an already running activity.
+    StatePrecondition {
+        /// The offending node.
+        node: NodeId,
+        /// Why the state forbids the change.
+        reason: String,
+    },
+    /// Applying the operation would produce an incorrect schema; the
+    /// verification findings are summarised in the message. This is how
+    /// ADEPT2 guarantees that "none of the guarantees achieved by formal
+    /// checks at buildtime are violated due to the dynamic change".
+    PostconditionViolated(String),
+    /// A node referenced by the operation does not exist.
+    UnknownNode(NodeId),
+    /// A data element referenced by the operation does not exist.
+    UnknownData(DataId),
+    /// A runtime error occurred during state adaptation.
+    Runtime(RuntimeError),
+}
+
+impl fmt::Display for ChangeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChangeError::Model(e) => write!(f, "model error: {e}"),
+            ChangeError::Precondition(m) => write!(f, "precondition violated: {m}"),
+            ChangeError::StatePrecondition { node, reason } => {
+                write!(f, "state precondition violated at {node}: {reason}")
+            }
+            ChangeError::PostconditionViolated(m) => {
+                write!(f, "change would corrupt the schema: {m}")
+            }
+            ChangeError::UnknownNode(n) => write!(f, "unknown node {n}"),
+            ChangeError::UnknownData(d) => write!(f, "unknown data element {d}"),
+            ChangeError::Runtime(e) => write!(f, "runtime error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ChangeError {}
+
+impl From<ModelError> for ChangeError {
+    fn from(e: ModelError) -> Self {
+        ChangeError::Model(e)
+    }
+}
+
+impl From<RuntimeError> for ChangeError {
+    fn from(e: RuntimeError) -> Self {
+        ChangeError::Runtime(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: ChangeError = ModelError::UnknownNode(NodeId(1)).into();
+        assert!(e.to_string().contains("unknown node"));
+        let e: ChangeError = RuntimeError::Stuck.into();
+        assert!(e.to_string().contains("cannot progress"));
+        let e = ChangeError::StatePrecondition {
+            node: NodeId(2),
+            reason: "already running".into(),
+        };
+        assert!(e.to_string().contains("already running"));
+    }
+}

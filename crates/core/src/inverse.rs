@@ -1,0 +1,235 @@
+//! Inverse change operations: undoing ad-hoc deviations.
+//!
+//! ADEPT's change framework is closed under inversion — every applied
+//! operation has a well-defined inverse that restores the previous schema
+//! (ADEPTflex used this for rollback of temporary deviations; the demo's
+//! monitoring component exposes it as "undo"). Undo is itself a change and
+//! runs through the same pre-/post-condition machinery: undoing an insert
+//! whose activity has already started is rejected exactly like deleting a
+//! started activity.
+
+use crate::apply::apply_op;
+use crate::delta::Delta;
+use crate::error::ChangeError;
+use crate::ops::{AppliedOp, ChangeOp};
+use adept_model::ProcessSchema;
+
+/// Computes the inverse of an applied operation, or `None` for operations
+/// that cannot be inverted from their record alone.
+///
+/// * inserts invert to `DeleteActivity` of the inserted node (the delete
+///   also dismantles the helper split/join pair of branch/parallel inserts
+///   via null-replacement when necessary);
+/// * `InsertSyncEdge`/`DeleteSyncEdge` invert to each other;
+/// * `AddDataEdge`/`RemoveDataEdge` invert to each other;
+/// * `DeleteActivity` of a *nullified* node is not invertible from the
+///   record (the original data edges are gone) — callers keep the old
+///   schema version for that, as ADEPT does;
+/// * `MoveActivity` inverts to the move back (pred/succ of the original
+///   position are in the record's removed edges, which reference the old
+///   schema — invertible only right after application, which is the undo
+///   use case).
+pub fn inverse_of(schema: &ProcessSchema, rec: &AppliedOp) -> Option<ChangeOp> {
+    match &rec.op {
+        ChangeOp::SerialInsert { .. }
+        | ChangeOp::ParallelInsert { .. }
+        | ChangeOp::BranchInsert { .. } => {
+            let node = rec.inserted_activity()?;
+            Some(ChangeOp::DeleteActivity { node })
+        }
+        ChangeOp::InsertSyncEdge { from, to } => Some(ChangeOp::DeleteSyncEdge {
+            from: *from,
+            to: *to,
+        }),
+        ChangeOp::DeleteSyncEdge { from, to } => Some(ChangeOp::InsertSyncEdge {
+            from: *from,
+            to: *to,
+        }),
+        ChangeOp::AddDataEdge {
+            node, data, mode, ..
+        } => Some(ChangeOp::RemoveDataEdge {
+            node: *node,
+            data: *data,
+            mode: *mode,
+        }),
+        ChangeOp::RemoveDataEdge { .. } => None, // optionality lost
+        ChangeOp::DeleteActivity { .. } => None, // payload lost
+        ChangeOp::MoveActivity { node, .. } => {
+            // The old position is the bridge edge's endpoints: the record
+            // removed [pin, pout, target]; the bridge (added_edges[0])
+            // connects old-pred to old-succ on the *changed* schema.
+            let bridge = rec.added_edges.first()?;
+            let e = schema.edge(*bridge).ok()?;
+            Some(ChangeOp::MoveActivity {
+                node: *node,
+                pred: e.from,
+                succ: e.to,
+            })
+        }
+        ChangeOp::AddDataElement { .. } => None, // deletion op not modelled
+        ChangeOp::SetActivityAttributes { .. } => None, // old attrs lost
+    }
+}
+
+/// Undoes the **last** operation of a bias on the given (materialised)
+/// schema: applies the inverse with full checking and pops + purges the
+/// delta. Returns the inverse's application record.
+pub fn undo_last(
+    schema: &mut ProcessSchema,
+    bias: &mut Delta,
+) -> Result<AppliedOp, ChangeError> {
+    let last = bias
+        .ops
+        .last()
+        .ok_or_else(|| ChangeError::Precondition("bias is empty; nothing to undo".into()))?;
+    let inv = inverse_of(schema, last).ok_or_else(|| {
+        ChangeError::Precondition(format!(
+            "{} is not invertible from its record",
+            last.op.name()
+        ))
+    })?;
+    let rec = apply_op(schema, &inv)?;
+    bias.push(rec.clone());
+    bias.purge();
+    Ok(rec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::NewActivity;
+    use adept_model::{EdgeKind, SchemaBuilder};
+    use adept_verify::is_correct;
+
+    fn base() -> ProcessSchema {
+        let mut b = SchemaBuilder::new("undo");
+        b.activity("a");
+        b.and_split();
+        b.branch();
+        b.activity("left");
+        b.branch();
+        b.activity("right");
+        b.and_join();
+        b.activity("z");
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn serial_insert_then_undo_restores_structure() {
+        let original = base();
+        let mut s = original.clone();
+        let a = s.node_by_name("a").unwrap().id;
+        let split = s.nodes().find(|n| n.kind == adept_model::NodeKind::AndSplit).unwrap().id;
+        let mut bias = Delta::new();
+        bias.push(
+            apply_op(
+                &mut s,
+                &ChangeOp::SerialInsert {
+                    activity: NewActivity::named("tmp"),
+                    pred: a,
+                    succ: split,
+                },
+            )
+            .unwrap(),
+        );
+        undo_last(&mut s, &mut bias).unwrap();
+        assert!(bias.is_empty(), "insert+undo purges to the empty bias");
+        assert!(is_correct(&s));
+        assert_eq!(s.node_count(), original.node_count());
+        assert_eq!(s.edge_count(), original.edge_count());
+        assert_eq!(s.sole_control_successor(a), Some(split));
+    }
+
+    #[test]
+    fn sync_edge_roundtrip() {
+        let mut s = base();
+        let left = s.node_by_name("left").unwrap().id;
+        let right = s.node_by_name("right").unwrap().id;
+        let mut bias = Delta::new();
+        bias.push(
+            apply_op(&mut s, &ChangeOp::InsertSyncEdge { from: left, to: right }).unwrap(),
+        );
+        assert_eq!(s.sync_edges().count(), 1);
+        undo_last(&mut s, &mut bias).unwrap();
+        assert_eq!(s.sync_edges().count(), 0);
+        // Sync insert + delete do not auto-purge (different node anchors),
+        // but the schema is restored; purging such pairs is a no-op at the
+        // graph level.
+        assert!(is_correct(&s));
+    }
+
+    #[test]
+    fn move_then_undo_restores_position() {
+        let mut s = base();
+        let left = s.node_by_name("left").unwrap().id;
+        let right = s.node_by_name("right").unwrap().id;
+        let join = s.nodes().find(|n| n.kind == adept_model::NodeKind::AndJoin).unwrap().id;
+        let mut bias = Delta::new();
+        // Move "left" behind "right" (into the other branch).
+        bias.push(
+            apply_op(
+                &mut s,
+                &ChangeOp::MoveActivity {
+                    node: left,
+                    pred: right,
+                    succ: join,
+                },
+            )
+            .unwrap(),
+        );
+        assert_eq!(s.sole_control_successor(right), Some(left));
+        undo_last(&mut s, &mut bias).unwrap();
+        assert!(is_correct(&s));
+        assert_eq!(
+            s.sole_control_successor(left),
+            Some(join),
+            "left is back on its own branch"
+        );
+        assert_eq!(s.sole_control_successor(right), Some(join));
+    }
+
+    #[test]
+    fn non_invertible_operations_are_rejected() {
+        let mut s = base();
+        let left = s.node_by_name("left").unwrap().id;
+        let mut bias = Delta::new();
+        bias.push(apply_op(&mut s, &ChangeOp::DeleteActivity { node: left }).unwrap());
+        let err = undo_last(&mut s, &mut bias).unwrap_err();
+        assert!(matches!(err, ChangeError::Precondition(_)));
+        assert_eq!(bias.len(), 1, "bias unchanged on failed undo");
+    }
+
+    #[test]
+    fn empty_bias_cannot_undo() {
+        let mut s = base();
+        let mut bias = Delta::new();
+        assert!(undo_last(&mut s, &mut bias).is_err());
+    }
+
+    #[test]
+    fn data_edge_roundtrip() {
+        let mut b = SchemaBuilder::new("d");
+        let d = b.data("x", adept_model::ValueType::Int);
+        let w = b.activity("w");
+        b.write(w, d);
+        let r = b.activity("r");
+        let mut s = b.build().unwrap();
+        let mut bias = Delta::new();
+        bias.push(
+            apply_op(
+                &mut s,
+                &ChangeOp::AddDataEdge {
+                    node: r,
+                    data: d,
+                    mode: adept_model::AccessMode::Read,
+                    optional: false,
+                },
+            )
+            .unwrap(),
+        );
+        assert_eq!(s.readers_of(d).count(), 1);
+        undo_last(&mut s, &mut bias).unwrap();
+        assert_eq!(s.readers_of(d).count(), 0);
+        let _ = EdgeKind::Control;
+    }
+}

@@ -1,0 +1,82 @@
+//! # adept-core — the ADEPT2 change framework
+//!
+//! This crate is the reproduction of the paper's primary contribution
+//! (*Adaptive Process Management with ADEPT2*, ICDE 2005):
+//!
+//! * [`ops`] / [`apply`] — the complete set of high-level change operations
+//!   (serial/parallel/conditional insert, delete, move, sync edges, data
+//!   flow changes) with structural pre-conditions and full verification as
+//!   post-condition: a dynamic change can never corrupt a schema.
+//! * [`delta`] — change logs (ΔT for type changes, the *bias* ΔI for
+//!   ad-hoc modified instances) and their algebra (disjointness, purging).
+//! * [`compliance`] — the correctness criterion for migrating running
+//!   instances: the trace-replay oracle over *reduced* execution histories
+//!   and the fast per-operation compliance conditions of the paper's
+//!   Fig. 1, including conflict classification (state-related, structural,
+//!   semantical).
+//! * [`adapt`] — efficient state adaptation: markings are transferred
+//!   locally per operation instead of replaying whole histories.
+//! * [`migration`] — process type version chains, per-instance migration
+//!   (including biased instances whose ad-hoc changes are transplanted
+//!   onto the new version), and the migration report of the paper's
+//!   Fig. 3.
+//!
+//! The typical flow, mirroring the paper's demo:
+//!
+//! ```
+//! use adept_core::{ChangeOp, Delta, MigrationOptions, NewActivity, ProcessType};
+//! use adept_core::migration::migrate_instance;
+//! use adept_model::SchemaBuilder;
+//! use adept_state::{DefaultDriver, Execution};
+//!
+//! // Deploy version 1 of the order process.
+//! let mut b = SchemaBuilder::new("online order");
+//! b.activity("get order");
+//! b.activity("pack goods");
+//! let mut pt = ProcessType::new(b.build().unwrap()).unwrap();
+//!
+//! // Start an instance on V1.
+//! let v1 = pt.latest().clone();
+//! let ex = Execution::new(&v1).unwrap();
+//! let mut st = ex.init().unwrap();
+//! ex.run(&mut st, &mut DefaultDriver, Some(1)).unwrap();
+//!
+//! // Evolve the type: V2 inserts "send invoice" before "pack goods".
+//! let get = v1.node_by_name("get order").unwrap().id;
+//! let pack = v1.node_by_name("pack goods").unwrap().id;
+//! let (v2, delta) = pt.evolve(&[ChangeOp::SerialInsert {
+//!     activity: NewActivity::named("send invoice"),
+//!     pred: get,
+//!     succ: pack,
+//! }]).unwrap();
+//! assert_eq!(v2, 2);
+//!
+//! // Migrate the running instance on the fly.
+//! let res = migrate_instance(&v1, &ex.blocks, pt.latest(), &delta,
+//!     &Delta::new(), &st, &MigrationOptions::default());
+//! assert!(res.verdict.is_compliant());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod adapt;
+pub mod apply;
+pub mod compliance;
+pub mod delta;
+pub mod error;
+pub mod inverse;
+pub mod migration;
+pub mod ops;
+
+pub use adapt::adapt_instance_state;
+pub use apply::{apply_op, apply_op_unverified, apply_recorded};
+pub use compliance::{check_fast, check_trace, Conflict, ConflictKind, Verdict};
+pub use delta::Delta;
+pub use error::ChangeError;
+pub use inverse::{inverse_of, undo_last};
+pub use migration::{
+    migrate_instance, InstanceOutcome, MigrationOptions, MigrationReport, MigrationResult,
+    ProcessType,
+};
+pub use ops::{AppliedOp, ChangeOp, NewActivity};

@@ -1,0 +1,895 @@
+//! The ADEPT2 process engine: deployment, execution, ad-hoc change,
+//! schema evolution and batch migration.
+
+use crate::monitor::{EngineEvent, Monitor};
+use crate::worklist::WorkItem;
+use adept_core::{
+    adapt_instance_state, apply_op, check_fast, compliance::check_fast_op, migrate_instance,
+    ChangeError, ChangeOp, Delta, InstanceOutcome, MigrationOptions, MigrationReport, Verdict,
+};
+use adept_model::{Blocks, DataId, InstanceId, NodeId, ProcessSchema, Value};
+use adept_state::{Decision, Driver, Execution, RuntimeError};
+use adept_storage::{InstanceStore, MemoryBreakdown, Representation, SchemaRepository};
+use std::fmt;
+use std::sync::Arc;
+
+/// Engine-level error.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineError {
+    /// A change operation failed.
+    Change(ChangeError),
+    /// A runtime operation failed.
+    Runtime(RuntimeError),
+    /// A named entity does not exist.
+    NotFound(String),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Change(e) => write!(f, "change error: {e}"),
+            EngineError::Runtime(e) => write!(f, "runtime error: {e}"),
+            EngineError::NotFound(what) => write!(f, "not found: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<ChangeError> for EngineError {
+    fn from(e: ChangeError) -> Self {
+        EngineError::Change(e)
+    }
+}
+
+impl From<RuntimeError> for EngineError {
+    fn from(e: RuntimeError) -> Self {
+        EngineError::Runtime(e)
+    }
+}
+
+/// The process-aware information system runtime. All state lives behind
+/// interior locks, so `&ProcessEngine` is freely shared across threads
+/// (parallel batch migration uses this).
+#[derive(Debug)]
+pub struct ProcessEngine {
+    /// Deployed process types.
+    pub repo: SchemaRepository,
+    /// Running and finished instances.
+    pub store: InstanceStore,
+    /// The monitoring component.
+    pub monitor: Monitor,
+}
+
+impl ProcessEngine {
+    /// Creates an engine with the ADEPT2 hybrid storage strategy.
+    pub fn new() -> Self {
+        Self::with_strategy(Representation::Hybrid)
+    }
+
+    /// Creates an engine with an explicit storage strategy (the Fig. 2
+    /// experiments compare strategies).
+    pub fn with_strategy(strategy: Representation) -> Self {
+        Self {
+            repo: SchemaRepository::new(),
+            store: InstanceStore::new(strategy),
+            monitor: Monitor::new(),
+        }
+    }
+
+    /// Assembles an engine around an existing repository and store (the
+    /// persistence restore path: `adept_storage::persist::restore`).
+    pub fn from_parts(repo: SchemaRepository, store: InstanceStore) -> Self {
+        Self {
+            repo,
+            store,
+            monitor: Monitor::new(),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Deployment and instance creation
+    // ------------------------------------------------------------------
+
+    /// Deploys a process template as a new type (version 1).
+    pub fn deploy(&self, schema: ProcessSchema) -> Result<String, EngineError> {
+        let name = self.repo.deploy(schema)?;
+        self.monitor.record(EngineEvent::Deployed {
+            type_name: name.clone(),
+        });
+        Ok(name)
+    }
+
+    /// Creates an instance on the newest version of a type.
+    pub fn create_instance(&self, type_name: &str) -> Result<InstanceId, EngineError> {
+        let version = self
+            .repo
+            .latest_version(type_name)
+            .ok_or_else(|| EngineError::NotFound(format!("process type {type_name:?}")))?;
+        let dep = self
+            .repo
+            .deployed(type_name, version)
+            .ok_or_else(|| EngineError::NotFound(format!("version {version}")))?;
+        let st = dep.execution().init()?;
+        let id = self.store.create(type_name, version, st);
+        self.monitor
+            .record(EngineEvent::InstanceCreated { instance: id, version });
+        Ok(id)
+    }
+
+    // ------------------------------------------------------------------
+    // Execution
+    // ------------------------------------------------------------------
+
+    /// Resolves the schema + block structure an instance currently runs on.
+    fn context_of(
+        &self,
+        id: InstanceId,
+    ) -> Result<(Arc<ProcessSchema>, Blocks), EngineError> {
+        let inst = self
+            .store
+            .get(id)
+            .ok_or_else(|| EngineError::NotFound(format!("{id}")))?;
+        let schema = self
+            .store
+            .schema_of(&self.repo, id)
+            .ok_or_else(|| EngineError::NotFound(format!("schema of {id}")))?;
+        if inst.bias.is_empty() {
+            if let Some(dep) = self.repo.deployed(&inst.type_name, inst.version) {
+                return Ok((schema, (*dep.blocks).clone()));
+            }
+        }
+        let blocks = Blocks::analyze(&schema)
+            .map_err(|e| EngineError::Change(ChangeError::Precondition(e.to_string())))?;
+        Ok((schema, blocks))
+    }
+
+    /// The global worklist: every activated activity of every instance.
+    pub fn worklist(&self) -> Vec<WorkItem> {
+        let mut items = Vec::new();
+        for id in self.all_instances() {
+            let Some(inst) = self.store.get(id) else {
+                continue;
+            };
+            let Ok((schema, blocks)) = self.context_of(id) else {
+                continue;
+            };
+            let ex = Execution::with_blocks(&schema, blocks);
+            for node in ex.enabled(&inst.state) {
+                let Ok(n) = schema.node(node) else { continue };
+                items.push(WorkItem {
+                    instance: id,
+                    node,
+                    activity: n.name.clone(),
+                    role: n.attrs.role.clone(),
+                    type_name: inst.type_name.clone(),
+                    version: inst.version,
+                });
+            }
+        }
+        items
+    }
+
+    /// The worklist filtered by actor role.
+    pub fn worklist_for(&self, role: &str) -> Vec<WorkItem> {
+        self.worklist()
+            .into_iter()
+            .filter(|w| w.claimable_by(role))
+            .collect()
+    }
+
+    /// Starts an activated activity of an instance.
+    pub fn start_activity(&self, id: InstanceId, node: NodeId) -> Result<(), EngineError> {
+        let (schema, blocks) = self.context_of(id)?;
+        let ex = Execution::with_blocks(&schema, blocks);
+        let mut inst = self
+            .store
+            .get(id)
+            .ok_or_else(|| EngineError::NotFound(format!("{id}")))?;
+        ex.start_activity(&mut inst.state, node)?;
+        self.store.update(id, |i| i.state = inst.state.clone());
+        self.monitor
+            .record(EngineEvent::ActivityStarted { instance: id, node });
+        Ok(())
+    }
+
+    /// Completes a running activity with its output values.
+    pub fn complete_activity(
+        &self,
+        id: InstanceId,
+        node: NodeId,
+        writes: Vec<(DataId, Value)>,
+    ) -> Result<(), EngineError> {
+        let (schema, blocks) = self.context_of(id)?;
+        let ex = Execution::with_blocks(&schema, blocks);
+        let mut inst = self
+            .store
+            .get(id)
+            .ok_or_else(|| EngineError::NotFound(format!("{id}")))?;
+        ex.complete_activity(&mut inst.state, node, writes)?;
+        let finished = ex.is_finished(&inst.state);
+        self.store.update(id, |i| i.state = inst.state.clone());
+        self.monitor
+            .record(EngineEvent::ActivityCompleted { instance: id, node });
+        if finished {
+            self.monitor
+                .record(EngineEvent::InstanceFinished { instance: id });
+        }
+        Ok(())
+    }
+
+    /// Pending XOR/loop decisions of an instance.
+    pub fn pending_decisions(&self, id: InstanceId) -> Result<Vec<Decision>, EngineError> {
+        let (schema, blocks) = self.context_of(id)?;
+        let ex = Execution::with_blocks(&schema, blocks);
+        let inst = self
+            .store
+            .get(id)
+            .ok_or_else(|| EngineError::NotFound(format!("{id}")))?;
+        Ok(ex.pending_decisions(&inst.state))
+    }
+
+    /// Resolves a pending XOR decision.
+    pub fn decide_xor(
+        &self,
+        id: InstanceId,
+        split: NodeId,
+        branch_target: NodeId,
+    ) -> Result<(), EngineError> {
+        let (schema, blocks) = self.context_of(id)?;
+        let ex = Execution::with_blocks(&schema, blocks);
+        let mut inst = self
+            .store
+            .get(id)
+            .ok_or_else(|| EngineError::NotFound(format!("{id}")))?;
+        ex.decide_xor(&mut inst.state, split, branch_target)?;
+        self.store.update(id, |i| i.state = inst.state.clone());
+        Ok(())
+    }
+
+    /// Resolves a pending loop decision.
+    pub fn decide_loop(
+        &self,
+        id: InstanceId,
+        loop_end: NodeId,
+        iterate: bool,
+    ) -> Result<(), EngineError> {
+        let (schema, blocks) = self.context_of(id)?;
+        let ex = Execution::with_blocks(&schema, blocks);
+        let mut inst = self
+            .store
+            .get(id)
+            .ok_or_else(|| EngineError::NotFound(format!("{id}")))?;
+        ex.decide_loop(&mut inst.state, loop_end, iterate)?;
+        self.store.update(id, |i| i.state = inst.state.clone());
+        Ok(())
+    }
+
+    /// Drives an instance forward with a driver (simulation), completing at
+    /// most `max_activities`.
+    pub fn run_instance(
+        &self,
+        id: InstanceId,
+        driver: &mut dyn Driver,
+        max_activities: Option<usize>,
+    ) -> Result<usize, EngineError> {
+        let (schema, blocks) = self.context_of(id)?;
+        let ex = Execution::with_blocks(&schema, blocks);
+        let mut inst = self
+            .store
+            .get(id)
+            .ok_or_else(|| EngineError::NotFound(format!("{id}")))?;
+        let n = ex.run(&mut inst.state, driver, max_activities)?;
+        let finished = ex.is_finished(&inst.state);
+        self.store.update(id, |i| i.state = inst.state.clone());
+        if finished {
+            self.monitor
+                .record(EngineEvent::InstanceFinished { instance: id });
+        }
+        Ok(n)
+    }
+
+    /// Whether an instance has reached its end node.
+    pub fn is_finished(&self, id: InstanceId) -> Result<bool, EngineError> {
+        let (schema, blocks) = self.context_of(id)?;
+        let ex = Execution::with_blocks(&schema, blocks);
+        let inst = self
+            .store
+            .get(id)
+            .ok_or_else(|| EngineError::NotFound(format!("{id}")))?;
+        Ok(ex.is_finished(&inst.state))
+    }
+
+    /// All instance ids across all types.
+    pub fn all_instances(&self) -> Vec<InstanceId> {
+        self.repo
+            .type_names()
+            .into_iter()
+            .flat_map(|t| self.store.instances_of(&t))
+            .collect()
+    }
+
+    // ------------------------------------------------------------------
+    // Ad-hoc change (instance level)
+    // ------------------------------------------------------------------
+
+    /// Applies an ad-hoc change to a single running instance.
+    ///
+    /// The operation is applied to a private copy of the instance schema
+    /// (structural pre-/post-conditions), the *state* precondition is
+    /// checked against the current marking (the Fig. 1 conditions), and on
+    /// success the instance's bias, substitution block and adapted state
+    /// are committed — other instances are unaffected and the system stays
+    /// robust, exactly as Sec. 2 of the paper demands.
+    pub fn ad_hoc_change(&self, id: InstanceId, op: &ChangeOp) -> Result<(), EngineError> {
+        let (current, blocks) = self.context_of(id)?;
+        let inst = self
+            .store
+            .get(id)
+            .ok_or_else(|| EngineError::NotFound(format!("{id}")))?;
+        let mut materialized = (*current).clone();
+        materialized.reserve_private_id_space();
+        let rec = match apply_op(&mut materialized, op) {
+            Ok(rec) => rec,
+            Err(e) => {
+                self.monitor.record(EngineEvent::AdHocRejected {
+                    instance: id,
+                    op: op.to_string(),
+                    reason: e.to_string(),
+                });
+                return Err(e.into());
+            }
+        };
+        let verdict = check_fast_op(&current, &blocks, &inst.state, &rec);
+        if let Verdict::NotCompliant(c) = verdict {
+            self.monitor.record(EngineEvent::AdHocRejected {
+                instance: id,
+                op: op.to_string(),
+                reason: c.to_string(),
+            });
+            return Err(EngineError::Change(ChangeError::StatePrecondition {
+                node: rec.anchor_nodes().first().copied().unwrap_or(NodeId(0)),
+                reason: c.to_string(),
+            }));
+        }
+        let new_ex = Execution::new(&materialized)
+            .map_err(|e| EngineError::Change(ChangeError::Precondition(e.to_string())))?;
+        let mut st = inst.state.clone();
+        let single: Delta = std::iter::once(rec.clone()).collect();
+        adapt_instance_state(&current, &blocks, &new_ex, &single, &mut st)?;
+        let mut bias = inst.bias.clone();
+        bias.push(rec);
+        bias.purge();
+        self.store.set_bias(id, bias, &materialized, st);
+        self.monitor.record(EngineEvent::AdHocChanged {
+            instance: id,
+            op: op.to_string(),
+        });
+        Ok(())
+    }
+
+    /// Undoes the most recent ad-hoc change of an instance (inverse
+    /// operation with full pre-/post-condition and state checking). The
+    /// bias shrinks; if it becomes empty the instance is unbiased again
+    /// and shares the deployed schema.
+    pub fn undo_ad_hoc_change(&self, id: InstanceId) -> Result<(), EngineError> {
+        let (current, blocks) = self.context_of(id)?;
+        let inst = self
+            .store
+            .get(id)
+            .ok_or_else(|| EngineError::NotFound(format!("{id}")))?;
+        let mut materialized = (*current).clone();
+        let mut bias = inst.bias.clone();
+        let last = bias
+            .ops
+            .last()
+            .cloned()
+            .ok_or_else(|| EngineError::Change(ChangeError::Precondition(
+                "instance is unbiased; nothing to undo".into(),
+            )))?;
+        let inv = adept_core::inverse_of(&materialized, &last).ok_or_else(|| {
+            EngineError::Change(ChangeError::Precondition(format!(
+                "{} is not invertible",
+                last.op.name()
+            )))
+        })?;
+        // State precondition of the inverse (e.g. cannot undo an insert
+        // whose activity already ran).
+        let probe_rec = {
+            let mut probe = materialized.clone();
+            apply_op(&mut probe, &inv)?
+        };
+        let verdict = check_fast_op(&current, &blocks, &inst.state, &probe_rec);
+        if let Verdict::NotCompliant(c) = verdict {
+            return Err(EngineError::Change(ChangeError::StatePrecondition {
+                node: probe_rec.anchor_nodes().first().copied().unwrap_or(NodeId(0)),
+                reason: c.to_string(),
+            }));
+        }
+        let rec = adept_core::undo_last(&mut materialized, &mut bias)
+            .map_err(EngineError::Change)?;
+        let new_ex = Execution::new(&materialized)
+            .map_err(|e| EngineError::Change(ChangeError::Precondition(e.to_string())))?;
+        let mut st = inst.state.clone();
+        let single: Delta = std::iter::once(rec).collect();
+        adapt_instance_state(&current, &blocks, &new_ex, &single, &mut st)?;
+        self.store.set_bias(id, bias, &materialized, st);
+        self.monitor.record(EngineEvent::AdHocChanged {
+            instance: id,
+            op: format!("undo {}", last.op.name()),
+        });
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Schema evolution and migration
+    // ------------------------------------------------------------------
+
+    /// Evolves a process type to a new version.
+    pub fn evolve_type(
+        &self,
+        type_name: &str,
+        ops: &[ChangeOp],
+    ) -> Result<(u32, Delta), EngineError> {
+        let (v, delta) = self.repo.evolve(type_name, ops)?;
+        self.monitor.record(EngineEvent::TypeEvolved {
+            type_name: type_name.to_string(),
+            version: v,
+        });
+        Ok((v, delta))
+    }
+
+    /// Migrates all instances of a type to its newest version (hop by hop
+    /// through intermediate versions). With `threads > 1` the per-instance
+    /// checks and adaptations run in parallel worker threads — migrating
+    /// thousands of instances on the fly is exactly the workload the paper
+    /// targets.
+    pub fn migrate_all(
+        &self,
+        type_name: &str,
+        options: &MigrationOptions,
+        threads: usize,
+    ) -> Result<MigrationReport, EngineError> {
+        let to_version = self
+            .repo
+            .latest_version(type_name)
+            .ok_or_else(|| EngineError::NotFound(format!("process type {type_name:?}")))?;
+        let ids = self.store.instances_of(type_name);
+        let from_version = ids
+            .iter()
+            .filter_map(|id| self.store.get(*id).map(|i| i.version))
+            .min()
+            .unwrap_or(to_version);
+
+        let outcomes: Vec<InstanceOutcome> = if threads <= 1 || ids.len() < 2 {
+            ids.iter()
+                .map(|id| self.migrate_one(type_name, *id, to_version, options))
+                .collect()
+        } else {
+            let chunk = ids.len().div_ceil(threads);
+            let mut results: Vec<Vec<InstanceOutcome>> = Vec::new();
+            crossbeam::scope(|scope| {
+                let handles: Vec<_> = ids
+                    .chunks(chunk)
+                    .map(|part| {
+                        scope.spawn(move |_| {
+                            part.iter()
+                                .map(|id| self.migrate_one(type_name, *id, to_version, options))
+                                .collect::<Vec<_>>()
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    results.push(h.join().expect("migration worker panicked"));
+                }
+            })
+            .expect("crossbeam scope");
+            results.into_iter().flatten().collect()
+        };
+
+        let report = MigrationReport {
+            type_name: type_name.to_string(),
+            from_version,
+            to_version,
+            outcomes,
+        };
+        Ok(report)
+    }
+
+    /// Migrates one instance hop by hop up to `to_version`. Returns its
+    /// final outcome (the first conflict stops the chain).
+    fn migrate_one(
+        &self,
+        type_name: &str,
+        id: InstanceId,
+        to_version: u32,
+        options: &MigrationOptions,
+    ) -> InstanceOutcome {
+        loop {
+            let Some(inst) = self.store.get(id) else {
+                return InstanceOutcome {
+                    instance: id,
+                    biased: false,
+                    verdict: Verdict::conflict(
+                        adept_core::ConflictKind::Structural,
+                        "instance disappeared during migration",
+                    ),
+                };
+            };
+            if inst.version >= to_version {
+                return InstanceOutcome {
+                    instance: id,
+                    biased: inst.is_biased(),
+                    verdict: Verdict::Compliant,
+                };
+            }
+            let next = inst.version + 1;
+            let Some(delta) = self.repo.delta_between(type_name, inst.version) else {
+                return InstanceOutcome {
+                    instance: id,
+                    biased: inst.is_biased(),
+                    verdict: Verdict::conflict(
+                        adept_core::ConflictKind::Structural,
+                        format!("no recorded delta from V{} to V{next}", inst.version),
+                    ),
+                };
+            };
+            let Ok((current, blocks)) = self.context_of(id) else {
+                return InstanceOutcome {
+                    instance: id,
+                    biased: inst.is_biased(),
+                    verdict: Verdict::conflict(
+                        adept_core::ConflictKind::Structural,
+                        "cannot materialise current schema",
+                    ),
+                };
+            };
+            let Some(new_dep) = self.repo.deployed(type_name, next) else {
+                return InstanceOutcome {
+                    instance: id,
+                    biased: inst.is_biased(),
+                    verdict: Verdict::conflict(
+                        adept_core::ConflictKind::Structural,
+                        format!("V{next} not deployed"),
+                    ),
+                };
+            };
+            let res = migrate_instance(
+                &current,
+                &blocks,
+                &new_dep.schema,
+                &delta,
+                &inst.bias,
+                &inst.state,
+                options,
+            );
+            match res.verdict {
+                Verdict::Compliant => {
+                    let adapted = res.adapted.expect("compliant results carry state");
+                    self.store
+                        .migrate(id, next, adapted, res.materialized.as_ref());
+                    self.monitor.record(EngineEvent::Migrated {
+                        instance: id,
+                        to_version: next,
+                    });
+                }
+                Verdict::NotCompliant(c) => {
+                    self.monitor.record(EngineEvent::MigrationRejected {
+                        instance: id,
+                        reason: c.to_string(),
+                    });
+                    return InstanceOutcome {
+                        instance: id,
+                        biased: inst.is_biased(),
+                        verdict: Verdict::NotCompliant(c),
+                    };
+                }
+            }
+        }
+    }
+
+    /// Re-checks compliance of an instance against a delta without applying
+    /// anything (used by what-if tooling and tests).
+    pub fn check_compliance(
+        &self,
+        id: InstanceId,
+        delta: &Delta,
+    ) -> Result<Verdict, EngineError> {
+        let (current, blocks) = self.context_of(id)?;
+        let inst = self
+            .store
+            .get(id)
+            .ok_or_else(|| EngineError::NotFound(format!("{id}")))?;
+        Ok(check_fast(&current, &blocks, &inst.state, delta))
+    }
+
+    /// Byte-level memory accounting (paper Fig. 2).
+    pub fn memory(&self) -> MemoryBreakdown {
+        self.store.memory(&self.repo)
+    }
+
+    /// Renders an instance for the monitoring component.
+    pub fn render_instance(&self, id: InstanceId) -> Result<String, EngineError> {
+        let (schema, _) = self.context_of(id)?;
+        let inst = self
+            .store
+            .get(id)
+            .ok_or_else(|| EngineError::NotFound(format!("{id}")))?;
+        Ok(crate::monitor::render_instance_summary(&schema, &inst.state))
+    }
+}
+
+impl Default for ProcessEngine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adept_core::NewActivity;
+    use adept_model::SchemaBuilder;
+    use adept_state::DefaultDriver;
+
+    fn order_schema() -> ProcessSchema {
+        let mut b = SchemaBuilder::new("online order");
+        b.activity_with("get order", |a| a.role = Some("sales".into()));
+        b.activity("collect data");
+        b.and_split();
+        b.branch();
+        b.activity("confirm order");
+        b.branch();
+        b.activity("compose order");
+        b.activity("pack goods");
+        b.and_join();
+        b.activity("deliver goods");
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn full_lifecycle() {
+        let engine = ProcessEngine::new();
+        let name = engine.deploy(order_schema()).unwrap();
+        let id = engine.create_instance(&name).unwrap();
+
+        let wl = engine.worklist();
+        assert_eq!(wl.len(), 1);
+        assert_eq!(wl[0].activity, "get order");
+        assert_eq!(engine.worklist_for("sales").len(), 1);
+        assert_eq!(engine.worklist_for("warehouse").len(), 0);
+
+        engine.start_activity(id, wl[0].node).unwrap();
+        engine.complete_activity(id, wl[0].node, vec![]).unwrap();
+        assert!(!engine.is_finished(id).unwrap());
+
+        engine
+            .run_instance(id, &mut DefaultDriver, None)
+            .unwrap();
+        assert!(engine.is_finished(id).unwrap());
+        assert!(engine
+            .monitor
+            .events()
+            .iter()
+            .any(|(_, e)| matches!(e, EngineEvent::InstanceFinished { .. })));
+    }
+
+    #[test]
+    fn ad_hoc_change_biases_single_instance() {
+        let engine = ProcessEngine::new();
+        let name = engine.deploy(order_schema()).unwrap();
+        let i1 = engine.create_instance(&name).unwrap();
+        let i2 = engine.create_instance(&name).unwrap();
+
+        let v1 = engine.repo.deployed(&name, 1).unwrap();
+        let get = v1.schema.node_by_name("get order").unwrap().id;
+        let collect = v1.schema.node_by_name("collect data").unwrap().id;
+        engine
+            .ad_hoc_change(
+                i1,
+                &ChangeOp::SerialInsert {
+                    activity: NewActivity::named("check customer"),
+                    pred: get,
+                    succ: collect,
+                },
+            )
+            .unwrap();
+
+        let s1 = engine.store.schema_of(&engine.repo, i1).unwrap();
+        let s2 = engine.store.schema_of(&engine.repo, i2).unwrap();
+        assert!(s1.node_by_name("check customer").is_some());
+        assert!(s2.node_by_name("check customer").is_none());
+        assert!(engine.store.get(i1).unwrap().is_biased());
+        assert!(!engine.store.get(i2).unwrap().is_biased());
+
+        // The biased instance executes the inserted step.
+        engine.run_instance(i1, &mut DefaultDriver, None).unwrap();
+        assert!(engine.is_finished(i1).unwrap());
+    }
+
+    #[test]
+    fn ad_hoc_change_rejected_by_state() {
+        let engine = ProcessEngine::new();
+        let name = engine.deploy(order_schema()).unwrap();
+        let id = engine.create_instance(&name).unwrap();
+        engine.run_instance(id, &mut DefaultDriver, None).unwrap();
+
+        let v1 = engine.repo.deployed(&name, 1).unwrap();
+        let get = v1.schema.node_by_name("get order").unwrap().id;
+        let collect = v1.schema.node_by_name("collect data").unwrap().id;
+        let err = engine
+            .ad_hoc_change(
+                id,
+                &ChangeOp::SerialInsert {
+                    activity: NewActivity::named("too late"),
+                    pred: get,
+                    succ: collect,
+                },
+            )
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            EngineError::Change(ChangeError::StatePrecondition { .. })
+        ));
+    }
+
+    #[test]
+    fn evolution_and_migration_report() {
+        let engine = ProcessEngine::new();
+        let name = engine.deploy(order_schema()).unwrap();
+
+        // Three instances at different progress points (paper Fig. 3).
+        let i1 = engine.create_instance(&name).unwrap(); // fresh: compliant
+        let i2 = engine.create_instance(&name).unwrap(); // will be biased w/ conflict
+        let i3 = engine.create_instance(&name).unwrap(); // runs to completion: state conflict
+        engine.run_instance(i1, &mut DefaultDriver, Some(2)).unwrap();
+        engine.run_instance(i3, &mut DefaultDriver, None).unwrap();
+
+        // I2's ad-hoc bias: sync(confirm order -> compose order).
+        let v1 = engine.repo.deployed(&name, 1).unwrap();
+        let confirm = v1.schema.node_by_name("confirm order").unwrap().id;
+        let compose = v1.schema.node_by_name("compose order").unwrap().id;
+        let pack = v1.schema.node_by_name("pack goods").unwrap().id;
+        engine
+            .ad_hoc_change(i2, &ChangeOp::InsertSyncEdge { from: confirm, to: compose })
+            .unwrap();
+
+        // ΔT: insert "send questions" + sync to confirm order (Fig. 1).
+        let (v2, _) = engine
+            .evolve_type(
+                &name,
+                &[ChangeOp::SerialInsert {
+                    activity: NewActivity::named("send questions"),
+                    pred: compose,
+                    succ: pack,
+                }],
+            )
+            .unwrap();
+        assert_eq!(v2, 2);
+        let sq = engine
+            .repo
+            .deployed(&name, 2)
+            .unwrap()
+            .schema
+            .node_by_name("send questions")
+            .unwrap()
+            .id;
+        let (v3, _) = engine
+            .evolve_type(&name, &[ChangeOp::InsertSyncEdge { from: sq, to: confirm }])
+            .unwrap();
+        assert_eq!(v3, 3);
+
+        let report = engine
+            .migrate_all(&name, &MigrationOptions::default(), 1)
+            .unwrap();
+        assert_eq!(report.total(), 3);
+        assert_eq!(report.migrated(), 1, "{report}");
+        assert_eq!(report.conflicts(adept_core::ConflictKind::Structural), 1);
+        assert_eq!(report.conflicts(adept_core::ConflictKind::State), 1);
+
+        // The migrated instance continues and executes the new activity.
+        engine.run_instance(i1, &mut DefaultDriver, None).unwrap();
+        assert!(engine.is_finished(i1).unwrap());
+        let inst1 = engine.store.get(i1).unwrap();
+        assert_eq!(inst1.version, 3);
+        assert!(inst1
+            .state
+            .history
+            .started_activities()
+            .contains(&sq));
+    }
+
+    #[test]
+    fn parallel_migration_matches_sequential() {
+        let engine = ProcessEngine::new();
+        let name = engine.deploy(order_schema()).unwrap();
+        for _ in 0..64 {
+            let id = engine.create_instance(&name).unwrap();
+            engine
+                .run_instance(id, &mut DefaultDriver, Some(2))
+                .unwrap();
+        }
+        let v1 = engine.repo.deployed(&name, 1).unwrap();
+        let compose = v1.schema.node_by_name("compose order").unwrap().id;
+        let pack = v1.schema.node_by_name("pack goods").unwrap().id;
+        engine
+            .evolve_type(
+                &name,
+                &[ChangeOp::SerialInsert {
+                    activity: NewActivity::named("send questions"),
+                    pred: compose,
+                    succ: pack,
+                }],
+            )
+            .unwrap();
+        let report = engine
+            .migrate_all(&name, &MigrationOptions::default(), 4)
+            .unwrap();
+        assert_eq!(report.total(), 64);
+        assert_eq!(report.migrated(), 64, "{report}");
+    }
+
+    #[test]
+    fn undo_ad_hoc_change_restores_unbiased_state() {
+        let engine = ProcessEngine::new();
+        let name = engine.deploy(order_schema()).unwrap();
+        let id = engine.create_instance(&name).unwrap();
+        let v1 = engine.repo.deployed(&name, 1).unwrap();
+        let get = v1.schema.node_by_name("get order").unwrap().id;
+        let collect = v1.schema.node_by_name("collect data").unwrap().id;
+        engine
+            .ad_hoc_change(
+                id,
+                &ChangeOp::SerialInsert {
+                    activity: NewActivity::named("temp step"),
+                    pred: get,
+                    succ: collect,
+                },
+            )
+            .unwrap();
+        assert!(engine.store.get(id).unwrap().is_biased());
+        engine.undo_ad_hoc_change(id).unwrap();
+        assert!(!engine.store.get(id).unwrap().is_biased());
+        // Undoing again fails: nothing left.
+        assert!(engine.undo_ad_hoc_change(id).is_err());
+        // The instance runs to completion on the restored schema.
+        engine.run_instance(id, &mut DefaultDriver, None).unwrap();
+        assert!(engine.is_finished(id).unwrap());
+    }
+
+    #[test]
+    fn undo_rejected_when_inserted_activity_already_ran() {
+        let engine = ProcessEngine::new();
+        let name = engine.deploy(order_schema()).unwrap();
+        let id = engine.create_instance(&name).unwrap();
+        let v1 = engine.repo.deployed(&name, 1).unwrap();
+        let get = v1.schema.node_by_name("get order").unwrap().id;
+        let collect = v1.schema.node_by_name("collect data").unwrap().id;
+        engine
+            .ad_hoc_change(
+                id,
+                &ChangeOp::SerialInsert {
+                    activity: NewActivity::named("ran already"),
+                    pred: get,
+                    succ: collect,
+                },
+            )
+            .unwrap();
+        // Execute past the inserted activity.
+        engine.run_instance(id, &mut DefaultDriver, Some(2)).unwrap();
+        let err = engine.undo_ad_hoc_change(id).unwrap_err();
+        assert!(matches!(
+            err,
+            EngineError::Change(ChangeError::StatePrecondition { .. })
+        ));
+    }
+
+    #[test]
+    fn instance_rendering_via_engine() {
+        let engine = ProcessEngine::new();
+        let name = engine.deploy(order_schema()).unwrap();
+        let id = engine.create_instance(&name).unwrap();
+        let text = engine.render_instance(id).unwrap();
+        assert!(text.contains("get order"));
+    }
+}

@@ -1,0 +1,237 @@
+//! The monitoring component: engine event log and instance visualisation.
+//!
+//! The paper's demo (Sec. 3): *"the effects of ad-hoc instance
+//! modifications can be visualized by a special monitoring component. The
+//! same applies for process type changes."* This module records every
+//! engine-level event with a logical timestamp and renders instances as
+//! annotated DOT graphs / textual state summaries.
+
+use adept_model::{render, InstanceId, NodeId, ProcessSchema};
+use adept_state::{InstanceState, NodeState};
+use parking_lot::RwLock;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// An engine-level event.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum EngineEvent {
+    /// A process type was deployed.
+    Deployed {
+        /// Type name.
+        type_name: String,
+    },
+    /// An instance was created.
+    InstanceCreated {
+        /// The new instance.
+        instance: InstanceId,
+        /// Version it was created on.
+        version: u32,
+    },
+    /// An activity was started.
+    ActivityStarted {
+        /// The instance.
+        instance: InstanceId,
+        /// The activity node.
+        node: NodeId,
+    },
+    /// An activity completed.
+    ActivityCompleted {
+        /// The instance.
+        instance: InstanceId,
+        /// The activity node.
+        node: NodeId,
+    },
+    /// An ad-hoc change was applied to an instance.
+    AdHocChanged {
+        /// The instance.
+        instance: InstanceId,
+        /// Rendered change operation.
+        op: String,
+    },
+    /// An ad-hoc change was rejected.
+    AdHocRejected {
+        /// The instance.
+        instance: InstanceId,
+        /// Rendered change operation.
+        op: String,
+        /// Why it was rejected.
+        reason: String,
+    },
+    /// A process type evolved to a new version.
+    TypeEvolved {
+        /// Type name.
+        type_name: String,
+        /// The new version.
+        version: u32,
+    },
+    /// An instance migrated to a new version.
+    Migrated {
+        /// The instance.
+        instance: InstanceId,
+        /// Target version.
+        to_version: u32,
+    },
+    /// An instance could not migrate and stays on its version.
+    MigrationRejected {
+        /// The instance.
+        instance: InstanceId,
+        /// Why it stays.
+        reason: String,
+    },
+    /// An instance reached its end node.
+    InstanceFinished {
+        /// The instance.
+        instance: InstanceId,
+    },
+}
+
+impl fmt::Display for EngineEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineEvent::Deployed { type_name } => write!(f, "deployed \"{type_name}\""),
+            EngineEvent::InstanceCreated { instance, version } => {
+                write!(f, "{instance} created on V{version}")
+            }
+            EngineEvent::ActivityStarted { instance, node } => {
+                write!(f, "{instance}: started {node}")
+            }
+            EngineEvent::ActivityCompleted { instance, node } => {
+                write!(f, "{instance}: completed {node}")
+            }
+            EngineEvent::AdHocChanged { instance, op } => {
+                write!(f, "{instance}: ad-hoc change {op}")
+            }
+            EngineEvent::AdHocRejected {
+                instance,
+                op,
+                reason,
+            } => write!(f, "{instance}: ad-hoc change {op} rejected: {reason}"),
+            EngineEvent::TypeEvolved { type_name, version } => {
+                write!(f, "\"{type_name}\" evolved to V{version}")
+            }
+            EngineEvent::Migrated {
+                instance,
+                to_version,
+            } => write!(f, "{instance} migrated to V{to_version}"),
+            EngineEvent::MigrationRejected { instance, reason } => {
+                write!(f, "{instance} stays: {reason}")
+            }
+            EngineEvent::InstanceFinished { instance } => write!(f, "{instance} finished"),
+        }
+    }
+}
+
+/// The monitoring component: a logical-clock-stamped event log.
+#[derive(Debug, Default)]
+pub struct Monitor {
+    clock: AtomicU64,
+    events: RwLock<Vec<(u64, EngineEvent)>>,
+}
+
+impl Monitor {
+    /// A fresh monitor.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records an event, stamping it with the next logical time.
+    pub fn record(&self, e: EngineEvent) -> u64 {
+        let t = self.clock.fetch_add(1, Ordering::Relaxed);
+        self.events.write().push((t, e));
+        t
+    }
+
+    /// A snapshot of all events in logical-time order.
+    pub fn events(&self) -> Vec<(u64, EngineEvent)> {
+        self.events.read().clone()
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.read().len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Renders the full log as text.
+    pub fn render_log(&self) -> String {
+        let mut out = String::new();
+        for (t, e) in self.events.read().iter() {
+            out.push_str(&format!("[{t:>6}] {e}\n"));
+        }
+        out
+    }
+}
+
+/// Renders an instance as a DOT graph annotated with node states (the
+/// monitoring component's visualisation).
+pub fn render_instance_dot(schema: &ProcessSchema, state: &InstanceState) -> String {
+    let mut ann: BTreeMap<NodeId, String> = BTreeMap::new();
+    for (n, s) in state.marking.marked_nodes() {
+        ann.insert(n, s.to_string());
+    }
+    render::to_dot(schema, &ann)
+}
+
+/// Renders a compact one-line-per-activity state summary of an instance.
+pub fn render_instance_summary(schema: &ProcessSchema, state: &InstanceState) -> String {
+    let mut out = String::new();
+    for n in schema.activities() {
+        let s = state.marking.node(n.id);
+        let mark = match s {
+            NodeState::NotActivated => " ",
+            NodeState::Activated => "◦",
+            NodeState::Running => "▶",
+            NodeState::Completed => "✔",
+            NodeState::Skipped => "✘",
+        };
+        out.push_str(&format!("  {mark} {:<24} {}\n", n.name, s));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adept_model::SchemaBuilder;
+    use adept_state::Execution;
+
+    #[test]
+    fn monitor_records_in_order() {
+        let m = Monitor::new();
+        assert!(m.is_empty());
+        m.record(EngineEvent::Deployed {
+            type_name: "x".into(),
+        });
+        m.record(EngineEvent::InstanceCreated {
+            instance: InstanceId(1),
+            version: 1,
+        });
+        assert_eq!(m.len(), 2);
+        let ev = m.events();
+        assert!(ev[0].0 < ev[1].0);
+        let log = m.render_log();
+        assert!(log.contains("deployed \"x\""));
+        assert!(log.contains("I1 created on V1"));
+    }
+
+    #[test]
+    fn instance_rendering() {
+        let mut b = SchemaBuilder::new("r");
+        let a = b.activity("approve");
+        let s = b.build().unwrap();
+        let ex = Execution::new(&s).unwrap();
+        let mut st = ex.init().unwrap();
+        ex.start_activity(&mut st, a).unwrap();
+        let dot = render_instance_dot(&s, &st);
+        assert!(dot.contains("Running"));
+        let summary = render_instance_summary(&s, &st);
+        assert!(summary.contains("approve"));
+        assert!(summary.contains("Running"));
+    }
+}

@@ -1,0 +1,78 @@
+//! Work items: the user-facing side of the engine.
+//!
+//! Activated activities are offered as work items; actors claim them by
+//! role. This is the minimal faithful model of ADEPT2's worklist
+//! management (the demo system distributed these via client components).
+
+use adept_model::{InstanceId, NodeId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One offered unit of work: an activated activity of some instance.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WorkItem {
+    /// The instance the work belongs to.
+    pub instance: InstanceId,
+    /// The activity node.
+    pub node: NodeId,
+    /// Activity name.
+    pub activity: String,
+    /// Staff assignment rule (role), if any.
+    pub role: Option<String>,
+    /// Process type name.
+    pub type_name: String,
+    /// Schema version the instance currently runs on.
+    pub version: u32,
+}
+
+impl WorkItem {
+    /// Whether an actor with the given role may claim this item. Items
+    /// without a role are claimable by anyone.
+    pub fn claimable_by(&self, role: &str) -> bool {
+        self.role.as_deref().map_or(true, |r| r == role)
+    }
+}
+
+impl fmt::Display for WorkItem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{} v{}] {} \"{}\"",
+            self.instance, self.version, self.node, self.activity
+        )?;
+        if let Some(r) = &self.role {
+            write!(f, " (role: {r})")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn item(role: Option<&str>) -> WorkItem {
+        WorkItem {
+            instance: InstanceId(1),
+            node: NodeId(2),
+            activity: "confirm order".into(),
+            role: role.map(str::to_string),
+            type_name: "order".into(),
+            version: 1,
+        }
+    }
+
+    #[test]
+    fn role_claims() {
+        assert!(item(None).claimable_by("anyone"));
+        assert!(item(Some("clerk")).claimable_by("clerk"));
+        assert!(!item(Some("clerk")).claimable_by("physician"));
+    }
+
+    #[test]
+    fn display() {
+        let s = item(Some("clerk")).to_string();
+        assert!(s.contains("confirm order"));
+        assert!(s.contains("clerk"));
+    }
+}

@@ -1,0 +1,373 @@
+//! Block-structure analysis: recovering the nesting of AND/XOR/loop blocks
+//! from the control backbone of a schema.
+//!
+//! The builder guarantees block structure at construction time, but ad-hoc
+//! and type changes repeatedly *re-derive* structure (e.g. to validate a new
+//! sync edge or to find the minimal block around an insertion point), so the
+//! analysis works on any schema whose control backbone is a DAG with
+//! matching splits and joins — exactly what `adept-verify` certifies.
+
+use crate::edge::EdgeKind;
+use crate::graph::{self, EdgeFilter};
+use crate::ids::NodeId;
+use crate::node::NodeKind;
+use crate::schema::ProcessSchema;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The kind of a structural block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BlockKind {
+    /// AND block (parallel branching).
+    Parallel,
+    /// XOR block (conditional branching).
+    Conditional,
+    /// Loop block.
+    Loop,
+}
+
+/// One recovered block: the region between a split and its matching join.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BlockInfo {
+    /// Block kind.
+    pub kind: BlockKind,
+    /// The opening node (`AndSplit`, `XorSplit` or `LoopStart`).
+    pub split: NodeId,
+    /// The closing node (`AndJoin`, `XorJoin` or `LoopEnd`).
+    pub join: NodeId,
+    /// Interior nodes of each branch, in branch order (branch order follows
+    /// the id order of the edges leaving the split). Loop blocks have one
+    /// "branch": the loop body.
+    pub branches: Vec<BTreeSet<NodeId>>,
+}
+
+impl BlockInfo {
+    /// All interior nodes (union of branches), excluding split and join.
+    pub fn interior(&self) -> BTreeSet<NodeId> {
+        let mut s = BTreeSet::new();
+        for b in &self.branches {
+            s.extend(b.iter().copied());
+        }
+        s
+    }
+
+    /// The branch index containing `n`, if any.
+    pub fn branch_of(&self, n: NodeId) -> Option<usize> {
+        self.branches.iter().position(|b| b.contains(&n))
+    }
+}
+
+/// Errors from block analysis on malformed schemas.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BlockError {
+    /// The control backbone contains a cycle.
+    CyclicBackbone,
+    /// A split has no matching join of the required kind.
+    UnmatchedSplit(NodeId),
+    /// A loop edge does not connect a `LoopEnd` to a `LoopStart`.
+    MalformedLoopEdge(NodeId, NodeId),
+}
+
+impl std::fmt::Display for BlockError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BlockError::CyclicBackbone => f.write_str("control backbone is cyclic"),
+            BlockError::UnmatchedSplit(n) => write!(f, "split {n} has no matching join"),
+            BlockError::MalformedLoopEdge(a, b) => {
+                write!(f, "loop edge {a} -> {b} does not connect LoopEnd to LoopStart")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BlockError {}
+
+/// The block structure of a schema.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Blocks {
+    /// All blocks, indexed by their split node.
+    pub by_split: BTreeMap<NodeId, BlockInfo>,
+    /// Enclosing blocks per node, outermost first: `(split, branch_index)`.
+    enclosing: BTreeMap<NodeId, Vec<(NodeId, usize)>>,
+}
+
+impl Blocks {
+    /// Analyses the block structure of a schema.
+    pub fn analyze(schema: &ProcessSchema) -> Result<Blocks, BlockError> {
+        if !graph::is_acyclic(schema, EdgeFilter::CONTROL) {
+            return Err(BlockError::CyclicBackbone);
+        }
+        let end = schema
+            .nodes()
+            .find(|n| n.kind == NodeKind::End)
+            .map(|n| n.id);
+        let ipdom = match end {
+            Some(e) => graph::immediate_postdominators(schema, e),
+            None => BTreeMap::new(),
+        };
+
+        let mut by_split: BTreeMap<NodeId, BlockInfo> = BTreeMap::new();
+
+        // Loop blocks are matched by their loop edge.
+        for e in schema.loop_edges() {
+            let (le, ls) = (e.from, e.to);
+            let ok = schema.node(ls).map(|n| n.kind) == Ok(NodeKind::LoopStart)
+                && schema.node(le).map(|n| n.kind) == Ok(NodeKind::LoopEnd);
+            if !ok {
+                return Err(BlockError::MalformedLoopEdge(le, ls));
+            }
+            let body = region_between(schema, ls, le);
+            by_split.insert(
+                ls,
+                BlockInfo {
+                    kind: BlockKind::Loop,
+                    split: ls,
+                    join: le,
+                    branches: vec![body],
+                },
+            );
+        }
+
+        // AND/XOR blocks are matched via immediate postdominators.
+        for node in schema.nodes() {
+            let kind = match node.kind {
+                NodeKind::AndSplit => BlockKind::Parallel,
+                NodeKind::XorSplit => BlockKind::Conditional,
+                _ => continue,
+            };
+            let join = *ipdom
+                .get(&node.id)
+                .ok_or(BlockError::UnmatchedSplit(node.id))?;
+            let expect = match kind {
+                BlockKind::Parallel => NodeKind::AndJoin,
+                BlockKind::Conditional => NodeKind::XorJoin,
+                BlockKind::Loop => unreachable!(),
+            };
+            if schema.node(join).map(|n| n.kind) != Ok(expect) {
+                return Err(BlockError::UnmatchedSplit(node.id));
+            }
+            let mut branches = Vec::new();
+            for e in schema.out_edges_kind(node.id, EdgeKind::Control) {
+                branches.push(branch_region(schema, e.to, join));
+            }
+            by_split.insert(
+                node.id,
+                BlockInfo {
+                    kind,
+                    split: node.id,
+                    join,
+                    branches,
+                },
+            );
+        }
+
+        // Enclosing-block stacks, outermost first. A block B1 encloses B2
+        // iff B2's split lies in B1's interior. Sort by interior size
+        // (larger = outer).
+        let mut enclosing: BTreeMap<NodeId, Vec<(NodeId, usize)>> = BTreeMap::new();
+        for n in schema.node_ids() {
+            let mut stack: Vec<(usize, NodeId, usize)> = Vec::new();
+            for (split, info) in &by_split {
+                if let Some(bi) = info.branch_of(n) {
+                    stack.push((info.interior().len(), *split, bi));
+                }
+            }
+            stack.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+            enclosing.insert(n, stack.into_iter().map(|(_, s, b)| (s, b)).collect());
+        }
+
+        Ok(Blocks { by_split, enclosing })
+    }
+
+    /// The blocks enclosing `n`, outermost first, as `(split, branch_index)`.
+    pub fn enclosing(&self, n: NodeId) -> &[(NodeId, usize)] {
+        self.enclosing.get(&n).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// The innermost block enclosing `n`, if any.
+    pub fn innermost(&self, n: NodeId) -> Option<&BlockInfo> {
+        self.enclosing(n)
+            .last()
+            .map(|(split, _)| &self.by_split[split])
+    }
+
+    /// The innermost *loop* block enclosing `n`, if any.
+    pub fn innermost_loop(&self, n: NodeId) -> Option<&BlockInfo> {
+        self.enclosing(n)
+            .iter()
+            .rev()
+            .map(|(split, _)| &self.by_split[split])
+            .find(|b| b.kind == BlockKind::Loop)
+    }
+
+    /// If `a` and `b` lie in *different branches of the same parallel
+    /// block*, returns that block's split node. This is the structural
+    /// precondition for sync edges: only then are the nodes truly
+    /// concurrent and a sync edge meaningful (and deadlock-free by
+    /// construction when directed consistently).
+    pub fn parallel_separator(&self, a: NodeId, b: NodeId) -> Option<NodeId> {
+        let ea = self.enclosing(a);
+        let eb = self.enclosing(b);
+        // Walk from innermost to outermost common block.
+        for (split_a, branch_a) in ea.iter().rev() {
+            if self.by_split[split_a].kind != BlockKind::Parallel {
+                continue;
+            }
+            for (split_b, branch_b) in eb.iter().rev() {
+                if split_a == split_b && branch_a != branch_b {
+                    return Some(*split_a);
+                }
+            }
+        }
+        None
+    }
+
+    /// Whether `a` and `b` lie inside the same set of loop blocks (sync
+    /// edges must not cross loop boundaries).
+    pub fn same_loop_context(&self, a: NodeId, b: NodeId) -> bool {
+        let la: Vec<NodeId> = self
+            .enclosing(a)
+            .iter()
+            .filter(|(s, _)| self.by_split[s].kind == BlockKind::Loop)
+            .map(|(s, _)| *s)
+            .collect();
+        let lb: Vec<NodeId> = self
+            .enclosing(b)
+            .iter()
+            .filter(|(s, _)| self.by_split[s].kind == BlockKind::Loop)
+            .map(|(s, _)| *s)
+            .collect();
+        la == lb
+    }
+}
+
+/// Interior nodes strictly between `from` and `to` along control edges:
+/// reachable from `from` without passing through `to`, intersected with
+/// nodes that reach `to`.
+fn region_between(schema: &ProcessSchema, from: NodeId, to: NodeId) -> BTreeSet<NodeId> {
+    let fwd = bounded_reach(schema, from, to);
+    let back = graph::reaching_to(schema, to, EdgeFilter::CONTROL);
+    fwd.intersection(&back)
+        .copied()
+        .filter(|n| *n != from && *n != to)
+        .collect()
+}
+
+/// The branch region rooted at `head` (inclusive) up to but excluding `join`.
+fn branch_region(schema: &ProcessSchema, head: NodeId, join: NodeId) -> BTreeSet<NodeId> {
+    if head == join {
+        return BTreeSet::new(); // empty branch: split connects directly to join
+    }
+    let mut r = bounded_reach(schema, head, join);
+    r.remove(&join);
+    r
+}
+
+/// Forward reach over control edges from `from` (inclusive), not expanding
+/// through `stop`.
+fn bounded_reach(schema: &ProcessSchema, from: NodeId, stop: NodeId) -> BTreeSet<NodeId> {
+    let mut seen = BTreeSet::new();
+    let mut stack = vec![from];
+    seen.insert(from);
+    while let Some(n) = stack.pop() {
+        if n == stop {
+            continue;
+        }
+        for e in schema.out_edges_kind(n, EdgeKind::Control) {
+            if seen.insert(e.to) {
+                stack.push(e.to);
+            }
+        }
+    }
+    seen
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::SchemaBuilder;
+
+    /// start -> a -> AND( b | c -> d ) -> e -> end, plus a XOR inside branch 2.
+    fn nested() -> (ProcessSchema, BTreeMap<String, NodeId>) {
+        let mut b = SchemaBuilder::new("nested");
+        let mut names = BTreeMap::new();
+        names.insert("a".to_string(), b.activity("a"));
+        b.and_split();
+        b.branch();
+        names.insert("b".to_string(), b.activity("b"));
+        b.branch();
+        names.insert("c".to_string(), b.activity("c"));
+        b.xor_split();
+        b.case();
+        names.insert("x1".to_string(), b.activity("x1"));
+        b.case();
+        names.insert("x2".to_string(), b.activity("x2"));
+        b.xor_join();
+        names.insert("d".to_string(), b.activity("d"));
+        b.and_join();
+        names.insert("e".to_string(), b.activity("e"));
+        let s = b.build().unwrap();
+        (s, names)
+    }
+
+    #[test]
+    fn recovers_parallel_block() {
+        let (s, n) = nested();
+        let blocks = Blocks::analyze(&s).unwrap();
+        let and_split = s
+            .nodes()
+            .find(|x| x.kind == NodeKind::AndSplit)
+            .unwrap()
+            .id;
+        let info = &blocks.by_split[&and_split];
+        assert_eq!(info.kind, BlockKind::Parallel);
+        assert_eq!(info.branches.len(), 2);
+        assert_eq!(info.branch_of(n["b"]), Some(0));
+        assert!(info.branch_of(n["c"]).is_some());
+        assert_ne!(info.branch_of(n["b"]), info.branch_of(n["c"]));
+        assert_eq!(info.branch_of(n["a"]), None);
+        assert_eq!(info.branch_of(n["e"]), None);
+    }
+
+    #[test]
+    fn parallel_separator_identifies_concurrency() {
+        let (s, n) = nested();
+        let blocks = Blocks::analyze(&s).unwrap();
+        assert!(blocks.parallel_separator(n["b"], n["c"]).is_some());
+        assert!(blocks.parallel_separator(n["b"], n["x1"]).is_some());
+        assert!(blocks.parallel_separator(n["c"], n["d"]).is_none());
+        assert!(blocks.parallel_separator(n["a"], n["b"]).is_none());
+        assert!(blocks.parallel_separator(n["x1"], n["x2"]).is_none());
+    }
+
+    #[test]
+    fn nesting_order_is_outermost_first() {
+        let (s, n) = nested();
+        let blocks = Blocks::analyze(&s).unwrap();
+        let stack = blocks.enclosing(n["x1"]);
+        assert_eq!(stack.len(), 2);
+        let outer = &blocks.by_split[&stack[0].0];
+        let inner = &blocks.by_split[&stack[1].0];
+        assert_eq!(outer.kind, BlockKind::Parallel);
+        assert_eq!(inner.kind, BlockKind::Conditional);
+    }
+
+    #[test]
+    fn loop_block_membership() {
+        let mut b = SchemaBuilder::new("loop");
+        let a = b.activity("a");
+        b.loop_start();
+        let body = b.activity("body");
+        b.loop_end(crate::edge::LoopCond::Times(2));
+        let after = b.activity("after");
+        let s = b.build().unwrap();
+        let blocks = Blocks::analyze(&s).unwrap();
+        let lb = blocks.innermost_loop(body).expect("body is inside loop");
+        assert_eq!(lb.kind, BlockKind::Loop);
+        assert!(lb.branches[0].contains(&body));
+        assert!(blocks.innermost_loop(a).is_none());
+        assert!(blocks.innermost_loop(after).is_none());
+        assert!(!blocks.same_loop_context(a, body));
+        assert!(blocks.same_loop_context(a, after));
+    }
+}

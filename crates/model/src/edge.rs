@@ -1,0 +1,248 @@
+//! Edge types of the ADEPT2 process meta model: control, sync and loop
+//! edges, branch guards and loop conditions.
+
+use crate::data::Value;
+use crate::ids::{DataId, EdgeId, NodeId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The kind of a schema edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum EdgeKind {
+    /// Normal precedence edge of the block-structured backbone.
+    Control,
+    /// Synchronisation edge between branches of a parallel block
+    /// (`ET=Sync` in paper Fig. 1). The target may only start once the
+    /// source is completed or can no longer be executed.
+    Sync,
+    /// Back edge from a `LoopEnd` to its `LoopStart`.
+    Loop,
+}
+
+impl fmt::Display for EdgeKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            EdgeKind::Control => "control",
+            EdgeKind::Sync => "sync",
+            EdgeKind::Loop => "loop",
+        })
+    }
+}
+
+/// Comparison operator used in [`Guard`]s.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CmpOp {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Less than.
+    Lt,
+    /// Less than or equal.
+    Le,
+    /// Greater than.
+    Gt,
+    /// Greater than or equal.
+    Ge,
+}
+
+impl CmpOp {
+    /// Evaluates the operator on two values. Comparisons between
+    /// incompatible value kinds yield `false` (and are reported by the
+    /// data-flow verifier at buildtime).
+    pub fn eval(self, lhs: &Value, rhs: &Value) -> bool {
+        use std::cmp::Ordering;
+        let ord = lhs.partial_cmp_value(rhs);
+        match (self, ord) {
+            (CmpOp::Eq, Some(Ordering::Equal)) => true,
+            (CmpOp::Ne, Some(o)) => o != Ordering::Equal,
+            (CmpOp::Lt, Some(Ordering::Less)) => true,
+            (CmpOp::Le, Some(Ordering::Less | Ordering::Equal)) => true,
+            (CmpOp::Gt, Some(Ordering::Greater)) => true,
+            (CmpOp::Ge, Some(Ordering::Greater | Ordering::Equal)) => true,
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            CmpOp::Eq => "==",
+            CmpOp::Ne => "!=",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        })
+    }
+}
+
+/// A branch guard on an edge leaving an `XorSplit`: the branch is selected
+/// when `data <op> value` holds. At most one branch of an XOR split may be
+/// guard-free; it acts as the *else* branch.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Guard {
+    /// The data element inspected by the guard.
+    pub data: DataId,
+    /// Comparison operator.
+    pub op: CmpOp,
+    /// Constant the data value is compared against.
+    pub value: Value,
+}
+
+impl Guard {
+    /// Creates a guard `data <op> value`.
+    pub fn new(data: DataId, op: CmpOp, value: Value) -> Self {
+        Self { data, op, value }
+    }
+
+    /// Evaluates the guard against a concrete data value.
+    pub fn eval(&self, actual: &Value) -> bool {
+        self.op.eval(actual, &self.value)
+    }
+}
+
+impl fmt::Display for Guard {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {}", self.data, self.op, self.value)
+    }
+}
+
+/// Loop continuation condition carried by a [`EdgeKind::Loop`] edge.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum LoopCond {
+    /// Iterate while the guard holds (evaluated at the `LoopEnd`).
+    While(Guard),
+    /// Iterate a fixed number of times in total (at least 1).
+    Times(u32),
+    /// The runtime (user or simulation driver) decides each iteration.
+    External,
+}
+
+impl fmt::Display for LoopCond {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LoopCond::While(g) => write!(f, "while {g}"),
+            LoopCond::Times(n) => write!(f, "times {n}"),
+            LoopCond::External => f.write_str("external"),
+        }
+    }
+}
+
+/// An edge of a process schema.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Edge {
+    /// Identifier, unique within the owning schema.
+    pub id: EdgeId,
+    /// Source node.
+    pub from: NodeId,
+    /// Target node.
+    pub to: NodeId,
+    /// Edge kind.
+    pub kind: EdgeKind,
+    /// Branch guard; only meaningful on control edges leaving an `XorSplit`.
+    pub guard: Option<Guard>,
+    /// Loop condition; only meaningful on loop edges.
+    pub loop_cond: Option<LoopCond>,
+}
+
+impl Edge {
+    /// Creates a plain control edge.
+    pub fn control(id: EdgeId, from: NodeId, to: NodeId) -> Self {
+        Self {
+            id,
+            from,
+            to,
+            kind: EdgeKind::Control,
+            guard: None,
+            loop_cond: None,
+        }
+    }
+
+    /// Creates a sync edge.
+    pub fn sync(id: EdgeId, from: NodeId, to: NodeId) -> Self {
+        Self {
+            id,
+            from,
+            to,
+            kind: EdgeKind::Sync,
+            guard: None,
+            loop_cond: None,
+        }
+    }
+
+    /// Creates a loop-back edge with the given continuation condition.
+    pub fn loop_back(id: EdgeId, from: NodeId, to: NodeId, cond: LoopCond) -> Self {
+        Self {
+            id,
+            from,
+            to,
+            kind: EdgeKind::Loop,
+            guard: None,
+            loop_cond: Some(cond),
+        }
+    }
+}
+
+impl fmt::Display for Edge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {} -[{}]-> {}", self.id, self.from, self.kind, self.to)?;
+        if let Some(g) = &self.guard {
+            write!(f, " if {g}")?;
+        }
+        if let Some(c) = &self.loop_cond {
+            write!(f, " ({c})")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cmp_op_on_ints() {
+        let a = Value::Int(3);
+        let b = Value::Int(5);
+        assert!(CmpOp::Lt.eval(&a, &b));
+        assert!(CmpOp::Le.eval(&a, &b));
+        assert!(CmpOp::Ne.eval(&a, &b));
+        assert!(!CmpOp::Eq.eval(&a, &b));
+        assert!(!CmpOp::Gt.eval(&a, &b));
+        assert!(CmpOp::Ge.eval(&b, &a));
+    }
+
+    #[test]
+    fn cmp_op_incompatible_kinds_is_false() {
+        let a = Value::Int(3);
+        let s = Value::Str("three".into());
+        for op in [CmpOp::Eq, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge] {
+            assert!(!op.eval(&a, &s), "{op} must be false across kinds");
+        }
+    }
+
+    #[test]
+    fn guard_eval() {
+        let g = Guard::new(DataId(0), CmpOp::Ge, Value::Int(100));
+        assert!(g.eval(&Value::Int(100)));
+        assert!(g.eval(&Value::Int(150)));
+        assert!(!g.eval(&Value::Int(99)));
+    }
+
+    #[test]
+    fn edge_display_mentions_kind_and_guard() {
+        let e = Edge {
+            id: EdgeId(1),
+            from: NodeId(0),
+            to: NodeId(2),
+            kind: EdgeKind::Control,
+            guard: Some(Guard::new(DataId(3), CmpOp::Eq, Value::Bool(true))),
+            loop_cond: None,
+        };
+        let s = e.to_string();
+        assert!(s.contains("control"));
+        assert!(s.contains("d3 == true"));
+    }
+}

@@ -1,0 +1,77 @@
+//! Error type for model-level operations.
+
+use crate::ids::{DataId, EdgeId, NodeId};
+use std::fmt;
+
+/// Errors raised by schema construction and low-level mutation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelError {
+    /// A referenced node does not exist in the schema.
+    UnknownNode(NodeId),
+    /// A referenced edge does not exist in the schema.
+    UnknownEdge(EdgeId),
+    /// A referenced data element does not exist in the schema.
+    UnknownData(DataId),
+    /// An identical edge (same endpoints and kind) already exists.
+    DuplicateEdge(NodeId, NodeId),
+    /// An identical data edge already exists.
+    DuplicateDataEdge(NodeId, DataId),
+    /// A node still has incident edges and cannot be removed.
+    NodeHasEdges(NodeId),
+    /// The builder was used in an illegal state (e.g. `and_join` without a
+    /// matching `and_split`). The message describes the violation.
+    BuilderState(String),
+    /// A value of the wrong type was supplied for a data element.
+    TypeMismatch {
+        /// The data element written to.
+        data: DataId,
+        /// Its declared type, as a display string.
+        expected: String,
+        /// The supplied value, as a display string.
+        got: String,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::UnknownNode(n) => write!(f, "unknown node {n}"),
+            ModelError::UnknownEdge(e) => write!(f, "unknown edge {e}"),
+            ModelError::UnknownData(d) => write!(f, "unknown data element {d}"),
+            ModelError::DuplicateEdge(a, b) => write!(f, "edge {a} -> {b} already exists"),
+            ModelError::DuplicateDataEdge(n, d) => {
+                write!(f, "data edge between {n} and {d} already exists")
+            }
+            ModelError::NodeHasEdges(n) => {
+                write!(f, "node {n} still has incident edges and cannot be removed")
+            }
+            ModelError::BuilderState(msg) => write!(f, "builder misuse: {msg}"),
+            ModelError::TypeMismatch {
+                data,
+                expected,
+                got,
+            } => write!(f, "type mismatch on {data}: expected {expected}, got {got}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(ModelError::UnknownNode(NodeId(3)).to_string(), "unknown node n3");
+        assert!(ModelError::BuilderState("oops".into())
+            .to_string()
+            .contains("oops"));
+        let e = ModelError::TypeMismatch {
+            data: DataId(1),
+            expected: "int".into(),
+            got: "\"x\"".into(),
+        };
+        assert!(e.to_string().contains("expected int"));
+    }
+}

@@ -1,0 +1,311 @@
+//! Graph algorithms over process schemas: topological order, reachability,
+//! cycle detection and postdominators.
+//!
+//! All algorithms operate on a caller-selected subset of edge kinds. The
+//! *control backbone* (control edges only, loop edges excluded) of a correct
+//! ADEPT2 schema is a DAG; sync edges must keep the combined
+//! control+sync graph acyclic — a cycle there is exactly the
+//! "deadlock-causing cycle" the paper's verifier rejects (Fig. 1, instance
+//! I2).
+
+use crate::edge::EdgeKind;
+use crate::ids::NodeId;
+use crate::schema::ProcessSchema;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// Which edge kinds an algorithm should traverse.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EdgeFilter {
+    /// Traverse control edges.
+    pub control: bool,
+    /// Traverse sync edges.
+    pub sync: bool,
+    /// Traverse loop edges.
+    pub loops: bool,
+}
+
+impl EdgeFilter {
+    /// Control edges only — the block-structured backbone.
+    pub const CONTROL: EdgeFilter = EdgeFilter {
+        control: true,
+        sync: false,
+        loops: false,
+    };
+    /// Control + sync edges — the graph that must stay acyclic.
+    pub const CONTROL_SYNC: EdgeFilter = EdgeFilter {
+        control: true,
+        sync: true,
+        loops: false,
+    };
+    /// Everything including loop edges.
+    pub const ALL: EdgeFilter = EdgeFilter {
+        control: true,
+        sync: true,
+        loops: true,
+    };
+
+    /// Whether this filter admits the given edge kind.
+    pub fn admits(self, kind: EdgeKind) -> bool {
+        match kind {
+            EdgeKind::Control => self.control,
+            EdgeKind::Sync => self.sync,
+            EdgeKind::Loop => self.loops,
+        }
+    }
+}
+
+/// Result of a failed topological sort: the nodes involved in (or reachable
+/// only through) a cycle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cycle {
+    /// Nodes that could not be ordered (the union of all cycles and their
+    /// downstream-only dependents).
+    pub nodes: Vec<NodeId>,
+}
+
+/// Topologically sorts the nodes of the schema over the admitted edges
+/// (Kahn's algorithm). Deterministic: ready nodes are processed in id order.
+pub fn topo_order(schema: &ProcessSchema, filter: EdgeFilter) -> Result<Vec<NodeId>, Cycle> {
+    let mut indeg: BTreeMap<NodeId, usize> = schema.node_ids().map(|n| (n, 0)).collect();
+    for e in schema.edges().filter(|e| filter.admits(e.kind)) {
+        *indeg.get_mut(&e.to).expect("edge target exists") += 1;
+    }
+    // BTreeSet keeps the frontier sorted -> deterministic order.
+    let mut ready: BTreeSet<NodeId> = indeg
+        .iter()
+        .filter(|(_, d)| **d == 0)
+        .map(|(n, _)| *n)
+        .collect();
+    let mut order = Vec::with_capacity(indeg.len());
+    while let Some(&n) = ready.iter().next() {
+        ready.remove(&n);
+        order.push(n);
+        for e in schema.out_edges(n).filter(|e| filter.admits(e.kind)) {
+            let d = indeg.get_mut(&e.to).expect("edge target exists");
+            *d -= 1;
+            if *d == 0 {
+                ready.insert(e.to);
+            }
+        }
+    }
+    if order.len() == indeg.len() {
+        Ok(order)
+    } else {
+        let placed: BTreeSet<NodeId> = order.iter().copied().collect();
+        Err(Cycle {
+            nodes: schema.node_ids().filter(|n| !placed.contains(n)).collect(),
+        })
+    }
+}
+
+/// Whether the schema is acyclic over the admitted edges.
+pub fn is_acyclic(schema: &ProcessSchema, filter: EdgeFilter) -> bool {
+    topo_order(schema, filter).is_ok()
+}
+
+/// Forward-reachable set from `from` (inclusive) over the admitted edges.
+pub fn reachable_from(
+    schema: &ProcessSchema,
+    from: NodeId,
+    filter: EdgeFilter,
+) -> BTreeSet<NodeId> {
+    let mut seen = BTreeSet::new();
+    let mut queue = VecDeque::new();
+    if schema.has_node(from) {
+        seen.insert(from);
+        queue.push_back(from);
+    }
+    while let Some(n) = queue.pop_front() {
+        for e in schema.out_edges(n).filter(|e| filter.admits(e.kind)) {
+            if seen.insert(e.to) {
+                queue.push_back(e.to);
+            }
+        }
+    }
+    seen
+}
+
+/// Backward-reachable set from `from` (inclusive) over the admitted edges.
+pub fn reaching_to(schema: &ProcessSchema, to: NodeId, filter: EdgeFilter) -> BTreeSet<NodeId> {
+    let mut seen = BTreeSet::new();
+    let mut queue = VecDeque::new();
+    if schema.has_node(to) {
+        seen.insert(to);
+        queue.push_back(to);
+    }
+    while let Some(n) = queue.pop_front() {
+        for e in schema.in_edges(n).filter(|e| filter.admits(e.kind)) {
+            if seen.insert(e.from) {
+                queue.push_back(e.from);
+            }
+        }
+    }
+    seen
+}
+
+/// Whether a path from `a` to `b` exists over the admitted edges.
+pub fn path_exists(schema: &ProcessSchema, a: NodeId, b: NodeId, filter: EdgeFilter) -> bool {
+    if a == b {
+        return true;
+    }
+    reachable_from(schema, a, filter).contains(&b)
+}
+
+/// Computes the immediate postdominator of every node over the control
+/// backbone, with `exit` as the sink (normally the `End` node).
+///
+/// In a block-structured schema the immediate postdominator of a split node
+/// is exactly its matching join, which is how [`crate::Blocks`] recovers the
+/// block structure of arbitrarily changed schemas.
+///
+/// Uses the classic iterative set-intersection formulation; schemas are
+/// small (tens to a few hundred nodes), so the simple O(N²) data-flow
+/// iteration is more than fast enough and easy to audit.
+pub fn immediate_postdominators(
+    schema: &ProcessSchema,
+    exit: NodeId,
+) -> BTreeMap<NodeId, NodeId> {
+    let order = match topo_order(schema, EdgeFilter::CONTROL) {
+        Ok(o) => o,
+        Err(_) => return BTreeMap::new(), // cyclic control backbone: malformed
+    };
+    let all: BTreeSet<NodeId> = schema.node_ids().collect();
+    let mut pdom: BTreeMap<NodeId, BTreeSet<NodeId>> = BTreeMap::new();
+    for &n in &all {
+        if n == exit {
+            pdom.insert(n, std::iter::once(n).collect());
+        } else {
+            pdom.insert(n, all.clone());
+        }
+    }
+    // Process in reverse topological order; one extra sweep confirms the
+    // fixpoint (on a DAG a single reverse-topo pass suffices, but the loop
+    // is cheap and robust).
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for &n in order.iter().rev() {
+            if n == exit {
+                continue;
+            }
+            let mut acc: Option<BTreeSet<NodeId>> = None;
+            for succ in schema.control_successors(n) {
+                let s = &pdom[&succ];
+                acc = Some(match acc {
+                    None => s.clone(),
+                    Some(a) => a.intersection(s).copied().collect(),
+                });
+            }
+            let mut new = acc.unwrap_or_default();
+            new.insert(n);
+            if new != pdom[&n] {
+                pdom.insert(n, new);
+                changed = true;
+            }
+        }
+    }
+    // The immediate postdominator of n is the unique m in pdom(n)\{n} that is
+    // postdominated by every other member of pdom(n)\{n}.
+    let mut ipdom = BTreeMap::new();
+    for &n in &all {
+        if n == exit {
+            continue;
+        }
+        let cands: Vec<NodeId> = pdom[&n].iter().copied().filter(|m| *m != n).collect();
+        for &m in &cands {
+            if cands.iter().all(|&p| p == m || pdom[&m].contains(&p)) {
+                ipdom.insert(n, m);
+                break;
+            }
+        }
+    }
+    ipdom
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::NodeKind;
+
+    /// start -> split -> (a | b) -> join -> end
+    fn diamond() -> (ProcessSchema, [NodeId; 6]) {
+        let mut s = ProcessSchema::empty("d");
+        let start = s.add_node("start", NodeKind::Start);
+        let split = s.add_node("split", NodeKind::AndSplit);
+        let a = s.add_node("a", NodeKind::Activity);
+        let b = s.add_node("b", NodeKind::Activity);
+        let join = s.add_node("join", NodeKind::AndJoin);
+        let end = s.add_node("end", NodeKind::End);
+        s.add_control_edge(start, split).unwrap();
+        s.add_control_edge(split, a).unwrap();
+        s.add_control_edge(split, b).unwrap();
+        s.add_control_edge(a, join).unwrap();
+        s.add_control_edge(b, join).unwrap();
+        s.add_control_edge(join, end).unwrap();
+        (s, [start, split, a, b, join, end])
+    }
+
+    #[test]
+    fn topo_order_is_deterministic_and_valid() {
+        let (s, [start, split, a, b, join, end]) = diamond();
+        let order = topo_order(&s, EdgeFilter::CONTROL).unwrap();
+        let pos = |n: NodeId| order.iter().position(|x| *x == n).unwrap();
+        assert!(pos(start) < pos(split));
+        assert!(pos(split) < pos(a));
+        assert!(pos(split) < pos(b));
+        assert!(pos(a) < pos(join));
+        assert!(pos(b) < pos(join));
+        assert!(pos(join) < pos(end));
+        assert_eq!(order, topo_order(&s, EdgeFilter::CONTROL).unwrap());
+    }
+
+    #[test]
+    fn sync_cycle_is_detected() {
+        let (mut s, [_, _, a, b, _, _]) = diamond();
+        s.add_sync_edge(a, b).unwrap();
+        assert!(is_acyclic(&s, EdgeFilter::CONTROL_SYNC));
+        s.add_sync_edge(b, a).unwrap();
+        assert!(!is_acyclic(&s, EdgeFilter::CONTROL_SYNC));
+        let cyc = topo_order(&s, EdgeFilter::CONTROL_SYNC).unwrap_err();
+        assert!(cyc.nodes.contains(&a) && cyc.nodes.contains(&b));
+    }
+
+    #[test]
+    fn reachability() {
+        let (s, [start, _, a, b, _, end]) = diamond();
+        assert!(path_exists(&s, start, end, EdgeFilter::CONTROL));
+        assert!(!path_exists(&s, a, b, EdgeFilter::CONTROL));
+        assert!(!path_exists(&s, end, start, EdgeFilter::CONTROL));
+        let back = reaching_to(&s, a, EdgeFilter::CONTROL);
+        assert!(back.contains(&start) && !back.contains(&b));
+    }
+
+    #[test]
+    fn ipdom_of_split_is_join() {
+        let (s, [start, split, a, b, join, end]) = diamond();
+        let ipdom = immediate_postdominators(&s, end);
+        assert_eq!(ipdom[&split], join);
+        assert_eq!(ipdom[&a], join);
+        assert_eq!(ipdom[&b], join);
+        assert_eq!(ipdom[&start], split);
+        assert_eq!(ipdom[&join], end);
+        assert!(!ipdom.contains_key(&end));
+    }
+
+    #[test]
+    fn loop_edges_ignored_by_control_filter() {
+        let mut s = ProcessSchema::empty("l");
+        let start = s.add_node("start", NodeKind::Start);
+        let ls = s.add_node("ls", NodeKind::LoopStart);
+        let a = s.add_node("a", NodeKind::Activity);
+        let le = s.add_node("le", NodeKind::LoopEnd);
+        let end = s.add_node("end", NodeKind::End);
+        s.add_control_edge(start, ls).unwrap();
+        s.add_control_edge(ls, a).unwrap();
+        s.add_control_edge(a, le).unwrap();
+        s.add_control_edge(le, end).unwrap();
+        s.add_loop_edge(le, ls, crate::edge::LoopCond::Times(3)).unwrap();
+        assert!(is_acyclic(&s, EdgeFilter::CONTROL_SYNC));
+        assert!(!is_acyclic(&s, EdgeFilter::ALL));
+    }
+}

@@ -1,0 +1,143 @@
+//! Strongly-typed identifiers for schema and instance objects.
+//!
+//! All identifiers are small copyable newtypes over `u32`. Identifiers are
+//! allocated by their owning container (e.g. [`crate::ProcessSchema`]
+//! allocates [`NodeId`]s) and are never reused within one container, so a
+//! deleted node's id stays dangling rather than silently aliasing a new node.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+        )]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// Returns the raw numeric value of this identifier.
+            #[inline]
+            pub fn raw(self) -> u32 {
+                self.0
+            }
+
+            /// Returns the identifier as a `usize`, e.g. for indexing.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<u32> for $name {
+            fn from(v: u32) -> Self {
+                Self(v)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Identifier of a [`crate::Node`] within one [`crate::ProcessSchema`].
+    NodeId,
+    "n"
+);
+id_type!(
+    /// Identifier of an [`crate::Edge`] within one [`crate::ProcessSchema`].
+    EdgeId,
+    "e"
+);
+id_type!(
+    /// Identifier of a [`crate::DataElement`] within one schema.
+    DataId,
+    "d"
+);
+id_type!(
+    /// Identifier of a process schema (a concrete version of a process type).
+    SchemaId,
+    "S"
+);
+id_type!(
+    /// Identifier of a process instance.
+    InstanceId,
+    "I"
+);
+
+/// A monotonically increasing id allocator used by containers that own ids.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IdAllocator {
+    next: u32,
+}
+
+impl IdAllocator {
+    /// Creates an allocator that starts at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an allocator that will hand out ids starting at `next`.
+    pub fn starting_at(next: u32) -> Self {
+        Self { next }
+    }
+
+    /// Allocates the next raw id.
+    pub fn alloc(&mut self) -> u32 {
+        let v = self.next;
+        self.next = self
+            .next
+            .checked_add(1)
+            .expect("id space exhausted (more than u32::MAX allocations)");
+        v
+    }
+
+    /// Ensures that ids up to and including `used` are never handed out again.
+    pub fn reserve_through(&mut self, used: u32) {
+        if used >= self.next {
+            self.next = used + 1;
+        }
+    }
+
+    /// The value the next call to [`IdAllocator::alloc`] would return.
+    pub fn peek(&self) -> u32 {
+        self.next
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_uses_prefix() {
+        assert_eq!(NodeId(3).to_string(), "n3");
+        assert_eq!(EdgeId(0).to_string(), "e0");
+        assert_eq!(DataId(7).to_string(), "d7");
+        assert_eq!(SchemaId(1).to_string(), "S1");
+        assert_eq!(InstanceId(42).to_string(), "I42");
+    }
+
+    #[test]
+    fn allocator_is_monotonic() {
+        let mut a = IdAllocator::new();
+        assert_eq!(a.alloc(), 0);
+        assert_eq!(a.alloc(), 1);
+        a.reserve_through(10);
+        assert_eq!(a.alloc(), 11);
+        a.reserve_through(5); // no-op, already past
+        assert_eq!(a.alloc(), 12);
+    }
+
+    #[test]
+    fn id_conversions() {
+        let n: NodeId = 9u32.into();
+        assert_eq!(n.raw(), 9);
+        assert_eq!(n.index(), 9usize);
+    }
+}

@@ -1,0 +1,146 @@
+//! Rendering schemas for humans: Graphviz DOT export and a compact text
+//! listing (used by the monitoring component of `adept-engine`).
+
+use crate::edge::EdgeKind;
+use crate::ids::NodeId;
+use crate::node::NodeKind;
+use crate::schema::ProcessSchema;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Renders the schema as a Graphviz DOT digraph.
+///
+/// `annotations` may supply an extra label line per node (the monitoring
+/// component passes node states, e.g. `"Running"`).
+pub fn to_dot(schema: &ProcessSchema, annotations: &BTreeMap<NodeId, String>) -> String {
+    let mut out = String::with_capacity(1024);
+    let _ = writeln!(
+        out,
+        "digraph \"{} v{}\" {{",
+        escape(&schema.name),
+        schema.version
+    );
+    let _ = writeln!(out, "  rankdir=LR;");
+    for n in schema.nodes() {
+        let shape = match n.kind {
+            NodeKind::Start | NodeKind::End => "circle",
+            NodeKind::Activity => "box",
+            NodeKind::AndSplit | NodeKind::AndJoin => "diamond",
+            NodeKind::XorSplit | NodeKind::XorJoin => "Mdiamond",
+            NodeKind::LoopStart | NodeKind::LoopEnd => "house",
+            NodeKind::Null => "box",
+        };
+        let mut label = format!("{}\\n{}", escape(&n.name), n.id);
+        if let Some(extra) = annotations.get(&n.id) {
+            let _ = write!(label, "\\n{}", escape(extra));
+        }
+        let style = if n.kind == NodeKind::Null {
+            ", style=dashed"
+        } else {
+            ""
+        };
+        let _ = writeln!(out, "  \"{}\" [shape={shape}, label=\"{label}\"{style}];", n.id);
+    }
+    for e in schema.edges() {
+        let (style, color) = match e.kind {
+            EdgeKind::Control => ("solid", "black"),
+            EdgeKind::Sync => ("dashed", "blue"),
+            EdgeKind::Loop => ("dotted", "red"),
+        };
+        let mut attrs = format!("style={style}, color={color}");
+        if let Some(g) = &e.guard {
+            let _ = write!(attrs, ", label=\"{}\"", escape(&g.to_string()));
+        }
+        if let Some(c) = &e.loop_cond {
+            let _ = write!(attrs, ", label=\"{}\"", escape(&c.to_string()));
+        }
+        let _ = writeln!(out, "  \"{}\" -> \"{}\" [{attrs}];", e.from, e.to);
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Renders a deterministic one-line-per-element text listing of the schema.
+pub fn to_listing(schema: &ProcessSchema) -> String {
+    let mut out = String::with_capacity(512);
+    let _ = writeln!(
+        out,
+        "schema \"{}\" v{} ({} nodes, {} edges, {} data)",
+        schema.name,
+        schema.version,
+        schema.node_count(),
+        schema.edge_count(),
+        schema.data_count()
+    );
+    for n in schema.nodes() {
+        let _ = writeln!(out, "  {n}");
+    }
+    for e in schema.edges() {
+        let _ = writeln!(out, "  {e}");
+    }
+    for d in schema.data_elements() {
+        let _ = writeln!(out, "  {d}");
+    }
+    for de in schema.data_edges() {
+        let _ = writeln!(out, "  {de}");
+    }
+    out
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::SchemaBuilder;
+
+    #[test]
+    fn dot_contains_all_nodes_and_kinds() {
+        let mut b = SchemaBuilder::new("dot test");
+        b.activity("a");
+        b.and_split();
+        b.branch();
+        b.activity("b");
+        b.branch();
+        b.activity("c");
+        b.and_join();
+        let s = b.build().unwrap();
+        let dot = to_dot(&s, &BTreeMap::new());
+        assert!(dot.starts_with("digraph"));
+        for n in s.nodes() {
+            assert!(dot.contains(&n.id.to_string()), "missing {}", n.id);
+        }
+        assert!(dot.contains("shape=diamond"));
+    }
+
+    #[test]
+    fn annotations_are_included() {
+        let mut b = SchemaBuilder::new("ann");
+        let a = b.activity("a");
+        let s = b.build().unwrap();
+        let mut ann = BTreeMap::new();
+        ann.insert(a, "Running".to_string());
+        assert!(to_dot(&s, &ann).contains("Running"));
+    }
+
+    #[test]
+    fn listing_mentions_counts() {
+        let mut b = SchemaBuilder::new("list");
+        b.activity("a");
+        let s = b.build().unwrap();
+        let l = to_listing(&s);
+        assert!(l.contains("3 nodes"));
+        assert!(l.contains("2 edges"));
+    }
+
+    #[test]
+    fn quotes_are_escaped() {
+        let mut b = SchemaBuilder::new("quote \"me\"");
+        b.activity("a");
+        let s = b.build().unwrap();
+        let dot = to_dot(&s, &BTreeMap::new());
+        assert!(dot.contains("quote \\\"me\\\""));
+    }
+}

@@ -1,0 +1,214 @@
+//! Random generation of valid change operations against a schema.
+//!
+//! Used by the equivalence property tests (fast compliance vs. trace
+//! criterion) and by the migration benchmarks: each generated operation is
+//! guaranteed to apply successfully (pre-/post-conditions included), so
+//! benchmark loops never measure failed attempts.
+
+use adept_core::{apply_op, ChangeOp, Delta, NewActivity};
+use adept_model::{Blocks, EdgeKind, NodeKind, ProcessSchema};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Which operation kinds the generator may produce.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpKind {
+    /// `serialInsert`
+    SerialInsert,
+    /// `branchInsert`
+    BranchInsert,
+    /// `deleteActivity`
+    Delete,
+    /// `moveActivity`
+    Move,
+    /// `insertSyncEdge`
+    SyncEdge,
+}
+
+/// All operation kinds.
+pub const ALL_OP_KINDS: [OpKind; 5] = [
+    OpKind::SerialInsert,
+    OpKind::BranchInsert,
+    OpKind::Delete,
+    OpKind::Move,
+    OpKind::SyncEdge,
+];
+
+/// Tries to generate and apply one random change of the given kind.
+/// Returns the evolved schema and the delta on success.
+pub fn try_random_change(
+    schema: &ProcessSchema,
+    kind: OpKind,
+    rng: &mut SmallRng,
+    name_hint: &str,
+) -> Option<(ProcessSchema, Delta)> {
+    let op = propose(schema, kind, rng, name_hint)?;
+    let mut evolved = schema.clone();
+    let rec = apply_op(&mut evolved, &op).ok()?;
+    Some((evolved, std::iter::once(rec).collect()))
+}
+
+/// Generates a random valid change, retrying across kinds and anchors.
+/// Returns `None` only for degenerate schemas where nothing applies.
+pub fn random_change(
+    schema: &ProcessSchema,
+    seed: u64,
+    name_hint: &str,
+) -> Option<(ProcessSchema, Delta)> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    for _ in 0..64 {
+        let kind = ALL_OP_KINDS[rng.gen_range(0..ALL_OP_KINDS.len())];
+        if let Some(result) = try_random_change(schema, kind, &mut rng, name_hint) {
+            return Some(result);
+        }
+    }
+    None
+}
+
+/// Proposes (without applying) a random operation of the given kind.
+pub fn propose(
+    schema: &ProcessSchema,
+    kind: OpKind,
+    rng: &mut SmallRng,
+    name_hint: &str,
+) -> Option<ChangeOp> {
+    match kind {
+        OpKind::SerialInsert => {
+            let e = random_control_edge(schema, rng)?;
+            Some(ChangeOp::SerialInsert {
+                activity: NewActivity::named(format!("{name_hint}-ins")),
+                pred: e.0,
+                succ: e.1,
+            })
+        }
+        OpKind::BranchInsert => {
+            let e = random_control_edge(schema, rng)?;
+            Some(ChangeOp::BranchInsert {
+                activity: NewActivity::named(format!("{name_hint}-cond")),
+                pred: e.0,
+                succ: e.1,
+                guard: None,
+            })
+        }
+        OpKind::Delete => {
+            let candidates: Vec<_> = schema
+                .activities()
+                .filter(|n| is_serial(schema, n.id))
+                .map(|n| n.id)
+                .collect();
+            let node = *pick(rng, &candidates)?;
+            Some(ChangeOp::DeleteActivity { node })
+        }
+        OpKind::Move => {
+            let candidates: Vec<_> = schema
+                .activities()
+                .filter(|n| is_serial(schema, n.id))
+                .map(|n| n.id)
+                .collect();
+            let node = *pick(rng, &candidates)?;
+            let edges: Vec<_> = schema
+                .edges()
+                .filter(|e| e.kind == EdgeKind::Control && e.from != node && e.to != node)
+                .map(|e| (e.from, e.to))
+                .collect();
+            let (pred, succ) = *pick(rng, &edges)?;
+            Some(ChangeOp::MoveActivity { node, pred, succ })
+        }
+        OpKind::SyncEdge => {
+            let blocks = Blocks::analyze(schema).ok()?;
+            let acts: Vec<_> = schema.activities().map(|n| n.id).collect();
+            for _ in 0..16 {
+                let a = *pick(rng, &acts)?;
+                let b = *pick(rng, &acts)?;
+                if a != b
+                    && blocks.parallel_separator(a, b).is_some()
+                    && blocks.same_loop_context(a, b)
+                    && schema.edge_between(a, b, EdgeKind::Sync).is_none()
+                {
+                    return Some(ChangeOp::InsertSyncEdge { from: a, to: b });
+                }
+            }
+            None
+        }
+    }
+}
+
+fn is_serial(schema: &ProcessSchema, n: adept_model::NodeId) -> bool {
+    schema.in_edges_kind(n, EdgeKind::Control).count() == 1
+        && schema.out_edges_kind(n, EdgeKind::Control).count() == 1
+        && schema.in_edges_kind(n, EdgeKind::Sync).next().is_none()
+        && schema.out_edges_kind(n, EdgeKind::Sync).next().is_none()
+}
+
+fn random_control_edge(
+    schema: &ProcessSchema,
+    rng: &mut SmallRng,
+) -> Option<(adept_model::NodeId, adept_model::NodeId)> {
+    let edges: Vec<_> = schema
+        .edges()
+        .filter(|e| e.kind == EdgeKind::Control)
+        // Inserting right before the end node or after start is fine, but
+        // keep away from loop-structure nodes to maximise applicability.
+        .filter(|e| {
+            let from_kind = schema.node(e.from).map(|n| n.kind).unwrap_or(NodeKind::Null);
+            from_kind != NodeKind::LoopEnd
+        })
+        .map(|e| (e.from, e.to))
+        .collect();
+    pick(rng, &edges).copied()
+}
+
+fn pick<'a, T>(rng: &mut SmallRng, v: &'a [T]) -> Option<&'a T> {
+    if v.is_empty() {
+        None
+    } else {
+        Some(&v[rng.gen_range(0..v.len())])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schemagen::{generate_schema, GenParams};
+    use adept_verify::is_correct;
+
+    #[test]
+    fn random_changes_preserve_correctness() {
+        for seed in 0..30 {
+            let s = generate_schema(&GenParams::default(), seed);
+            if let Some((evolved, delta)) = random_change(&s, seed * 31 + 7, "rc") {
+                assert!(is_correct(&evolved), "seed {seed}");
+                assert_eq!(delta.len(), 1);
+            }
+        }
+    }
+
+    #[test]
+    fn each_kind_is_produced_somewhere() {
+        let mut produced = std::collections::BTreeSet::new();
+        for seed in 0..60u64 {
+            let s = generate_schema(&GenParams::sized(25), seed);
+            let mut rng = SmallRng::seed_from_u64(seed);
+            for kind in ALL_OP_KINDS {
+                if try_random_change(&s, kind, &mut rng, "k").is_some() {
+                    produced.insert(format!("{kind:?}"));
+                }
+            }
+        }
+        assert!(produced.len() >= 4, "got only {produced:?}");
+    }
+
+    #[test]
+    fn chained_changes_stay_correct() {
+        let mut s = generate_schema(&GenParams::sized(15), 11);
+        let mut applied = 0;
+        for i in 0..10u64 {
+            if let Some((next, _)) = random_change(&s, 1000 + i, &format!("c{i}")) {
+                s = next;
+                applied += 1;
+            }
+        }
+        assert!(applied >= 5, "only {applied} of 10 changes applied");
+        assert!(is_correct(&s));
+    }
+}

@@ -1,0 +1,29 @@
+//! # adept-simgen — synthetic workloads for the ADEPT2 experiments
+//!
+//! The paper evaluates on production-scale instance populations
+//! ("migration of thousands of instances on-the-fly"). This crate supplies
+//! the workloads that substitute for the authors' deployments:
+//!
+//! * [`schemagen`] — a seeded generator of *correct* block-structured
+//!   schemas (parallel/conditional/loop blocks, data flow, sync edges);
+//!   every output passes `adept-verify` by construction;
+//! * [`popgen`] — instance populations at random progress points, driven
+//!   by a deterministic [`RandomDriver`];
+//! * [`changegen`] — random valid change operations for equivalence
+//!   property tests and migration benchmarks;
+//! * [`scenarios`] — the paper's literal processes: the Fig. 1 / Fig. 3
+//!   order process (plus ΔT and the I2 bias), an e-health clinical pathway
+//!   and a container-logistics process (the deployment domains reported in
+//!   Sec. 3).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod changegen;
+pub mod popgen;
+pub mod scenarios;
+pub mod schemagen;
+
+pub use changegen::{random_change, try_random_change, OpKind, ALL_OP_KINDS};
+pub use popgen::{generate_finished_population, generate_population, RandomDriver};
+pub use schemagen::{generate_schema, GenParams};

@@ -1,0 +1,140 @@
+//! Runtime error type of the execution semantics.
+
+use adept_model::{DataId, ModelError, NodeId};
+use std::fmt;
+
+/// Errors raised while executing or replaying an instance.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RuntimeError {
+    /// A model-level lookup or type error.
+    Model(ModelError),
+    /// The node is not an activity and cannot be started manually.
+    NotAnActivity(NodeId),
+    /// The node is not in the `Activated` state (paper: state-related
+    /// conflict when this happens during compliance replay).
+    NotActivatable(NodeId),
+    /// The node is not in the `Running` state.
+    NotRunning(NodeId),
+    /// No decision is pending at this node.
+    NoDecisionPending(NodeId),
+    /// All guards of an XOR split evaluated to false and no else branch
+    /// exists.
+    NoBranchMatches(NodeId),
+    /// A branch decision references a target that matches no branch of the
+    /// split (occurs when replaying a history whose chosen branch no longer
+    /// exists on the changed schema).
+    BranchNotFound {
+        /// The split node.
+        split: NodeId,
+        /// The unmatched branch target.
+        target: NodeId,
+    },
+    /// A mandatory input parameter is unwritten at activity start.
+    MissingInput {
+        /// The starting activity.
+        node: NodeId,
+        /// The unwritten data element.
+        data: DataId,
+    },
+    /// A declared output was not supplied at activity completion.
+    MissingOutput {
+        /// The completing activity.
+        node: NodeId,
+        /// The missing data element.
+        data: DataId,
+    },
+    /// An undeclared output was supplied at activity completion.
+    UndeclaredWrite {
+        /// The completing activity.
+        node: NodeId,
+        /// The undeclared data element.
+        data: DataId,
+    },
+    /// A loop end has no usable continuation condition.
+    LoopNotDecidable(NodeId),
+    /// No work, no decisions, not finished: the instance cannot progress.
+    Stuck,
+    /// Safety valve for runaway loops in automatic drivers.
+    StepLimitExceeded,
+    /// During replay: the recorded read signature of a started activity
+    /// does not match the schema's current mandatory inputs (a data-flow
+    /// change touched an already-executed activity).
+    SignatureMismatch {
+        /// The affected activity.
+        node: NodeId,
+    },
+    /// During replay: a recorded branching/loop decision of this node was
+    /// never consumed — the deciding node can no longer fire in the
+    /// recorded order, so the trace is not reproducible.
+    DecisionNotReproducible(NodeId),
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::Model(e) => write!(f, "model error: {e}"),
+            RuntimeError::NotAnActivity(n) => write!(f, "{n} is not an activity"),
+            RuntimeError::NotActivatable(n) => write!(f, "{n} is not activated"),
+            RuntimeError::NotRunning(n) => write!(f, "{n} is not running"),
+            RuntimeError::NoDecisionPending(n) => write!(f, "no decision pending at {n}"),
+            RuntimeError::NoBranchMatches(n) => {
+                write!(f, "no branch guard matches at {n} and no else branch exists")
+            }
+            RuntimeError::BranchNotFound { split, target } => {
+                write!(f, "no branch of {split} matches target {target}")
+            }
+            RuntimeError::MissingInput { node, data } => {
+                write!(f, "mandatory input {data} of {node} is unwritten")
+            }
+            RuntimeError::MissingOutput { node, data } => {
+                write!(f, "declared output {data} of {node} was not supplied")
+            }
+            RuntimeError::UndeclaredWrite { node, data } => {
+                write!(f, "{node} wrote undeclared data element {data}")
+            }
+            RuntimeError::LoopNotDecidable(n) => write!(f, "loop end {n} is not decidable"),
+            RuntimeError::Stuck => f.write_str("instance cannot progress"),
+            RuntimeError::StepLimitExceeded => f.write_str("step limit exceeded"),
+            RuntimeError::SignatureMismatch { node } => {
+                write!(f, "read signature of {node} changed since it was started")
+            }
+            RuntimeError::DecisionNotReproducible(n) => {
+                write!(f, "recorded decision at {n} can no longer be reproduced")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RuntimeError::Model(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ModelError> for RuntimeError {
+    fn from(e: ModelError) -> Self {
+        RuntimeError::Model(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = RuntimeError::Model(ModelError::UnknownNode(NodeId(1)));
+        assert!(e.to_string().contains("unknown node"));
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(std::error::Error::source(&RuntimeError::Stuck).is_none());
+    }
+
+    #[test]
+    fn from_model_error() {
+        let e: RuntimeError = ModelError::UnknownNode(NodeId(2)).into();
+        assert!(matches!(e, RuntimeError::Model(_)));
+    }
+}

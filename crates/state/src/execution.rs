@@ -1,0 +1,1094 @@
+//! The ADEPT2 execution semantics: activation rules, automatic firing of
+//! silent nodes, XOR branching, dead-path elimination and loop backs.
+//!
+//! The interpreter operates on an [`InstanceState`] (marking + history +
+//! data context) against a fixed schema. All control logic lives in
+//! [`Execution::propagate`], a fixpoint sweep that:
+//!
+//! 1. activates nodes whose incoming control edges are `TrueSignaled`
+//!    (XOR joins need one, everything else needs all) and whose incoming
+//!    sync edges are signaled either way;
+//! 2. skips nodes on dead paths (`FalseSignaled` inputs), signalling
+//!    `FalseSignaled` onwards — the classic dead-path elimination that
+//!    makes sync edges from skippable sources deadlock-free;
+//! 3. auto-completes silent nodes (splits, joins, null tasks), evaluating
+//!    XOR guards and loop conditions, resetting loop bodies on iteration.
+
+use crate::datactx::DataContext;
+use crate::error::RuntimeError;
+use crate::history::{Event, ExecutionHistory};
+use crate::marking::{EdgeState, Marking, NodeState};
+use crate::replay::ReplayScript;
+use adept_model::blocks::BlockError;
+use adept_model::{
+    Blocks, DataId, EdgeKind, LoopCond, NodeId, NodeKind, ProcessSchema, Value,
+};
+use serde::{Deserialize, Serialize};
+
+/// The complete runtime state of one process instance.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct InstanceState {
+    /// Node and edge marking.
+    pub marking: Marking,
+    /// Execution history (events in execution order).
+    pub history: ExecutionHistory,
+    /// Data context (current values + write log).
+    pub data: DataContext,
+}
+
+impl InstanceState {
+    /// Approximate deep size in bytes (for the Fig. 2 experiments).
+    pub fn approx_size(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.marking.approx_size()
+            + self.history.approx_size()
+            + self.data.approx_size()
+    }
+}
+
+/// A decision the runtime is waiting for (externally decided XOR splits and
+/// loop ends).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Decision {
+    /// An XOR split with unguarded branches awaits a branch choice.
+    Xor {
+        /// The split node.
+        split: NodeId,
+        /// Possible branch targets (the `to` node of each outgoing edge).
+        targets: Vec<NodeId>,
+    },
+    /// A loop end with an external condition awaits an iterate/exit choice.
+    Loop {
+        /// The loop end node.
+        loop_end: NodeId,
+        /// Completed iterations so far.
+        completed: u32,
+    },
+}
+
+/// Resolves decisions and produces activity output values when an instance
+/// is driven automatically (simulation, tests, benchmarks).
+pub trait Driver {
+    /// Chooses among `targets` at an externally-decided XOR split; returns
+    /// an index into `targets`.
+    fn choose_branch(&mut self, schema: &ProcessSchema, split: NodeId, targets: &[NodeId])
+        -> usize;
+
+    /// Decides whether an externally-decided loop should iterate again.
+    fn decide_loop(&mut self, schema: &ProcessSchema, loop_end: NodeId, completed: u32) -> bool;
+
+    /// Chooses which of the currently enabled activities to execute next;
+    /// returns an index into `enabled`.
+    fn choose_activity(&mut self, schema: &ProcessSchema, enabled: &[NodeId]) -> usize {
+        let _ = (schema, enabled);
+        0
+    }
+
+    /// Produces the value an activity writes for a declared output.
+    fn output_value(&mut self, schema: &ProcessSchema, node: NodeId, data: DataId) -> Value;
+}
+
+/// A deterministic driver: first branch, never iterate externally-decided
+/// loops, writes type-default values (`0`, `false`, `""`, `0.0`).
+#[derive(Debug, Default, Clone)]
+pub struct DefaultDriver;
+
+impl Driver for DefaultDriver {
+    fn choose_branch(&mut self, _: &ProcessSchema, _: NodeId, _: &[NodeId]) -> usize {
+        0
+    }
+
+    fn decide_loop(&mut self, _: &ProcessSchema, _: NodeId, _: u32) -> bool {
+        false
+    }
+
+    fn output_value(&mut self, schema: &ProcessSchema, _: NodeId, data: DataId) -> Value {
+        match schema.data_element(data).map(|d| d.ty) {
+            Ok(adept_model::ValueType::Bool) => Value::Bool(false),
+            Ok(adept_model::ValueType::Int) => Value::Int(0),
+            Ok(adept_model::ValueType::Float) => Value::Float(0.0),
+            Ok(adept_model::ValueType::Str) => Value::Str(String::new()),
+            Err(_) => Value::Null,
+        }
+    }
+}
+
+/// The interpreter for one schema. Cheap to construct; typically cached per
+/// schema by the engine/storage layers.
+#[derive(Debug, Clone)]
+pub struct Execution<'s> {
+    /// The schema being executed.
+    pub schema: &'s ProcessSchema,
+    /// Its block structure (owned; computed once).
+    pub blocks: Blocks,
+}
+
+impl<'s> Execution<'s> {
+    /// Creates an interpreter, analysing the block structure.
+    pub fn new(schema: &'s ProcessSchema) -> Result<Self, BlockError> {
+        Ok(Self {
+            schema,
+            blocks: Blocks::analyze(schema)?,
+        })
+    }
+
+    /// Creates an interpreter from a pre-computed block analysis.
+    pub fn with_blocks(schema: &'s ProcessSchema, blocks: Blocks) -> Self {
+        Self { schema, blocks }
+    }
+
+    /// Creates a fresh instance state: the start node completes
+    /// immediately and activation propagates into the schema.
+    pub fn init(&self) -> Result<InstanceState, RuntimeError> {
+        let mut st = InstanceState::default();
+        let start = self.schema.start_node();
+        st.marking.set_node(start, NodeState::Completed);
+        self.signal_outgoing(&mut st, start, EdgeState::TrueSignaled)?;
+        self.propagate(&mut st)?;
+        Ok(st)
+    }
+
+    /// Currently enabled (activated) activities, in id order.
+    pub fn enabled(&self, st: &InstanceState) -> Vec<NodeId> {
+        st.marking
+            .nodes_in(NodeState::Activated)
+            .filter(|n| {
+                self.schema
+                    .node(*n)
+                    .map(|x| x.kind == NodeKind::Activity)
+                    .unwrap_or(false)
+            })
+            .collect()
+    }
+
+    /// Decisions the runtime is currently waiting for.
+    pub fn pending_decisions(&self, st: &InstanceState) -> Vec<Decision> {
+        let mut out = Vec::new();
+        for n in st.marking.nodes_in(NodeState::Activated) {
+            let Ok(node) = self.schema.node(n) else {
+                continue;
+            };
+            match node.kind {
+                NodeKind::XorSplit if !self.has_guards(n) => {
+                    let targets = self
+                        .schema
+                        .out_edges_kind(n, EdgeKind::Control)
+                        .map(|e| e.to)
+                        .collect();
+                    out.push(Decision::Xor { split: n, targets });
+                }
+                NodeKind::LoopEnd if self.loop_cond(n) == Some(&LoopCond::External) => {
+                    out.push(Decision::Loop {
+                        loop_end: n,
+                        completed: st.marking.loop_count(n),
+                    });
+                }
+                _ => {}
+            }
+        }
+        out
+    }
+
+    /// Whether the instance has reached its end node.
+    pub fn is_finished(&self, st: &InstanceState) -> bool {
+        st.marking.node(self.schema.end_node()) == NodeState::Completed
+    }
+
+    /// Starts an activated activity: checks mandatory inputs, marks it
+    /// `Running` and records the event.
+    pub fn start_activity(&self, st: &mut InstanceState, n: NodeId) -> Result<(), RuntimeError> {
+        let node = self.schema.node(n)?;
+        if node.kind != NodeKind::Activity {
+            return Err(RuntimeError::NotAnActivity(n));
+        }
+        if st.marking.node(n) != NodeState::Activated {
+            return Err(RuntimeError::NotActivatable(n));
+        }
+        for de in self.schema.reads_of(n) {
+            if !de.optional && !st.data.is_written(de.data) {
+                return Err(RuntimeError::MissingInput {
+                    node: n,
+                    data: de.data,
+                });
+            }
+        }
+        st.marking.set_node(n, NodeState::Running);
+        let reads = self.read_signature(n);
+        st.history.record(Event::Started { node: n, reads });
+        Ok(())
+    }
+
+    /// Completes a running activity with the given output writes. Every
+    /// declared write edge must be supplied exactly once and no undeclared
+    /// writes are accepted.
+    pub fn complete_activity(
+        &self,
+        st: &mut InstanceState,
+        n: NodeId,
+        writes: Vec<(DataId, Value)>,
+    ) -> Result<(), RuntimeError> {
+        self.complete_activity_scripted(st, n, writes, &mut ReplayScript::empty())
+    }
+
+    /// [`Execution::complete_activity`] with a replay script supplying
+    /// recorded decisions (used by [`Execution::replay`]).
+    pub(crate) fn complete_activity_scripted(
+        &self,
+        st: &mut InstanceState,
+        n: NodeId,
+        writes: Vec<(DataId, Value)>,
+        script: &mut ReplayScript,
+    ) -> Result<(), RuntimeError> {
+        if st.marking.node(n) != NodeState::Running {
+            return Err(RuntimeError::NotRunning(n));
+        }
+        let declared: Vec<DataId> = self.schema.writes_of(n).map(|de| de.data).collect();
+        for (d, _) in &writes {
+            if !declared.contains(d) {
+                return Err(RuntimeError::UndeclaredWrite { node: n, data: *d });
+            }
+        }
+        for d in &declared {
+            if !writes.iter().any(|(x, _)| x == d) {
+                return Err(RuntimeError::MissingOutput { node: n, data: *d });
+            }
+        }
+        for (d, v) in &writes {
+            st.data.write(self.schema, n, *d, v.clone())?;
+        }
+        st.marking.set_node(n, NodeState::Completed);
+        st.history.record(Event::Completed { node: n, writes });
+        self.signal_outgoing(st, n, EdgeState::TrueSignaled)?;
+        self.propagate_with(st, script)
+    }
+
+    /// Resolves a pending XOR decision by branch target.
+    pub fn decide_xor(
+        &self,
+        st: &mut InstanceState,
+        split: NodeId,
+        branch_target: NodeId,
+    ) -> Result<(), RuntimeError> {
+        let node = self.schema.node(split)?;
+        if node.kind != NodeKind::XorSplit || st.marking.node(split) != NodeState::Activated {
+            return Err(RuntimeError::NoDecisionPending(split));
+        }
+        let chosen = self
+            .schema
+            .out_edges_kind(split, EdgeKind::Control)
+            .find(|e| e.to == branch_target)
+            .map(|e| e.id)
+            .ok_or(RuntimeError::BranchNotFound {
+                split,
+                target: branch_target,
+            })?;
+        self.fire_xor(st, split, chosen)?;
+        self.propagate(st)
+    }
+
+    /// Resolves a pending loop decision.
+    pub fn decide_loop(
+        &self,
+        st: &mut InstanceState,
+        loop_end: NodeId,
+        iterate: bool,
+    ) -> Result<(), RuntimeError> {
+        let node = self.schema.node(loop_end)?;
+        if node.kind != NodeKind::LoopEnd || st.marking.node(loop_end) != NodeState::Activated {
+            return Err(RuntimeError::NoDecisionPending(loop_end));
+        }
+        self.fire_loop_end(st, loop_end, iterate)?;
+        self.propagate(st)
+    }
+
+    /// Drives the instance forward with `driver`, completing at most
+    /// `max_activities` activities (`None` = until the instance finishes).
+    /// Returns the number of activities completed.
+    pub fn run(
+        &self,
+        st: &mut InstanceState,
+        driver: &mut dyn Driver,
+        max_activities: Option<usize>,
+    ) -> Result<usize, RuntimeError> {
+        let mut completed = 0usize;
+        let mut stall_guard = 0usize;
+        loop {
+            if let Some(max) = max_activities {
+                if completed >= max {
+                    return Ok(completed);
+                }
+            }
+            if self.is_finished(st) {
+                return Ok(completed);
+            }
+            let decisions = self.pending_decisions(st);
+            if !decisions.is_empty() {
+                for d in decisions {
+                    match d {
+                        Decision::Xor { split, targets } => {
+                            let idx = driver.choose_branch(self.schema, split, &targets);
+                            let target = *targets
+                                .get(idx)
+                                .ok_or(RuntimeError::BranchNotFound { split, target: split })?;
+                            self.decide_xor(st, split, target)?;
+                        }
+                        Decision::Loop {
+                            loop_end,
+                            completed: iters,
+                        } => {
+                            let it = driver.decide_loop(self.schema, loop_end, iters);
+                            self.decide_loop(st, loop_end, it)?;
+                        }
+                    }
+                }
+                continue;
+            }
+            let enabled = self.enabled(st);
+            if enabled.is_empty() {
+                // Neither enabled work, nor decisions, nor completion:
+                // an activity may be mid-flight (Running) — complete it —
+                // otherwise the instance is stuck (which the verifier rules
+                // out for correct schemas).
+                let running: Vec<NodeId> = st.marking.nodes_in(NodeState::Running).collect();
+                if running.is_empty() {
+                    return Err(RuntimeError::Stuck);
+                }
+                for n in running {
+                    let writes = self.collect_outputs(st, n, driver);
+                    self.complete_activity(st, n, writes)?;
+                    completed += 1;
+                }
+                continue;
+            }
+            let idx = driver.choose_activity(self.schema, &enabled);
+            let n = enabled[idx.min(enabled.len() - 1)];
+            self.start_activity(st, n)?;
+            let writes = self.collect_outputs(st, n, driver);
+            self.complete_activity(st, n, writes)?;
+            completed += 1;
+            stall_guard += 1;
+            if stall_guard > 1_000_000 {
+                return Err(RuntimeError::StepLimitExceeded);
+            }
+        }
+    }
+
+    fn collect_outputs(
+        &self,
+        _st: &InstanceState,
+        n: NodeId,
+        driver: &mut dyn Driver,
+    ) -> Vec<(DataId, Value)> {
+        self.schema
+            .writes_of(n)
+            .map(|de| de.data)
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|d| (d, driver.output_value(self.schema, n, d)))
+            .collect()
+    }
+
+    // ------------------------------------------------------------------
+    // Core semantics
+    // ------------------------------------------------------------------
+
+    /// The sorted mandatory read parameters of an activity (its read
+    /// signature, recorded in `Started` events).
+    pub fn read_signature(&self, n: NodeId) -> Vec<DataId> {
+        let mut reads: Vec<DataId> = self
+            .schema
+            .reads_of(n)
+            .filter(|de| !de.optional)
+            .map(|de| de.data)
+            .collect();
+        reads.sort_unstable();
+        reads
+    }
+
+    /// Re-runs the activation fixpoint. Public for the change/migration
+    /// layer, which adapts markings externally (state adaptation) and then
+    /// lets the regular semantics settle activations, auto-completions and
+    /// dead paths.
+    pub fn refresh(&self, st: &mut InstanceState) -> Result<(), RuntimeError> {
+        self.propagate(st)
+    }
+
+    /// Matches a recorded branch target against the current schema's
+    /// branches of `split`: directly by edge target, or — when a change
+    /// inserted nodes at the branch head — by branch-region containment.
+    fn match_branch(
+        &self,
+        split: NodeId,
+        target: NodeId,
+    ) -> Result<adept_model::EdgeId, RuntimeError> {
+        let edges: Vec<&adept_model::Edge> = self
+            .schema
+            .out_edges_kind(split, EdgeKind::Control)
+            .collect();
+        if let Some(e) = edges.iter().find(|e| e.to == target) {
+            return Ok(e.id);
+        }
+        if let Some(info) = self.blocks.by_split.get(&split) {
+            for (i, e) in edges.iter().enumerate() {
+                if info
+                    .branches
+                    .get(i)
+                    .map_or(false, |region| region.contains(&target))
+                {
+                    return Ok(e.id);
+                }
+            }
+        }
+        Err(RuntimeError::BranchNotFound { split, target })
+    }
+
+    fn has_guards(&self, split: NodeId) -> bool {
+        self.schema
+            .out_edges_kind(split, EdgeKind::Control)
+            .any(|e| e.guard.is_some())
+    }
+
+    fn loop_cond(&self, loop_end: NodeId) -> Option<&LoopCond> {
+        self.schema
+            .out_edges_kind(loop_end, EdgeKind::Loop)
+            .next()
+            .and_then(|e| e.loop_cond.as_ref())
+    }
+
+    /// Signals all outgoing control and sync edges of `n` with `state`.
+    fn signal_outgoing(
+        &self,
+        st: &mut InstanceState,
+        n: NodeId,
+        state: EdgeState,
+    ) -> Result<(), RuntimeError> {
+        let ids: Vec<_> = self
+            .schema
+            .out_edges(n)
+            .filter(|e| e.kind != EdgeKind::Loop)
+            .map(|e| e.id)
+            .collect();
+        for e in ids {
+            st.marking.set_edge(e, state);
+        }
+        Ok(())
+    }
+
+    /// The activation fixpoint with an empty replay script.
+    pub(crate) fn propagate(&self, st: &mut InstanceState) -> Result<(), RuntimeError> {
+        self.propagate_with(st, &mut ReplayScript::empty())
+    }
+
+    /// The activation fixpoint described in the module docs. Recorded
+    /// decisions in `script` take precedence over guard/loop-condition
+    /// evaluation, which is what makes reduced-history replay faithful.
+    pub(crate) fn propagate_with(
+        &self,
+        st: &mut InstanceState,
+        script: &mut ReplayScript,
+    ) -> Result<(), RuntimeError> {
+        loop {
+            let mut progressed = false;
+
+            // Phase 1: activate / skip nodes.
+            let candidates: Vec<NodeId> = self
+                .schema
+                .node_ids()
+                .filter(|n| st.marking.node(*n) == NodeState::NotActivated)
+                .collect();
+            for n in candidates {
+                match self.evaluate_incoming(st, n) {
+                    Readiness::Ready => {
+                        st.marking.set_node(n, NodeState::Activated);
+                        progressed = true;
+                    }
+                    Readiness::Dead => {
+                        st.marking.set_node(n, NodeState::Skipped);
+                        self.signal_outgoing(st, n, EdgeState::FalseSignaled)?;
+                        progressed = true;
+                    }
+                    Readiness::Wait => {}
+                }
+            }
+
+            // Phase 2: auto-complete silent activated nodes.
+            let silent: Vec<NodeId> = st
+                .marking
+                .nodes_in(NodeState::Activated)
+                .filter(|n| {
+                    self.schema
+                        .node(*n)
+                        .map(|x| x.kind.is_silent())
+                        .unwrap_or(false)
+                })
+                .collect();
+            for n in silent {
+                if st.marking.node(n) != NodeState::Activated {
+                    continue; // a loop reset in this sweep may have cleared it
+                }
+                let kind = self.schema.node(n)?.kind;
+                match kind {
+                    NodeKind::XorSplit => {
+                        if let Some(target) = script.pop_xor(n) {
+                            let chosen = self.match_branch(n, target)?;
+                            self.fire_xor(st, n, chosen)?;
+                            progressed = true;
+                        } else if self.has_guards(n) {
+                            let chosen = self.evaluate_guards(st, n)?;
+                            self.fire_xor(st, n, chosen)?;
+                            progressed = true;
+                        }
+                        // else: external decision pending
+                    }
+                    NodeKind::LoopEnd => {
+                        if let Some(iterate) = script.pop_loop(n) {
+                            self.fire_loop_end(st, n, iterate)?;
+                            progressed = true;
+                        } else {
+                            match self.loop_cond(n).cloned() {
+                                Some(LoopCond::Times(total)) => {
+                                    let iterate = st.marking.loop_count(n) + 1 < total;
+                                    self.fire_loop_end(st, n, iterate)?;
+                                    progressed = true;
+                                }
+                                Some(LoopCond::While(g)) => {
+                                    let iterate = g.eval(st.data.value(g.data));
+                                    self.fire_loop_end(st, n, iterate)?;
+                                    progressed = true;
+                                }
+                                Some(LoopCond::External) => {} // pending
+                                None => return Err(RuntimeError::LoopNotDecidable(n)),
+                            }
+                        }
+                    }
+                    NodeKind::Activity => unreachable!("activities are not silent"),
+                    _ => {
+                        st.marking.set_node(n, NodeState::Completed);
+                        self.signal_outgoing(st, n, EdgeState::TrueSignaled)?;
+                        progressed = true;
+                    }
+                }
+            }
+
+            if !progressed {
+                return Ok(());
+            }
+        }
+    }
+
+    fn evaluate_guards(&self, st: &InstanceState, split: NodeId) -> Result<adept_model::EdgeId, RuntimeError> {
+        let mut else_edge = None;
+        for e in self.schema.out_edges_kind(split, EdgeKind::Control) {
+            match &e.guard {
+                Some(g) => {
+                    if g.eval(st.data.value(g.data)) {
+                        return Ok(e.id);
+                    }
+                }
+                None => else_edge = Some(e.id),
+            }
+        }
+        else_edge.ok_or(RuntimeError::NoBranchMatches(split))
+    }
+
+    fn fire_xor(
+        &self,
+        st: &mut InstanceState,
+        split: NodeId,
+        chosen: adept_model::EdgeId,
+    ) -> Result<(), RuntimeError> {
+        let target = self.schema.edge(chosen)?.to;
+        st.history.record(Event::XorChosen {
+            split,
+            branch_target: target,
+        });
+        st.marking.set_node(split, NodeState::Completed);
+        let ids: Vec<(adept_model::EdgeId, EdgeState)> = self
+            .schema
+            .out_edges(split)
+            .filter(|e| e.kind != EdgeKind::Loop)
+            .map(|e| {
+                let s = if e.id == chosen && e.kind == EdgeKind::Control {
+                    EdgeState::TrueSignaled
+                } else if e.kind == EdgeKind::Sync {
+                    EdgeState::TrueSignaled // the split itself completed
+                } else {
+                    EdgeState::FalseSignaled
+                };
+                (e.id, s)
+            })
+            .collect();
+        for (e, s) in ids {
+            st.marking.set_edge(e, s);
+        }
+        Ok(())
+    }
+
+    fn fire_loop_end(
+        &self,
+        st: &mut InstanceState,
+        loop_end: NodeId,
+        iterate: bool,
+    ) -> Result<(), RuntimeError> {
+        st.history.record(Event::LoopDecided { loop_end, iterate });
+        st.marking.bump_loop(loop_end);
+        if iterate {
+            let loop_start = self
+                .schema
+                .out_edges_kind(loop_end, EdgeKind::Loop)
+                .next()
+                .map(|e| e.to)
+                .ok_or(RuntimeError::LoopNotDecidable(loop_end))?;
+            st.history.record(Event::LoopReset { loop_start });
+            self.reset_loop_body(st, loop_start, loop_end);
+        } else {
+            st.marking.set_node(loop_end, NodeState::Completed);
+            self.signal_outgoing(st, loop_end, EdgeState::TrueSignaled)?;
+        }
+        Ok(())
+    }
+
+    /// Resets the loop body for the next iteration: body nodes (including
+    /// the loop start/end) return to `NotActivated`, intra-body edges to
+    /// `NotSignaled`, and nested loop counters are cleared. The control
+    /// edge entering the loop start stays `TrueSignaled`, so the next
+    /// propagation sweep re-activates the body.
+    fn reset_loop_body(&self, st: &mut InstanceState, loop_start: NodeId, loop_end: NodeId) {
+        let Some(info) = self.blocks.by_split.get(&loop_start) else {
+            return;
+        };
+        let mut body = info.interior();
+        body.insert(loop_start);
+        body.insert(loop_end);
+        for &n in &body {
+            st.marking.set_node(n, NodeState::NotActivated);
+            if n != loop_end {
+                st.marking.clear_loop(n); // nested loop counters restart
+            }
+        }
+        let edge_ids: Vec<adept_model::EdgeId> = self
+            .schema
+            .edges()
+            .filter(|e| body.contains(&e.from) && body.contains(&e.to))
+            .map(|e| e.id)
+            .collect();
+        for e in edge_ids {
+            st.marking.set_edge(e, EdgeState::NotSignaled);
+        }
+    }
+
+    fn evaluate_incoming(&self, st: &InstanceState, n: NodeId) -> Readiness {
+        let Ok(node) = self.schema.node(n) else {
+            return Readiness::Wait;
+        };
+        let mut control_total = 0usize;
+        let mut control_true = 0usize;
+        let mut control_false = 0usize;
+        let mut sync_unsignaled = false;
+        for e in self.schema.in_edges(n) {
+            match e.kind {
+                EdgeKind::Control => {
+                    control_total += 1;
+                    match st.marking.edge(e.id) {
+                        EdgeState::TrueSignaled => control_true += 1,
+                        EdgeState::FalseSignaled => control_false += 1,
+                        EdgeState::NotSignaled => {}
+                    }
+                }
+                EdgeKind::Sync => {
+                    if !st.marking.edge(e.id).signaled() {
+                        sync_unsignaled = true;
+                    }
+                }
+                EdgeKind::Loop => {} // handled by explicit body resets
+            }
+        }
+        if control_total == 0 {
+            // Only the start node has no incoming control edges; it is
+            // completed explicitly by `init` and never (re-)activated here.
+            return Readiness::Wait;
+        }
+        let control_ready = if node.kind == NodeKind::XorJoin {
+            if control_true >= 1 {
+                ControlStatus::Ready
+            } else if control_false == control_total {
+                ControlStatus::Dead
+            } else {
+                ControlStatus::Wait
+            }
+        } else if control_false > 0 {
+            ControlStatus::Dead
+        } else if control_true == control_total {
+            ControlStatus::Ready
+        } else {
+            ControlStatus::Wait
+        };
+        match control_ready {
+            ControlStatus::Dead => Readiness::Dead,
+            ControlStatus::Wait => Readiness::Wait,
+            ControlStatus::Ready => {
+                if sync_unsignaled {
+                    Readiness::Wait
+                } else {
+                    Readiness::Ready
+                }
+            }
+        }
+    }
+}
+
+enum ControlStatus {
+    Ready,
+    Dead,
+    Wait,
+}
+
+enum Readiness {
+    Ready,
+    Dead,
+    Wait,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adept_model::{CmpOp, Guard, SchemaBuilder, ValueType};
+
+    fn exec(schema: &ProcessSchema) -> Execution<'_> {
+        Execution::new(schema).expect("block analysis")
+    }
+
+    #[test]
+    fn sequence_executes_in_order() {
+        let mut b = SchemaBuilder::new("seq");
+        let a = b.activity("a");
+        let c = b.activity("c");
+        let s = b.build().unwrap();
+        let ex = exec(&s);
+        let mut st = ex.init().unwrap();
+        assert_eq!(ex.enabled(&st), vec![a]);
+        ex.start_activity(&mut st, a).unwrap();
+        assert_eq!(st.marking.node(a), NodeState::Running);
+        ex.complete_activity(&mut st, a, vec![]).unwrap();
+        assert_eq!(ex.enabled(&st), vec![c]);
+        ex.start_activity(&mut st, c).unwrap();
+        ex.complete_activity(&mut st, c, vec![]).unwrap();
+        assert!(ex.is_finished(&st));
+    }
+
+    #[test]
+    fn cannot_start_unactivated_activity() {
+        let mut b = SchemaBuilder::new("seq");
+        b.activity("a");
+        let c = b.activity("c");
+        let s = b.build().unwrap();
+        let ex = exec(&s);
+        let mut st = ex.init().unwrap();
+        assert!(matches!(
+            ex.start_activity(&mut st, c),
+            Err(RuntimeError::NotActivatable(_))
+        ));
+    }
+
+    #[test]
+    fn parallel_branches_run_concurrently() {
+        let mut b = SchemaBuilder::new("par");
+        b.and_split();
+        b.branch();
+        let x = b.activity("x");
+        b.branch();
+        let y = b.activity("y");
+        b.and_join();
+        let z = b.activity("z");
+        let s = b.build().unwrap();
+        let ex = exec(&s);
+        let mut st = ex.init().unwrap();
+        assert_eq!(ex.enabled(&st), vec![x, y]);
+        ex.start_activity(&mut st, y).unwrap();
+        ex.start_activity(&mut st, x).unwrap();
+        ex.complete_activity(&mut st, x, vec![]).unwrap();
+        // Join must wait for y.
+        assert!(ex.enabled(&st).is_empty());
+        ex.complete_activity(&mut st, y, vec![]).unwrap();
+        assert_eq!(ex.enabled(&st), vec![z]);
+    }
+
+    #[test]
+    fn xor_guard_selects_branch_and_skips_other() {
+        let mut b = SchemaBuilder::new("xor");
+        let d = b.data("amount", ValueType::Int);
+        let w = b.activity("w");
+        b.write(w, d);
+        b.xor_split();
+        b.case_when(Guard::new(d, CmpOp::Ge, Value::Int(100)));
+        let big = b.activity("big");
+        b.case();
+        let small = b.activity("small");
+        b.xor_join();
+        let s = b.build().unwrap();
+        let ex = exec(&s);
+        let mut st = ex.init().unwrap();
+        ex.start_activity(&mut st, w).unwrap();
+        ex.complete_activity(&mut st, w, vec![(d, Value::Int(500))])
+            .unwrap();
+        assert_eq!(ex.enabled(&st), vec![big]);
+        assert_eq!(st.marking.node(small), NodeState::Skipped);
+        ex.start_activity(&mut st, big).unwrap();
+        ex.complete_activity(&mut st, big, vec![]).unwrap();
+        assert!(ex.is_finished(&st));
+    }
+
+    #[test]
+    fn xor_else_branch_taken_when_guards_false() {
+        let mut b = SchemaBuilder::new("xor");
+        let d = b.data("amount", ValueType::Int);
+        let w = b.activity("w");
+        b.write(w, d);
+        b.xor_split();
+        b.case_when(Guard::new(d, CmpOp::Ge, Value::Int(100)));
+        let big = b.activity("big");
+        b.case();
+        let small = b.activity("small");
+        b.xor_join();
+        let s = b.build().unwrap();
+        let ex = exec(&s);
+        let mut st = ex.init().unwrap();
+        ex.start_activity(&mut st, w).unwrap();
+        ex.complete_activity(&mut st, w, vec![(d, Value::Int(5))])
+            .unwrap();
+        assert_eq!(ex.enabled(&st), vec![small]);
+        assert_eq!(st.marking.node(big), NodeState::Skipped);
+    }
+
+    #[test]
+    fn external_xor_waits_for_decision() {
+        let mut b = SchemaBuilder::new("xor");
+        b.xor_split();
+        b.case();
+        let x = b.activity("x");
+        b.case();
+        b.activity("y");
+        b.xor_join();
+        let s = b.build().unwrap();
+        let ex = exec(&s);
+        let mut st = ex.init().unwrap();
+        assert!(ex.enabled(&st).is_empty());
+        let decisions = ex.pending_decisions(&st);
+        assert_eq!(decisions.len(), 1);
+        let Decision::Xor { split, targets } = &decisions[0] else {
+            panic!("expected XOR decision");
+        };
+        assert_eq!(targets.len(), 2);
+        ex.decide_xor(&mut st, *split, x).unwrap();
+        assert_eq!(ex.enabled(&st), vec![x]);
+    }
+
+    #[test]
+    fn times_loop_runs_body_n_times() {
+        let mut b = SchemaBuilder::new("loop");
+        b.loop_start();
+        let body = b.activity("body");
+        b.loop_end(LoopCond::Times(3));
+        let s = b.build().unwrap();
+        let ex = exec(&s);
+        let mut st = ex.init().unwrap();
+        let mut driver = DefaultDriver;
+        let n = ex.run(&mut st, &mut driver, None).unwrap();
+        assert_eq!(n, 3, "body must execute exactly 3 times");
+        assert!(ex.is_finished(&st));
+        let starts = st
+            .history
+            .events
+            .iter()
+            .filter(|e| matches!(e, Event::Started { node, .. } if *node == body))
+            .count();
+        assert_eq!(starts, 3);
+    }
+
+    #[test]
+    fn while_loop_exits_on_guard() {
+        let mut b = SchemaBuilder::new("while");
+        let d = b.data("go", ValueType::Bool);
+        let init = b.activity("init");
+        b.write(init, d);
+        b.loop_start();
+        let body = b.activity("body");
+        b.write(body, d);
+        b.loop_end(LoopCond::While(Guard::new(d, CmpOp::Eq, Value::Bool(true))));
+        let s = b.build().unwrap();
+        let ex = exec(&s);
+        let mut st = ex.init().unwrap();
+
+        // Driver writes `true` twice then `false`: body executes 3 times.
+        struct CountingDriver(u32);
+        impl Driver for CountingDriver {
+            fn choose_branch(&mut self, _: &ProcessSchema, _: NodeId, _: &[NodeId]) -> usize {
+                0
+            }
+            fn decide_loop(&mut self, _: &ProcessSchema, _: NodeId, _: u32) -> bool {
+                false
+            }
+            fn output_value(&mut self, _: &ProcessSchema, _: NodeId, _: DataId) -> Value {
+                self.0 += 1;
+                Value::Bool(self.0 < 4) // init + 2 body writes true, then false
+            }
+        }
+        let mut driver = CountingDriver(0);
+        ex.run(&mut st, &mut driver, None).unwrap();
+        assert!(ex.is_finished(&st));
+        let body_runs = st
+            .history
+            .events
+            .iter()
+            .filter(|e| matches!(e, Event::Started { node, .. } if *node == body))
+            .count();
+        assert_eq!(body_runs, 3);
+    }
+
+    #[test]
+    fn loop_reset_reduces_history() {
+        let mut b = SchemaBuilder::new("loop");
+        b.loop_start();
+        b.activity("body");
+        b.loop_end(LoopCond::Times(2));
+        let s = b.build().unwrap();
+        let ex = exec(&s);
+        let mut st = ex.init().unwrap();
+        ex.run(&mut st, &mut DefaultDriver, None).unwrap();
+        let reduced = st.history.reduced(&s, &ex.blocks);
+        let starts = reduced
+            .events
+            .iter()
+            .filter(|e| matches!(e, Event::Started { .. }))
+            .count();
+        assert_eq!(starts, 1, "reduced history keeps only the last iteration");
+    }
+
+    #[test]
+    fn sync_edge_blocks_target_until_source_completes() {
+        let mut b = SchemaBuilder::new("sync");
+        b.and_split();
+        b.branch();
+        let producer = b.activity("producer");
+        b.branch();
+        let consumer = b.activity("consumer");
+        b.and_join();
+        b.sync(producer, consumer);
+        let s = b.build().unwrap();
+        let ex = exec(&s);
+        let mut st = ex.init().unwrap();
+        assert_eq!(ex.enabled(&st), vec![producer], "consumer must wait");
+        ex.start_activity(&mut st, producer).unwrap();
+        ex.complete_activity(&mut st, producer, vec![]).unwrap();
+        assert_eq!(ex.enabled(&st), vec![consumer]);
+    }
+
+    #[test]
+    fn sync_from_skipped_source_releases_target() {
+        // producer inside an XOR branch that is NOT taken: the sync edge
+        // fires FalseSignaled and the consumer may proceed (dead-path
+        // elimination prevents the deadlock).
+        let mut b = SchemaBuilder::new("sync-skip");
+        let d = b.data("flag", ValueType::Bool);
+        let w = b.activity("w");
+        b.write(w, d);
+        b.and_split();
+        b.branch();
+        b.xor_split();
+        b.case_when(Guard::new(d, CmpOp::Eq, Value::Bool(true)));
+        let producer = b.activity("producer");
+        b.case();
+        let other = b.activity("other");
+        b.xor_join();
+        b.branch();
+        let consumer = b.activity("consumer");
+        b.and_join();
+        b.sync(producer, consumer);
+        let s = b.build().unwrap();
+        let ex = exec(&s);
+        let mut st = ex.init().unwrap();
+        ex.start_activity(&mut st, w).unwrap();
+        ex.complete_activity(&mut st, w, vec![(d, Value::Bool(false))])
+            .unwrap();
+        // producer is skipped; consumer must be enabled.
+        assert_eq!(st.marking.node(producer), NodeState::Skipped);
+        let enabled = ex.enabled(&st);
+        assert!(enabled.contains(&consumer), "enabled: {enabled:?}");
+        assert!(enabled.contains(&other));
+    }
+
+    #[test]
+    fn missing_mandatory_input_blocks_start() {
+        let mut b = SchemaBuilder::new("missing");
+        let d = b.data("x", ValueType::Int);
+        let w = b.activity("w");
+        b.write(w, d);
+        let r = b.activity("r");
+        b.read(r, d);
+        let s = b.build().unwrap();
+        let ex = exec(&s);
+        let mut st = ex.init().unwrap();
+        // Complete w but (illegally at the model level) pretend it wrote
+        // nothing by building a context bypass: complete with declared
+        // writes as required — so instead test the read check directly by
+        // deleting the value: simpler — start r before w has run is
+        // impossible; so test MissingOutput instead.
+        ex.start_activity(&mut st, w).unwrap();
+        let err = ex.complete_activity(&mut st, w, vec![]).unwrap_err();
+        assert!(matches!(err, RuntimeError::MissingOutput { .. }));
+    }
+
+    #[test]
+    fn undeclared_write_rejected() {
+        let mut b = SchemaBuilder::new("undeclared");
+        let d = b.data("x", ValueType::Int);
+        let a = b.activity("a");
+        let _ = d;
+        let s = b.build().unwrap();
+        let ex = exec(&s);
+        let mut st = ex.init().unwrap();
+        ex.start_activity(&mut st, a).unwrap();
+        let err = ex
+            .complete_activity(&mut st, a, vec![(d, Value::Int(1))])
+            .unwrap_err();
+        assert!(matches!(err, RuntimeError::UndeclaredWrite { .. }));
+    }
+
+    #[test]
+    fn run_with_limit_stops_midway() {
+        let mut b = SchemaBuilder::new("limit");
+        b.activity("a");
+        b.activity("b");
+        b.activity("c");
+        let s = b.build().unwrap();
+        let ex = exec(&s);
+        let mut st = ex.init().unwrap();
+        let n = ex.run(&mut st, &mut DefaultDriver, Some(2)).unwrap();
+        assert_eq!(n, 2);
+        assert!(!ex.is_finished(&st));
+        let n2 = ex.run(&mut st, &mut DefaultDriver, None).unwrap();
+        assert_eq!(n2, 1);
+        assert!(ex.is_finished(&st));
+    }
+
+    #[test]
+    fn nested_loop_counters_reset() {
+        let mut b = SchemaBuilder::new("nested-loop");
+        b.loop_start();
+        b.loop_start();
+        let inner = b.activity("inner");
+        b.loop_end(LoopCond::Times(2));
+        b.loop_end(LoopCond::Times(3));
+        let s = b.build().unwrap();
+        let ex = exec(&s);
+        let mut st = ex.init().unwrap();
+        ex.run(&mut st, &mut DefaultDriver, None).unwrap();
+        let inner_runs = st
+            .history
+            .events
+            .iter()
+            .filter(|e| matches!(e, Event::Started { node, .. } if *node == inner))
+            .count();
+        assert_eq!(inner_runs, 6, "2 inner iterations per 3 outer iterations");
+    }
+}

@@ -1,0 +1,35 @@
+//! # adept-state — runtime semantics of ADEPT2 process instances
+//!
+//! This crate implements everything about a *running* instance of a schema
+//! from `adept-model`:
+//!
+//! * [`Marking`] — node states (`NotActivated`, `Activated`, `Running`,
+//!   `Completed`, `Skipped`) and edge states (`NotSignaled`,
+//!   `TrueSignaled`, `FalseSignaled`), stored minimally (defaults omitted)
+//!   to support ADEPT2's redundant-free instance representation;
+//! * [`Execution`] — the interpreter: activation rules, automatic firing
+//!   of silent nodes, XOR guard evaluation, external decisions, dead-path
+//!   elimination and loop-back body resets;
+//! * [`ExecutionHistory`] — the recorded trace, and its *reduction* (only
+//!   the last iteration of every loop survives) that the compliance
+//!   criterion of the paper is defined over;
+//! * [`Execution::replay`] — reproducing a history on a (possibly changed)
+//!   schema, the semantic oracle for compliance checking;
+//! * [`DataContext`] — instance data values with full write logs.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod datactx;
+pub mod error;
+pub mod execution;
+pub mod history;
+pub mod marking;
+pub mod replay;
+
+pub use datactx::{DataContext, WriteRecord};
+pub use error::RuntimeError;
+pub use execution::{Decision, DefaultDriver, Driver, Execution, InstanceState};
+pub use history::{Event, ExecutionHistory};
+pub use marking::{EdgeState, Marking, NodeState};
+pub use replay::ReplayScript;

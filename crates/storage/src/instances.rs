@@ -1,0 +1,471 @@
+//! The instance store and the three representation strategies of paper
+//! Fig. 2.
+//!
+//! * [`Representation::RedundantFree`] — unbiased instances reference their
+//!   schema; biased instances re-materialise their schema **on every
+//!   access** ("another [alternative] to materialize instance-specific
+//!   schemes on the fly").
+//! * [`Representation::FullCopy`] — every biased instance keeps a
+//!   **complete schema copy** ("one alternative would be to maintain a
+//!   complete schema for each biased instance").
+//! * [`Representation::Hybrid`] — ADEPT2's approach: biased instances keep
+//!   a *minimal substitution block* which overlays the original schema on
+//!   access, with the materialisation cached until the next change.
+
+use crate::repo::SchemaRepository;
+use crate::subst::SubstitutionBlock;
+use adept_core::Delta;
+use adept_model::{InstanceId, ProcessSchema};
+use adept_state::InstanceState;
+use parking_lot::RwLock;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Storage strategy for instance-specific schemas.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Representation {
+    /// Reference + on-the-fly materialisation for biased instances.
+    RedundantFree,
+    /// Complete schema copy per biased instance.
+    FullCopy,
+    /// Reference + substitution block + cached overlay (ADEPT2).
+    Hybrid,
+}
+
+/// One stored process instance.
+#[derive(Debug, Clone)]
+pub struct StoredInstance {
+    /// Instance id.
+    pub id: InstanceId,
+    /// Process type name.
+    pub type_name: String,
+    /// Schema version the instance runs on.
+    pub version: u32,
+    /// The instance's ad-hoc changes (empty = unbiased).
+    pub bias: Delta,
+    /// Substitution block derived from the bias (Hybrid strategy).
+    pub subst: SubstitutionBlock,
+    /// Runtime state (marking + history + data).
+    pub state: InstanceState,
+    /// FullCopy strategy: the complete instance-specific schema.
+    pub full_copy: Option<Arc<ProcessSchema>>,
+    /// Hybrid strategy: cached overlay materialisation.
+    pub cached_overlay: Option<Arc<ProcessSchema>>,
+}
+
+impl StoredInstance {
+    /// Whether the instance deviates from its type schema.
+    pub fn is_biased(&self) -> bool {
+        !self.bias.is_empty()
+    }
+}
+
+/// Access statistics of the store (cache behaviour of the Fig. 2 bench).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AccessStats {
+    /// Schema accesses answered from a shared deployed schema.
+    pub shared_hits: u64,
+    /// Schema accesses answered from the per-instance overlay cache.
+    pub cache_hits: u64,
+    /// Schema accesses that had to materialise (overlay or replay).
+    pub materializations: u64,
+}
+
+/// Byte-level breakdown of the store's memory usage.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemoryBreakdown {
+    /// Shared deployed schemas (stored once per version).
+    pub schema_bytes: usize,
+    /// Markings, histories and data contexts.
+    pub state_bytes: usize,
+    /// Bias deltas + substitution blocks.
+    pub bias_bytes: usize,
+    /// Per-instance full copies (FullCopy strategy).
+    pub full_copy_bytes: usize,
+    /// Cached overlays (Hybrid strategy).
+    pub cache_bytes: usize,
+}
+
+impl MemoryBreakdown {
+    /// Total bytes.
+    pub fn total(&self) -> usize {
+        self.schema_bytes
+            + self.state_bytes
+            + self.bias_bytes
+            + self.full_copy_bytes
+            + self.cache_bytes
+    }
+}
+
+/// The instance store.
+#[derive(Debug)]
+pub struct InstanceStore {
+    strategy: Representation,
+    instances: RwLock<BTreeMap<InstanceId, StoredInstance>>,
+    next_id: RwLock<u32>,
+    stats: RwLock<AccessStats>,
+}
+
+impl InstanceStore {
+    /// Creates a store with the given representation strategy.
+    pub fn new(strategy: Representation) -> Self {
+        Self {
+            strategy,
+            instances: RwLock::new(BTreeMap::new()),
+            next_id: RwLock::new(0),
+            stats: RwLock::new(AccessStats::default()),
+        }
+    }
+
+    /// The store's strategy.
+    pub fn strategy(&self) -> Representation {
+        self.strategy
+    }
+
+    /// Creates a new (unbiased) instance of a type version.
+    pub fn create(&self, type_name: &str, version: u32, state: InstanceState) -> InstanceId {
+        let mut ids = self.next_id.write();
+        *ids += 1;
+        let id = InstanceId(*ids);
+        drop(ids);
+        self.instances.write().insert(
+            id,
+            StoredInstance {
+                id,
+                type_name: type_name.to_string(),
+                version,
+                bias: Delta::new(),
+                subst: SubstitutionBlock::default(),
+                state,
+                full_copy: None,
+                cached_overlay: None,
+            },
+        );
+        id
+    }
+
+    /// Inserts a fully-specified instance (persistence restore path). The
+    /// id allocator is advanced past the restored id so future instances
+    /// never collide.
+    pub fn insert_restored(&self, inst: StoredInstance) {
+        let mut ids = self.next_id.write();
+        if inst.id.raw() > *ids {
+            *ids = inst.id.raw();
+        }
+        drop(ids);
+        self.instances.write().insert(inst.id, inst);
+    }
+
+    /// Reads an instance (cloned snapshot).
+    pub fn get(&self, id: InstanceId) -> Option<StoredInstance> {
+        self.instances.read().get(&id).cloned()
+    }
+
+    /// All instance ids of a type, in id order.
+    pub fn instances_of(&self, type_name: &str) -> Vec<InstanceId> {
+        self.instances
+            .read()
+            .values()
+            .filter(|i| i.type_name == type_name)
+            .map(|i| i.id)
+            .collect()
+    }
+
+    /// Number of stored instances.
+    pub fn len(&self) -> usize {
+        self.instances.read().len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Mutates an instance in place via the supplied closure.
+    pub fn update<R>(
+        &self,
+        id: InstanceId,
+        f: impl FnOnce(&mut StoredInstance) -> R,
+    ) -> Option<R> {
+        self.instances.write().get_mut(&id).map(f)
+    }
+
+    /// Resolves the schema an instance currently executes on, following the
+    /// store's representation strategy. `repo` provides the shared
+    /// deployed versions.
+    pub fn schema_of(
+        &self,
+        repo: &SchemaRepository,
+        id: InstanceId,
+    ) -> Option<Arc<ProcessSchema>> {
+        // Fast path: unbiased or cached.
+        {
+            let instances = self.instances.read();
+            let inst = instances.get(&id)?;
+            if !inst.is_biased() {
+                let dep = repo.deployed(&inst.type_name, inst.version)?;
+                self.stats.write().shared_hits += 1;
+                return Some(dep.schema);
+            }
+            match self.strategy {
+                Representation::FullCopy => {
+                    if let Some(fc) = &inst.full_copy {
+                        self.stats.write().shared_hits += 1;
+                        return Some(fc.clone());
+                    }
+                }
+                Representation::Hybrid => {
+                    if let Some(c) = &inst.cached_overlay {
+                        self.stats.write().cache_hits += 1;
+                        return Some(c.clone());
+                    }
+                }
+                Representation::RedundantFree => {}
+            }
+        }
+        // Slow path: materialise.
+        let mut instances = self.instances.write();
+        let inst = instances.get_mut(&id)?;
+        let dep = repo.deployed(&inst.type_name, inst.version)?;
+        let overlay = inst.subst.overlay(&dep.schema).ok()?;
+        self.stats.write().materializations += 1;
+        let arc = Arc::new(overlay);
+        match self.strategy {
+            Representation::Hybrid => inst.cached_overlay = Some(arc.clone()),
+            Representation::FullCopy => inst.full_copy = Some(arc.clone()),
+            Representation::RedundantFree => {}
+        }
+        Some(arc)
+    }
+
+    /// Records a new bias state for an instance after an ad-hoc change:
+    /// stores the delta and substitution block, refreshes the runtime
+    /// state, and updates the strategy-specific artefacts.
+    pub fn set_bias(
+        &self,
+        id: InstanceId,
+        bias: Delta,
+        materialized: &ProcessSchema,
+        state: InstanceState,
+    ) -> bool {
+        let mut instances = self.instances.write();
+        let Some(inst) = instances.get_mut(&id) else {
+            return false;
+        };
+        inst.subst = SubstitutionBlock::from_delta(&bias, materialized);
+        inst.bias = bias;
+        inst.state = state;
+        match self.strategy {
+            Representation::FullCopy => {
+                inst.full_copy = Some(Arc::new(materialized.clone()));
+                inst.cached_overlay = None;
+            }
+            Representation::Hybrid => {
+                // Cache is invalidated; the next access re-overlays.
+                inst.cached_overlay = None;
+                inst.full_copy = None;
+            }
+            Representation::RedundantFree => {
+                inst.full_copy = None;
+                inst.cached_overlay = None;
+            }
+        }
+        true
+    }
+
+    /// Re-homes an instance after migration: new version, possibly rebased
+    /// bias artefacts, adapted state.
+    pub fn migrate(
+        &self,
+        id: InstanceId,
+        new_version: u32,
+        state: InstanceState,
+        materialized: Option<&ProcessSchema>,
+    ) -> bool {
+        let mut instances = self.instances.write();
+        let Some(inst) = instances.get_mut(&id) else {
+            return false;
+        };
+        inst.version = new_version;
+        inst.state = state;
+        inst.cached_overlay = None;
+        inst.full_copy = None;
+        if let Some(m) = materialized {
+            inst.subst = SubstitutionBlock::from_delta(&inst.bias, m);
+            match self.strategy {
+                Representation::FullCopy => inst.full_copy = Some(Arc::new(m.clone())),
+                Representation::Hybrid => inst.cached_overlay = Some(Arc::new(m.clone())),
+                Representation::RedundantFree => {}
+            }
+        }
+        true
+    }
+
+    /// Current access statistics.
+    pub fn stats(&self) -> AccessStats {
+        *self.stats.read()
+    }
+
+    /// Byte-level memory accounting across all instances (Fig. 2).
+    pub fn memory(&self, repo: &SchemaRepository) -> MemoryBreakdown {
+        let instances = self.instances.read();
+        let mut mb = MemoryBreakdown {
+            schema_bytes: repo.schema_bytes(),
+            ..Default::default()
+        };
+        for inst in instances.values() {
+            mb.state_bytes += inst.state.approx_size();
+            mb.bias_bytes += inst.bias.approx_size() + inst.subst.approx_size();
+            if let Some(fc) = &inst.full_copy {
+                mb.full_copy_bytes += fc.approx_size();
+            }
+            if let Some(c) = &inst.cached_overlay {
+                mb.cache_bytes += c.approx_size();
+            }
+        }
+        mb
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adept_core::{apply_op, ChangeOp, NewActivity};
+    use adept_model::SchemaBuilder;
+    use adept_state::Execution;
+
+    fn setup(strategy: Representation) -> (SchemaRepository, InstanceStore, String) {
+        let mut b = SchemaBuilder::new("t");
+        b.activity("a");
+        b.activity("b");
+        b.activity("c");
+        let schema = b.build().unwrap();
+        let repo = SchemaRepository::new();
+        let name = repo.deploy(schema).unwrap();
+        let store = InstanceStore::new(strategy);
+        (repo, store, name)
+    }
+
+    fn make_biased(
+        repo: &SchemaRepository,
+        store: &InstanceStore,
+        name: &str,
+    ) -> (InstanceId, ProcessSchema) {
+        let dep = repo.deployed(name, 1).unwrap();
+        let ex = dep.execution();
+        let st = ex.init().unwrap();
+        let id = store.create(name, 1, st.clone());
+        let mut materialized = (*dep.schema).clone();
+        materialized.reserve_private_id_space();
+        let a = materialized.node_by_name("a").unwrap().id;
+        let b = materialized.node_by_name("b").unwrap().id;
+        let mut bias = Delta::new();
+        bias.push(
+            apply_op(
+                &mut materialized,
+                &ChangeOp::SerialInsert {
+                    activity: NewActivity::named("ad-hoc"),
+                    pred: a,
+                    succ: b,
+                },
+            )
+            .unwrap(),
+        );
+        assert!(store.set_bias(id, bias, &materialized, st));
+        (id, materialized)
+    }
+
+    #[test]
+    fn unbiased_instances_share_schema() {
+        let (repo, store, name) = setup(Representation::Hybrid);
+        let dep = repo.deployed(&name, 1).unwrap();
+        let st = dep.execution().init().unwrap();
+        let i1 = store.create(&name, 1, st.clone());
+        let i2 = store.create(&name, 1, st);
+        let s1 = store.schema_of(&repo, i1).unwrap();
+        let s2 = store.schema_of(&repo, i2).unwrap();
+        assert!(Arc::ptr_eq(&s1, &s2), "redundant-free: same Arc");
+        assert_eq!(store.stats().shared_hits, 2);
+        assert_eq!(store.stats().materializations, 0);
+    }
+
+    #[test]
+    fn hybrid_caches_overlay() {
+        let (repo, store, name) = setup(Representation::Hybrid);
+        let (id, materialized) = make_biased(&repo, &store, &name);
+        let s1 = store.schema_of(&repo, id).unwrap();
+        assert_eq!(*s1, materialized);
+        assert_eq!(store.stats().materializations, 1);
+        let s2 = store.schema_of(&repo, id).unwrap();
+        assert!(Arc::ptr_eq(&s1, &s2));
+        assert_eq!(store.stats().cache_hits, 1);
+        assert_eq!(store.stats().materializations, 1, "no re-materialisation");
+    }
+
+    #[test]
+    fn redundant_free_rematerializes_every_access() {
+        let (repo, store, name) = setup(Representation::RedundantFree);
+        let (id, _) = make_biased(&repo, &store, &name);
+        store.schema_of(&repo, id).unwrap();
+        store.schema_of(&repo, id).unwrap();
+        assert_eq!(store.stats().materializations, 2);
+    }
+
+    #[test]
+    fn full_copy_stores_per_instance_schema() {
+        let (repo, store, name) = setup(Representation::FullCopy);
+        let (id, _) = make_biased(&repo, &store, &name);
+        let mem = store.memory(&repo);
+        assert!(mem.full_copy_bytes > 0, "{mem:?}");
+        let _ = store.schema_of(&repo, id).unwrap();
+        assert_eq!(store.stats().shared_hits, 1, "full copy needs no overlay");
+    }
+
+    #[test]
+    fn memory_breakdown_orders_strategies() {
+        // Hybrid bias bytes should be far below a full schema copy. The
+        // advantage appears for realistically sized schemas (the fixed
+        // overhead of a block can exceed a 5-node toy schema), so build a
+        // 40-activity process.
+        fn setup_large(strategy: Representation) -> (SchemaRepository, InstanceStore, String) {
+            let mut b = SchemaBuilder::new("large");
+            b.activity("a");
+            b.activity("b");
+            for i in 0..40 {
+                b.activity(&format!("step {i}"));
+            }
+            let schema = b.build().unwrap();
+            let repo = SchemaRepository::new();
+            let name = repo.deploy(schema).unwrap();
+            (repo, InstanceStore::new(strategy), name)
+        }
+        let (repo_h, store_h, name_h) = setup_large(Representation::Hybrid);
+        make_biased(&repo_h, &store_h, &name_h);
+        let (repo_f, store_f, name_f) = setup_large(Representation::FullCopy);
+        make_biased(&repo_f, &store_f, &name_f);
+        let mem_h = store_h.memory(&repo_h);
+        let mem_f = store_f.memory(&repo_f);
+        assert!(
+            mem_h.bias_bytes < mem_f.full_copy_bytes / 2,
+            "substitution block ({}) must be far smaller than a schema copy ({})",
+            mem_h.bias_bytes,
+            mem_f.full_copy_bytes
+        );
+    }
+
+    #[test]
+    fn instance_queries() {
+        let (repo, store, name) = setup(Representation::Hybrid);
+        let dep = repo.deployed(&name, 1).unwrap();
+        let st = dep.execution().init().unwrap();
+        assert!(store.is_empty());
+        let id = store.create(&name, 1, st);
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.instances_of(&name), vec![id]);
+        assert!(store.get(id).is_some());
+        assert!(store.get(InstanceId(999)).is_none());
+        let ex = Execution::with_blocks(&dep.schema, (*dep.blocks).clone());
+        let _ = ex;
+    }
+}

@@ -1,0 +1,34 @@
+//! # adept-storage — hybrid schema/instance storage (paper Fig. 2)
+//!
+//! *"The implementation of ADEPT2 has raised many challenges, e.g., with
+//! respect to storage representation of schema and instance data: Unchanged
+//! instances are stored in a redundant-free manner by referencing their
+//! original schema and by capturing instance-specific data (e.g., activity
+//! states). ... For each biased instance we maintain a minimal substitution
+//! block that captures all changes applied to it so far. This block is then
+//! used to overlay parts of the original schema when accessing the
+//! instance."*
+//!
+//! * [`SchemaRepository`] — deployed process types and version chains;
+//!   every version's schema + block structure is stored exactly once.
+//! * [`SubstitutionBlock`] — the minimal overlay of a biased instance and
+//!   its pure-graph-patch [`SubstitutionBlock::overlay`].
+//! * [`InstanceStore`] — instances under one of three representation
+//!   strategies (the two alternatives the paper dismisses and the hybrid
+//!   approach it adopts), with access statistics and byte-level memory
+//!   accounting for the Fig. 2 experiments.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod instances;
+pub mod persist;
+pub mod repo;
+pub mod subst;
+
+pub use instances::{
+    AccessStats, InstanceStore, MemoryBreakdown, Representation, StoredInstance,
+};
+pub use persist::{from_json, restore, snapshot, to_json, Snapshot};
+pub use repo::{DeployedSchema, SchemaRepository};
+pub use subst::SubstitutionBlock;

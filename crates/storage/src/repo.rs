@@ -1,0 +1,174 @@
+//! The schema repository: process types and their version chains.
+
+use adept_core::{ChangeError, ChangeOp, Delta, ProcessType};
+use adept_model::{Blocks, ProcessSchema, SchemaId};
+use adept_state::Execution;
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// A deployed schema version with its pre-computed block structure, shared
+/// by every unbiased instance of that version (the redundant-free side of
+/// paper Fig. 2).
+#[derive(Debug, Clone)]
+pub struct DeployedSchema {
+    /// The schema.
+    pub schema: Arc<ProcessSchema>,
+    /// Its block structure (computed once at deployment).
+    pub blocks: Arc<Blocks>,
+}
+
+impl DeployedSchema {
+    fn new(schema: ProcessSchema) -> Result<Self, ChangeError> {
+        let blocks = Blocks::analyze(&schema)
+            .map_err(|e| ChangeError::Precondition(format!("block analysis failed: {e}")))?;
+        Ok(Self {
+            schema: Arc::new(schema),
+            blocks: Arc::new(blocks),
+        })
+    }
+
+    /// An interpreter borrowing this deployment.
+    pub fn execution(&self) -> Execution<'_> {
+        Execution::with_blocks(&self.schema, (*self.blocks).clone())
+    }
+}
+
+/// The repository of process types. Thread-safe: migrations read schema
+/// versions from many worker threads.
+#[derive(Debug, Default)]
+pub struct SchemaRepository {
+    types: RwLock<BTreeMap<String, ProcessType>>,
+    deployed: RwLock<BTreeMap<(String, u32), DeployedSchema>>,
+    next_schema_id: RwLock<u32>,
+}
+
+impl SchemaRepository {
+    /// An empty repository.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Deploys a new process type (version 1). The schema must verify.
+    pub fn deploy(&self, mut schema: ProcessSchema) -> Result<String, ChangeError> {
+        let mut ids = self.next_schema_id.write();
+        *ids += 1;
+        schema.id = SchemaId(*ids);
+        drop(ids);
+        let name = schema.name.clone();
+        let pt = ProcessType::new(schema)?;
+        let dep = DeployedSchema::new(pt.latest().clone())?;
+        self.deployed.write().insert((name.clone(), 1), dep);
+        self.types.write().insert(name.clone(), pt);
+        Ok(name)
+    }
+
+    /// Evolves a type to a new version and returns `(new_version, delta)`.
+    pub fn evolve(&self, name: &str, ops: &[ChangeOp]) -> Result<(u32, Delta), ChangeError> {
+        let mut types = self.types.write();
+        let pt = types
+            .get_mut(name)
+            .ok_or_else(|| ChangeError::Precondition(format!("unknown process type {name:?}")))?;
+        let (v, delta) = pt.evolve(ops)?;
+        let dep = DeployedSchema::new(pt.latest().clone())?;
+        self.deployed.write().insert((name.to_string(), v), dep);
+        Ok((v, delta))
+    }
+
+    /// The deployed schema of a specific version.
+    pub fn deployed(&self, name: &str, version: u32) -> Option<DeployedSchema> {
+        self.deployed.read().get(&(name.to_string(), version)).cloned()
+    }
+
+    /// The newest version number of a type.
+    pub fn latest_version(&self, name: &str) -> Option<u32> {
+        self.types.read().get(name).map(|t| t.version_count())
+    }
+
+    /// The delta transforming `from` into `from + 1`.
+    pub fn delta_between(&self, name: &str, from: u32) -> Option<Delta> {
+        self.types
+            .read()
+            .get(name)
+            .and_then(|t| t.delta_between(from).cloned())
+    }
+
+    /// A snapshot of a whole process type (for reports and tests).
+    pub fn process_type(&self, name: &str) -> Option<ProcessType> {
+        self.types.read().get(name).cloned()
+    }
+
+    /// All deployed type names.
+    pub fn type_names(&self) -> Vec<String> {
+        self.types.read().keys().cloned().collect()
+    }
+
+    /// Total bytes of all deployed schema versions (Fig. 2 accounting:
+    /// schemas are stored once, not per instance).
+    pub fn schema_bytes(&self) -> usize {
+        self.deployed
+            .read()
+            .values()
+            .map(|d| d.schema.approx_size())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adept_core::NewActivity;
+    use adept_model::SchemaBuilder;
+
+    fn schema() -> ProcessSchema {
+        let mut b = SchemaBuilder::new("t");
+        b.activity("a");
+        b.activity("b");
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn deploy_and_evolve() {
+        let repo = SchemaRepository::new();
+        let name = repo.deploy(schema()).unwrap();
+        assert_eq!(repo.latest_version(&name), Some(1));
+        let v1 = repo.deployed(&name, 1).unwrap();
+        let a = v1.schema.node_by_name("a").unwrap().id;
+        let b = v1.schema.node_by_name("b").unwrap().id;
+        let (v, delta) = repo
+            .evolve(
+                &name,
+                &[ChangeOp::SerialInsert {
+                    activity: NewActivity::named("x"),
+                    pred: a,
+                    succ: b,
+                }],
+            )
+            .unwrap();
+        assert_eq!(v, 2);
+        assert_eq!(delta.len(), 1);
+        assert_eq!(repo.latest_version(&name), Some(2));
+        assert!(repo.deployed(&name, 2).unwrap().schema.node_by_name("x").is_some());
+        assert!(repo.delta_between(&name, 1).is_some());
+        assert_eq!(repo.type_names(), vec![name]);
+        assert!(repo.schema_bytes() > 0);
+    }
+
+    #[test]
+    fn unknown_type_errors() {
+        let repo = SchemaRepository::new();
+        assert!(repo.evolve("nope", &[]).is_err());
+        assert!(repo.deployed("nope", 1).is_none());
+    }
+
+    #[test]
+    fn broken_schema_rejected_at_deploy() {
+        let mut b = SchemaBuilder::new("bad");
+        let d = b.data("x", adept_model::ValueType::Int);
+        let r = b.activity("r");
+        b.read(r, d); // never written
+        let s = b.build().unwrap();
+        let repo = SchemaRepository::new();
+        assert!(repo.deploy(s).is_err());
+    }
+}

@@ -1,0 +1,269 @@
+//! Substitution blocks: the minimal overlay a biased instance keeps
+//! (paper Fig. 2).
+//!
+//! *"For each biased instance we maintain a minimal substitution block that
+//! captures all changes applied to it so far. This block is then used to
+//! overlay parts of the original schema when accessing the instance."*
+//!
+//! A [`SubstitutionBlock`] is the *materialised graph payload* of a bias
+//! delta: the concrete nodes, edges and data elements the delta added, the
+//! nodes it nullified, and the edges/nodes it removed. Overlaying the block
+//! onto the original schema ([`SubstitutionBlock::overlay`]) reconstructs
+//! the instance-specific schema without replaying change operations — a
+//! pure graph patch, which is what makes instance access cheap.
+
+use adept_core::Delta;
+use adept_model::{
+    DataEdge, DataElement, Edge, EdgeId, ModelError, Node, NodeId, NodeKind, ProcessSchema,
+};
+use serde::{Deserialize, Serialize};
+
+/// The materialised overlay of one biased instance.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SubstitutionBlock {
+    /// Nodes the bias added (full payload, including attributes).
+    pub added_nodes: Vec<Node>,
+    /// Edges the bias added.
+    pub added_edges: Vec<Edge>,
+    /// Data elements the bias added.
+    pub added_data: Vec<DataElement>,
+    /// Data edges of added nodes (and any data edges the bias attached).
+    pub added_data_edges: Vec<DataEdge>,
+    /// Edges the bias removed from the original schema.
+    pub removed_edges: Vec<EdgeId>,
+    /// Nodes the bias removed.
+    pub removed_nodes: Vec<NodeId>,
+    /// Nodes the bias replaced by silent null tasks.
+    pub nullified_nodes: Vec<NodeId>,
+}
+
+impl SubstitutionBlock {
+    /// Whether the block is empty (unbiased instance).
+    pub fn is_empty(&self) -> bool {
+        self.added_nodes.is_empty()
+            && self.added_edges.is_empty()
+            && self.added_data.is_empty()
+            && self.added_data_edges.is_empty()
+            && self.removed_edges.is_empty()
+            && self.removed_nodes.is_empty()
+            && self.nullified_nodes.is_empty()
+    }
+
+    /// Derives the substitution block of a bias: `materialized` must be the
+    /// instance-specific schema (base + bias applied), from which the block
+    /// copies the payload of everything the delta created.
+    pub fn from_delta(delta: &Delta, materialized: &ProcessSchema) -> SubstitutionBlock {
+        let mut block = SubstitutionBlock::default();
+        for rec in &delta.ops {
+            for n in &rec.added_nodes {
+                if let Ok(node) = materialized.node(*n) {
+                    block.added_nodes.push(node.clone());
+                    block
+                        .added_data_edges
+                        .extend(materialized.data_edges_of(*n).cloned());
+                }
+            }
+            for e in &rec.added_edges {
+                if let Ok(edge) = materialized.edge(*e) {
+                    block.added_edges.push(edge.clone());
+                }
+            }
+            for d in &rec.added_data {
+                if let Ok(de) = materialized.data_element(*d) {
+                    block.added_data.push(de.clone());
+                }
+            }
+            block.removed_edges.extend(rec.removed_edges.iter().copied());
+            block.removed_nodes.extend(rec.removed_nodes.iter().copied());
+            block
+                .nullified_nodes
+                .extend(rec.nullified_nodes.iter().copied());
+        }
+        // Edges added by one op and removed by a later op of the same bias
+        // (e.g. insert then move) must not survive in the block.
+        let removed = block.removed_edges.clone();
+        block.added_edges.retain(|e| !removed.contains(&e.id));
+        block.removed_edges.retain(|id| {
+            // Only original-schema edges need explicit removal markers.
+            !delta
+                .ops
+                .iter()
+                .any(|r| r.added_edges.contains(id))
+        });
+        let removed_nodes = block.removed_nodes.clone();
+        block.added_nodes.retain(|n| !removed_nodes.contains(&n.id));
+        block
+    }
+
+    /// Overlays the block onto the original schema, producing the
+    /// instance-specific schema as a pure graph patch.
+    pub fn overlay(&self, base: &ProcessSchema) -> Result<ProcessSchema, ModelError> {
+        let mut s = base.clone();
+        s.reserve_private_id_space();
+        for id in &self.removed_edges {
+            s.remove_edge(*id)?;
+        }
+        for n in &self.added_nodes {
+            s.add_node_at(n.id, n.name.clone(), n.kind)?;
+            s.node_mut(n.id)?.attrs = n.attrs.clone();
+        }
+        for d in &self.added_data {
+            s.add_data_at(d.id, d.name.clone(), d.ty)?;
+        }
+        // Removing nodes requires their incident edges gone first; in a
+        // well-formed block the removed_edges above already detached them.
+        for id in &self.removed_nodes {
+            s.remove_node(*id)?;
+        }
+        for n in &self.nullified_nodes {
+            s.node_mut(*n)?.kind = NodeKind::Null;
+        }
+        // Nullified nodes lose their data edges.
+        for n in &self.nullified_nodes {
+            let edges: Vec<DataEdge> = s.data_edges_of(*n).cloned().collect();
+            for de in edges {
+                s.remove_data_edge(de.node, de.data, de.mode)?;
+            }
+        }
+        for e in &self.added_edges {
+            s.add_edge_at(e.id, e.clone())?;
+        }
+        for de in &self.added_data_edges {
+            s.add_data_edge(de.clone())?;
+        }
+        Ok(s)
+    }
+
+    /// Approximate deep size in bytes (for the Fig. 2 experiments).
+    pub fn approx_size(&self) -> usize {
+        use std::mem::size_of;
+        let mut s = size_of::<Self>();
+        for n in &self.added_nodes {
+            s += size_of::<Node>() + n.name.capacity();
+        }
+        s += self.added_edges.capacity() * size_of::<Edge>();
+        for d in &self.added_data {
+            s += size_of::<DataElement>() + d.name.capacity();
+        }
+        s += self.added_data_edges.capacity() * size_of::<DataEdge>();
+        s += self.removed_edges.capacity() * size_of::<EdgeId>();
+        s += self.removed_nodes.capacity() * size_of::<NodeId>();
+        s += self.nullified_nodes.capacity() * size_of::<NodeId>();
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adept_core::{apply_op, ChangeOp, NewActivity};
+    use adept_model::SchemaBuilder;
+
+    fn base() -> ProcessSchema {
+        let mut b = SchemaBuilder::new("order");
+        b.activity("get order");
+        b.activity("collect data");
+        b.and_split();
+        b.branch();
+        b.activity("confirm order");
+        b.branch();
+        b.activity("compose order");
+        b.activity("pack goods");
+        b.and_join();
+        b.activity("deliver goods");
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn overlay_equals_direct_application_for_insert() {
+        let base = base();
+        let mut materialized = base.clone();
+        materialized.reserve_private_id_space();
+        let compose = materialized.node_by_name("compose order").unwrap().id;
+        let pack = materialized.node_by_name("pack goods").unwrap().id;
+        let mut delta = Delta::new();
+        delta.push(
+            apply_op(
+                &mut materialized,
+                &ChangeOp::SerialInsert {
+                    activity: NewActivity::named("extra"),
+                    pred: compose,
+                    succ: pack,
+                },
+            )
+            .unwrap(),
+        );
+
+        let block = SubstitutionBlock::from_delta(&delta, &materialized);
+        assert!(!block.is_empty());
+        assert_eq!(block.added_nodes.len(), 1);
+        let rebuilt = block.overlay(&base).unwrap();
+        assert_eq!(rebuilt, materialized);
+    }
+
+    #[test]
+    fn overlay_equals_direct_application_for_delete() {
+        let base = base();
+        let mut materialized = base.clone();
+        materialized.reserve_private_id_space();
+        let confirm = materialized.node_by_name("confirm order").unwrap().id;
+        let mut delta = Delta::new();
+        delta.push(
+            apply_op(&mut materialized, &ChangeOp::DeleteActivity { node: confirm }).unwrap(),
+        );
+        let block = SubstitutionBlock::from_delta(&delta, &materialized);
+        let rebuilt = block.overlay(&base).unwrap();
+        assert_eq!(rebuilt, materialized);
+    }
+
+    #[test]
+    fn overlay_equals_direct_application_for_sync_and_move() {
+        let base = base();
+        let mut materialized = base.clone();
+        materialized.reserve_private_id_space();
+        let confirm = materialized.node_by_name("confirm order").unwrap().id;
+        let compose = materialized.node_by_name("compose order").unwrap().id;
+        let pack = materialized.node_by_name("pack goods").unwrap().id;
+        let mut delta = Delta::new();
+        delta.push(
+            apply_op(
+                &mut materialized,
+                &ChangeOp::InsertSyncEdge {
+                    from: confirm,
+                    to: pack,
+                },
+            )
+            .unwrap(),
+        );
+        delta.push(
+            apply_op(
+                &mut materialized,
+                &ChangeOp::SerialInsert {
+                    activity: NewActivity::named("label"),
+                    pred: compose,
+                    succ: pack,
+                },
+            )
+            .unwrap(),
+        );
+        let block = SubstitutionBlock::from_delta(&delta, &materialized);
+        let rebuilt = block.overlay(&base).unwrap();
+        // The overlay reproduces graph structure; attribute-only ops leave
+        // no trace in the block, so compare structure via listing.
+        assert_eq!(rebuilt.edge_count(), materialized.edge_count());
+        assert_eq!(rebuilt.node_count(), materialized.node_count());
+        assert_eq!(
+            rebuilt.sync_edges().count(),
+            materialized.sync_edges().count()
+        );
+    }
+
+    #[test]
+    fn empty_block_for_empty_delta() {
+        let base = base();
+        let block = SubstitutionBlock::from_delta(&Delta::new(), &base);
+        assert!(block.is_empty());
+        let rebuilt = block.overlay(&base).unwrap();
+        assert_eq!(rebuilt.node_count(), base.node_count());
+    }
+}

@@ -1,0 +1,401 @@
+//! Data-flow analysis: missing input data, parallel write conflicts and
+//! unread data elements.
+//!
+//! ADEPT2's buildtime checks prove that every mandatory input parameter of
+//! every activity is *definitely written* before the activity can start —
+//! on every path, across XOR branches, and without relying on concurrent
+//! (unordered) writes. Deleting an activity at runtime re-runs this
+//! analysis, which is how the system detects the "missing data" problem the
+//! paper mentions for activity deletions.
+
+use crate::report::{Issue, IssueKind, VerificationReport};
+use adept_model::graph::{self, EdgeFilter};
+use adept_model::{AccessMode, BlockKind, Blocks, DataId, EdgeKind, LoopCond, NodeId, ProcessSchema};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Runs all data-flow checks.
+pub fn check_dataflow(schema: &ProcessSchema) -> VerificationReport {
+    let mut rep = VerificationReport::default();
+    let Ok(order) = graph::topo_order(schema, EdgeFilter::CONTROL_SYNC) else {
+        // A cyclic graph is reported by the deadlock checker; data flow
+        // cannot be analysed meaningfully.
+        return rep;
+    };
+    let blocks = match Blocks::analyze(schema) {
+        Ok(b) => b,
+        Err(_) => return rep, // reported by the structural checker
+    };
+
+    let definitely_written = compute_definitely_written(schema, &order, &blocks);
+
+    check_mandatory_reads(schema, &definitely_written, &mut rep);
+    check_guard_reads(schema, &definitely_written, &mut rep);
+    check_parallel_writes(schema, &blocks, &mut rep);
+    check_unread_data(schema, &mut rep);
+    rep
+}
+
+/// Computes, for every node, the set of data elements that are guaranteed
+/// to have been written before the node starts (first loop iteration
+/// semantics: loop edges are excluded, so a loop body cannot rely on writes
+/// of later body nodes).
+///
+/// Sync edges contribute their source's writes only when the source cannot
+/// be skipped (it is not nested inside any conditional block): a skipped
+/// sync source signals `FalseSignaled` and the target proceeds *without*
+/// the write.
+pub fn compute_definitely_written(
+    schema: &ProcessSchema,
+    topo: &[NodeId],
+    blocks: &Blocks,
+) -> BTreeMap<NodeId, BTreeSet<DataId>> {
+    let mut dw: BTreeMap<NodeId, BTreeSet<DataId>> = BTreeMap::new();
+    let writes_of = |n: NodeId| -> BTreeSet<DataId> {
+        schema.writes_of(n).map(|de| de.data).collect()
+    };
+    let skippable = |n: NodeId| -> bool {
+        blocks
+            .enclosing(n)
+            .iter()
+            .any(|(s, _)| blocks.by_split[s].kind == BlockKind::Conditional)
+    };
+    let is_xor_join =
+        |n: NodeId| schema.node(n).map(|x| x.kind) == Ok(adept_model::NodeKind::XorJoin);
+    for &n in topo {
+        // Incoming control edges of an XOR join are *alternatives*: only one
+        // path is taken, so guarantees are intersected. Everywhere else
+        // (sequences, AND joins) every incoming control edge has fired
+        // before the node starts, so guarantees accumulate (union). Sync
+        // edges are mandatory waits and always accumulate — unless their
+        // source is skippable, in which case they guarantee nothing.
+        let mut acc: Option<BTreeSet<DataId>> = None;
+        let mut sync_acc: BTreeSet<DataId> = BTreeSet::new();
+        for e in schema.in_edges(n) {
+            match e.kind {
+                EdgeKind::Control => {
+                    let mut c = dw.get(&e.from).cloned().unwrap_or_default();
+                    c.extend(writes_of(e.from));
+                    acc = Some(match acc {
+                        None => c,
+                        Some(a) => {
+                            if is_xor_join(n) {
+                                a.intersection(&c).copied().collect()
+                            } else {
+                                a.union(&c).copied().collect()
+                            }
+                        }
+                    });
+                }
+                EdgeKind::Sync => {
+                    if skippable(e.from) {
+                        continue; // source may be skipped: no guarantee
+                    }
+                    sync_acc.extend(dw.get(&e.from).cloned().unwrap_or_default());
+                    sync_acc.extend(writes_of(e.from));
+                }
+                EdgeKind::Loop => {} // first-iteration semantics
+            }
+        }
+        let mut result = acc.unwrap_or_default();
+        result.extend(sync_acc);
+        dw.insert(n, result);
+    }
+    dw
+}
+
+fn check_mandatory_reads(
+    schema: &ProcessSchema,
+    dw: &BTreeMap<NodeId, BTreeSet<DataId>>,
+    rep: &mut VerificationReport,
+) {
+    for de in schema.data_edges() {
+        if de.mode != AccessMode::Read || de.optional {
+            continue;
+        }
+        let written = dw.get(&de.node).map_or(false, |s| s.contains(&de.data));
+        if !written {
+            let node = schema.node(de.node).map(|n| n.name.clone()).unwrap_or_default();
+            let data = schema
+                .data_element(de.data)
+                .map(|d| d.name.clone())
+                .unwrap_or_default();
+            let detail = if schema.writers_of(de.data).next().is_none() {
+                "no activity writes it at all"
+            } else {
+                "not written on every path before the read"
+            };
+            rep.push(
+                Issue::error(
+                    IssueKind::MissingInputData,
+                    format!(
+                        "mandatory input \"{data}\" of activity \"{node}\" may be unsupplied: {detail}"
+                    ),
+                )
+                .with_nodes([de.node])
+                .with_data([de.data]),
+            );
+        }
+    }
+}
+
+fn check_guard_reads(
+    schema: &ProcessSchema,
+    dw: &BTreeMap<NodeId, BTreeSet<DataId>>,
+    rep: &mut VerificationReport,
+) {
+    let check = |decider: NodeId, data: DataId, what: &str, rep: &mut VerificationReport| {
+        let available = dw
+            .get(&decider)
+            .map_or(false, |s| s.contains(&data))
+            || schema
+                .writes_of(decider)
+                .any(|w| w.data == data);
+        if !available {
+            rep.push(
+                Issue::error(
+                    IssueKind::MissingInputData,
+                    format!("{what} at {decider} reads {data}, which may be unwritten"),
+                )
+                .with_nodes([decider])
+                .with_data([data]),
+            );
+        }
+    };
+    for e in schema.edges() {
+        if let Some(g) = &e.guard {
+            check(e.from, g.data, "branch guard", rep);
+        }
+        if let Some(LoopCond::While(g)) = &e.loop_cond {
+            check(e.from, g.data, "loop condition", rep);
+        }
+    }
+}
+
+fn check_parallel_writes(schema: &ProcessSchema, blocks: &Blocks, rep: &mut VerificationReport) {
+    let mut by_data: BTreeMap<DataId, Vec<NodeId>> = BTreeMap::new();
+    for de in schema.data_edges() {
+        if de.mode == AccessMode::Write {
+            by_data.entry(de.data).or_default().push(de.node);
+        }
+    }
+    for (d, writers) in by_data {
+        for i in 0..writers.len() {
+            for j in (i + 1)..writers.len() {
+                let (a, b) = (writers[i], writers[j]);
+                if blocks.parallel_separator(a, b).is_some()
+                    && !graph::path_exists(schema, a, b, EdgeFilter::CONTROL_SYNC)
+                    && !graph::path_exists(schema, b, a, EdgeFilter::CONTROL_SYNC)
+                {
+                    rep.push(
+                        Issue::warning(
+                            IssueKind::ParallelWriteConflict,
+                            format!(
+                                "nodes {a} and {b} write {d} concurrently; the final value is non-deterministic (add a sync edge to order them)"
+                            ),
+                        )
+                        .with_nodes([a, b])
+                        .with_data([d]),
+                    );
+                }
+            }
+        }
+    }
+}
+
+fn check_unread_data(schema: &ProcessSchema, rep: &mut VerificationReport) {
+    let mut guard_used: BTreeSet<DataId> = BTreeSet::new();
+    for e in schema.edges() {
+        if let Some(g) = &e.guard {
+            guard_used.insert(g.data);
+        }
+        if let Some(LoopCond::While(g)) = &e.loop_cond {
+            guard_used.insert(g.data);
+        }
+    }
+    for d in schema.data_elements() {
+        let has_writer = schema.writers_of(d.id).next().is_some();
+        let has_reader = schema.readers_of(d.id).next().is_some() || guard_used.contains(&d.id);
+        if has_writer && !has_reader {
+            rep.push(
+                Issue::warning(
+                    IssueKind::UnreadData,
+                    format!("data element \"{}\" is written but never read", d.name),
+                )
+                .with_data([d.id]),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adept_model::{SchemaBuilder, ValueType};
+
+    #[test]
+    fn straight_line_write_then_read_ok() {
+        let mut b = SchemaBuilder::new("ok");
+        let d = b.data("x", ValueType::Int);
+        let w = b.activity("w");
+        b.write(w, d);
+        let r = b.activity("r");
+        b.read(r, d);
+        let s = b.build().unwrap();
+        let rep = check_dataflow(&s);
+        assert!(rep.is_correct(), "{rep}");
+    }
+
+    #[test]
+    fn read_before_any_write_is_missing_input() {
+        let mut b = SchemaBuilder::new("bad");
+        let d = b.data("x", ValueType::Int);
+        let r = b.activity("r");
+        b.read(r, d);
+        let w = b.activity("w");
+        b.write(w, d);
+        let s = b.build().unwrap();
+        let rep = check_dataflow(&s);
+        assert!(rep.has(IssueKind::MissingInputData));
+    }
+
+    #[test]
+    fn write_on_one_xor_branch_only_is_missing_input() {
+        let mut b = SchemaBuilder::new("bad");
+        let d = b.data("x", ValueType::Int);
+        b.xor_split();
+        b.case();
+        let w = b.activity("w");
+        b.write(w, d);
+        b.case();
+        b.activity("other");
+        b.xor_join();
+        let r = b.activity("r");
+        b.read(r, d);
+        let s = b.build().unwrap();
+        let rep = check_dataflow(&s);
+        assert!(rep.has(IssueKind::MissingInputData));
+    }
+
+    #[test]
+    fn write_on_both_xor_branches_is_ok() {
+        let mut b = SchemaBuilder::new("ok");
+        let d = b.data("x", ValueType::Int);
+        b.xor_split();
+        b.case();
+        let w1 = b.activity("w1");
+        b.write(w1, d);
+        b.case();
+        let w2 = b.activity("w2");
+        b.write(w2, d);
+        b.xor_join();
+        let r = b.activity("r");
+        b.read(r, d);
+        let s = b.build().unwrap();
+        assert!(check_dataflow(&s).is_correct());
+    }
+
+    #[test]
+    fn concurrent_write_does_not_satisfy_read() {
+        // Writer in one parallel branch, reader in the sibling branch:
+        // without a sync edge the write is not guaranteed to precede.
+        let mut b = SchemaBuilder::new("bad");
+        let d = b.data("x", ValueType::Int);
+        b.and_split();
+        b.branch();
+        let w = b.activity("w");
+        b.write(w, d);
+        b.branch();
+        let r = b.activity("r");
+        b.read(r, d);
+        b.and_join();
+        let s = b.build().unwrap();
+        assert!(check_dataflow(&s).has(IssueKind::MissingInputData));
+    }
+
+    #[test]
+    fn sync_edge_makes_concurrent_write_safe() {
+        let mut b = SchemaBuilder::new("ok");
+        let d = b.data("x", ValueType::Int);
+        b.and_split();
+        b.branch();
+        let w = b.activity("w");
+        b.write(w, d);
+        b.branch();
+        let r = b.activity("r");
+        b.read(r, d);
+        b.and_join();
+        b.sync(w, r);
+        let s = b.build().unwrap();
+        let rep = check_dataflow(&s);
+        assert!(rep.is_correct(), "{rep}");
+    }
+
+    #[test]
+    fn sync_from_skippable_source_is_no_guarantee() {
+        // The writer sits inside an XOR branch of a nested conditional in a
+        // parallel branch; if the other case is taken it is skipped and the
+        // sync edge fires FalseSignaled — the reader would see Null.
+        let mut b = SchemaBuilder::new("bad");
+        let d = b.data("x", ValueType::Int);
+        b.and_split();
+        b.branch();
+        b.xor_split();
+        b.case();
+        let w = b.activity("w");
+        b.write(w, d);
+        b.case();
+        b.activity("skip");
+        b.xor_join();
+        b.branch();
+        let r = b.activity("r");
+        b.read(r, d);
+        b.and_join();
+        b.sync(w, r);
+        let s = b.build().unwrap();
+        assert!(check_dataflow(&s).has(IssueKind::MissingInputData));
+    }
+
+    #[test]
+    fn parallel_writers_warn() {
+        let mut b = SchemaBuilder::new("warn");
+        let d = b.data("x", ValueType::Int);
+        b.and_split();
+        b.branch();
+        let w1 = b.activity("w1");
+        b.write(w1, d);
+        b.branch();
+        let w2 = b.activity("w2");
+        b.write(w2, d);
+        b.and_join();
+        let r = b.activity("r");
+        b.read(r, d);
+        let s = b.build().unwrap();
+        let rep = check_dataflow(&s);
+        assert!(rep.has(IssueKind::ParallelWriteConflict));
+        assert!(rep.is_correct(), "conflict is a warning, not an error");
+    }
+
+    #[test]
+    fn unread_data_warns() {
+        let mut b = SchemaBuilder::new("warn");
+        let d = b.data("x", ValueType::Int);
+        let w = b.activity("w");
+        b.write(w, d);
+        let s = b.build().unwrap();
+        assert!(check_dataflow(&s).has(IssueKind::UnreadData));
+    }
+
+    #[test]
+    fn loop_body_cannot_rely_on_its_own_later_writes() {
+        let mut b = SchemaBuilder::new("bad");
+        let d = b.data("x", ValueType::Int);
+        b.loop_start();
+        let r = b.activity("r");
+        b.read(r, d);
+        let w = b.activity("w");
+        b.write(w, d);
+        b.loop_end(adept_model::LoopCond::Times(2));
+        let s = b.build().unwrap();
+        assert!(check_dataflow(&s).has(IssueKind::MissingInputData));
+    }
+}

@@ -1,0 +1,355 @@
+//! Structural soundness checks: start/end uniqueness, reachability, node
+//! degrees, block structure, guard well-formedness and sync-edge rules.
+
+use crate::report::{Issue, IssueKind, VerificationReport};
+use adept_model::graph::{self, EdgeFilter};
+use adept_model::{Blocks, EdgeKind, NodeKind, ProcessSchema};
+
+/// Runs all structural checks and returns the findings.
+pub fn check_structure(schema: &ProcessSchema) -> VerificationReport {
+    let mut rep = VerificationReport::default();
+    check_start_end(schema, &mut rep);
+    check_degrees(schema, &mut rep);
+    check_reachability(schema, &mut rep);
+    check_blocks_and_syncs(schema, &mut rep);
+    rep
+}
+
+fn check_start_end(schema: &ProcessSchema, rep: &mut VerificationReport) {
+    let starts: Vec<_> = schema
+        .nodes()
+        .filter(|n| n.kind == NodeKind::Start)
+        .map(|n| n.id)
+        .collect();
+    let ends: Vec<_> = schema
+        .nodes()
+        .filter(|n| n.kind == NodeKind::End)
+        .map(|n| n.id)
+        .collect();
+    if starts.len() != 1 {
+        rep.push(
+            Issue::error(
+                IssueKind::StartEndStructure,
+                format!("schema must have exactly one start node, found {}", starts.len()),
+            )
+            .with_nodes(starts),
+        );
+    }
+    if ends.len() != 1 {
+        rep.push(
+            Issue::error(
+                IssueKind::StartEndStructure,
+                format!("schema must have exactly one end node, found {}", ends.len()),
+            )
+            .with_nodes(ends),
+        );
+    }
+}
+
+fn check_degrees(schema: &ProcessSchema, rep: &mut VerificationReport) {
+    for n in schema.nodes() {
+        let cin = schema.in_edges_kind(n.id, EdgeKind::Control).count();
+        let cout = schema.out_edges_kind(n.id, EdgeKind::Control).count();
+        let lin = schema.in_edges_kind(n.id, EdgeKind::Loop).count();
+        let lout = schema.out_edges_kind(n.id, EdgeKind::Loop).count();
+        let bad = |msg: String, rep: &mut VerificationReport| {
+            rep.push(Issue::error(IssueKind::Degree, msg).with_nodes([n.id]));
+        };
+        match n.kind {
+            NodeKind::Start => {
+                if cin != 0 || cout != 1 {
+                    bad(format!("start node {n} must have 0 in / 1 out control edges (has {cin}/{cout})"), rep);
+                }
+            }
+            NodeKind::End => {
+                if cin != 1 || cout != 0 {
+                    bad(format!("end node {n} must have 1 in / 0 out control edges (has {cin}/{cout})"), rep);
+                }
+            }
+            NodeKind::Activity | NodeKind::Null => {
+                if cin != 1 || cout != 1 {
+                    bad(format!("node {n} must have exactly 1 in / 1 out control edge (has {cin}/{cout})"), rep);
+                }
+            }
+            NodeKind::AndSplit | NodeKind::XorSplit => {
+                if cin != 1 || cout < 2 {
+                    bad(format!("split {n} must have 1 in / >=2 out control edges (has {cin}/{cout})"), rep);
+                }
+            }
+            NodeKind::AndJoin | NodeKind::XorJoin => {
+                if cin < 2 || cout != 1 {
+                    bad(format!("join {n} must have >=2 in / 1 out control edges (has {cin}/{cout})"), rep);
+                }
+            }
+            NodeKind::LoopStart => {
+                if cin != 1 || cout != 1 || lin != 1 {
+                    bad(format!("loop start {n} must have 1 in / 1 out control and 1 incoming loop edge (has {cin}/{cout}, {lin} loop-in)"), rep);
+                }
+            }
+            NodeKind::LoopEnd => {
+                if cin != 1 || cout != 1 || lout != 1 {
+                    bad(format!("loop end {n} must have 1 in / 1 out control and 1 outgoing loop edge (has {cin}/{cout}, {lout} loop-out)"), rep);
+                }
+            }
+        }
+        if (lin > 0 && n.kind != NodeKind::LoopStart) || (lout > 0 && n.kind != NodeKind::LoopEnd) {
+            rep.push(
+                Issue::error(
+                    IssueKind::LoopStructure,
+                    format!("node {n} has loop edges but is not a loop start/end"),
+                )
+                .with_nodes([n.id]),
+            );
+        }
+    }
+}
+
+fn check_reachability(schema: &ProcessSchema, rep: &mut VerificationReport) {
+    let start = schema.nodes().find(|n| n.kind == NodeKind::Start);
+    let end = schema.nodes().find(|n| n.kind == NodeKind::End);
+    if let Some(start) = start {
+        let fwd = graph::reachable_from(schema, start.id, EdgeFilter::CONTROL);
+        for n in schema.nodes() {
+            if !fwd.contains(&n.id) {
+                rep.push(
+                    Issue::error(
+                        IssueKind::Unreachable,
+                        format!("node {n} is unreachable from the start node"),
+                    )
+                    .with_nodes([n.id]),
+                );
+            }
+        }
+    }
+    if let Some(end) = end {
+        let back = graph::reaching_to(schema, end.id, EdgeFilter::CONTROL);
+        for n in schema.nodes() {
+            if !back.contains(&n.id) {
+                rep.push(
+                    Issue::error(
+                        IssueKind::Unreachable,
+                        format!("node {n} cannot reach the end node"),
+                    )
+                    .with_nodes([n.id]),
+                );
+            }
+        }
+    }
+}
+
+fn check_blocks_and_syncs(schema: &ProcessSchema, rep: &mut VerificationReport) {
+    // Guard structure on XOR splits: at most one unguarded (else) branch and
+    // guards must reference declared data elements.
+    for n in schema.nodes().filter(|n| n.kind == NodeKind::XorSplit) {
+        let mut unguarded = 0usize;
+        let mut total = 0usize;
+        for e in schema.out_edges_kind(n.id, EdgeKind::Control) {
+            total += 1;
+            match &e.guard {
+                None => unguarded += 1,
+                Some(g) => {
+                    if schema.data_element(g.data).is_err() {
+                        rep.push(
+                            Issue::error(
+                                IssueKind::GuardStructure,
+                                format!("guard on {e} references unknown data {}", g.data),
+                            )
+                            .with_nodes([n.id]),
+                        );
+                    } else if let Some(vt) = g.value.value_type() {
+                        let declared = schema.data_element(g.data).expect("checked").ty;
+                        if vt != declared {
+                            rep.push(
+                                Issue::error(
+                                    IssueKind::GuardTypeMismatch,
+                                    format!(
+                                        "guard on {e} compares {} ({declared}) against a {vt} literal",
+                                        g.data
+                                    ),
+                                )
+                                .with_nodes([n.id])
+                                .with_data([g.data]),
+                            );
+                        }
+                    }
+                }
+            }
+        }
+        // A fully unguarded XOR block delegates the branching decision to
+        // the runtime (user or simulation driver) and is legal. Mixing
+        // guarded branches with more than one unguarded branch makes the
+        // else-branch ambiguous.
+        if unguarded > 1 && unguarded != total {
+            rep.push(
+                Issue::error(
+                    IssueKind::GuardStructure,
+                    format!("XOR split {n} mixes guards with {unguarded} unguarded branches; at most one (else) allowed"),
+                )
+                .with_nodes([n.id]),
+            );
+        }
+    }
+
+    // Guards on non-XOR edges are meaningless.
+    for e in schema.edges() {
+        if e.guard.is_some() {
+            let from_kind = schema.node(e.from).map(|n| n.kind);
+            if from_kind != Ok(NodeKind::XorSplit) {
+                rep.push(Issue::warning(
+                    IssueKind::GuardStructure,
+                    format!("guard on {e} is ignored: source is not an XOR split"),
+                ));
+            }
+        }
+    }
+
+    // Block analysis must succeed; sync edges must connect concurrent nodes.
+    match Blocks::analyze(schema) {
+        Err(e) => {
+            rep.push(Issue::error(
+                IssueKind::BlockStructure,
+                format!("block analysis failed: {e}"),
+            ));
+        }
+        Ok(blocks) => {
+            for e in schema.sync_edges() {
+                if e.from == e.to {
+                    rep.push(
+                        Issue::error(IssueKind::SyncEdge, format!("sync edge {e} is a self loop"))
+                            .with_nodes([e.from]),
+                    );
+                    continue;
+                }
+                if blocks.parallel_separator(e.from, e.to).is_none() {
+                    rep.push(
+                        Issue::error(
+                            IssueKind::SyncEdge,
+                            format!(
+                                "sync edge {e} does not connect different branches of one parallel block"
+                            ),
+                        )
+                        .with_nodes([e.from, e.to]),
+                    );
+                }
+                if !blocks.same_loop_context(e.from, e.to) {
+                    rep.push(
+                        Issue::error(
+                            IssueKind::SyncEdge,
+                            format!("sync edge {e} crosses a loop boundary"),
+                        )
+                        .with_nodes([e.from, e.to]),
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adept_model::SchemaBuilder;
+
+    #[test]
+    fn builder_output_is_structurally_sound() {
+        let mut b = SchemaBuilder::new("good");
+        b.activity("a");
+        b.and_split();
+        b.branch();
+        b.activity("b");
+        b.branch();
+        b.activity("c");
+        b.and_join();
+        let s = b.build().unwrap();
+        let rep = check_structure(&s);
+        assert!(rep.is_correct(), "{rep}");
+    }
+
+    #[test]
+    fn dangling_node_is_unreachable() {
+        let mut b = SchemaBuilder::new("g");
+        b.activity("a");
+        let mut s = b.build().unwrap();
+        s.add_node("orphan", NodeKind::Activity);
+        let rep = check_structure(&s);
+        assert!(!rep.is_correct());
+        assert!(rep.has(IssueKind::Unreachable));
+        assert!(rep.has(IssueKind::Degree));
+    }
+
+    #[test]
+    fn sync_within_sequence_is_rejected() {
+        let mut b = SchemaBuilder::new("g");
+        let a = b.activity("a");
+        let c = b.activity("c");
+        b.sync(a, c);
+        let s = b.build().unwrap();
+        let rep = check_structure(&s);
+        assert!(rep.has(IssueKind::SyncEdge));
+        assert!(!rep.is_correct());
+    }
+
+    #[test]
+    fn sync_between_parallel_branches_is_accepted() {
+        let mut b = SchemaBuilder::new("g");
+        b.and_split();
+        b.branch();
+        let a = b.activity("a");
+        b.branch();
+        let c = b.activity("c");
+        b.and_join();
+        b.sync(a, c);
+        let s = b.build().unwrap();
+        let rep = check_structure(&s);
+        assert!(rep.is_correct(), "{rep}");
+    }
+
+    #[test]
+    fn sync_crossing_loop_boundary_is_rejected() {
+        let mut b = SchemaBuilder::new("g");
+        b.and_split();
+        b.branch();
+        let a = b.activity("a");
+        b.branch();
+        b.loop_start();
+        let inner = b.activity("inner");
+        b.loop_end(adept_model::LoopCond::Times(2));
+        b.and_join();
+        b.sync(a, inner);
+        let s = b.build().unwrap();
+        let rep = check_structure(&s);
+        assert!(rep.has(IssueKind::SyncEdge));
+    }
+
+    #[test]
+    fn fully_unguarded_xor_is_external_choice_and_legal() {
+        let mut b = SchemaBuilder::new("g");
+        b.xor_split();
+        b.case();
+        b.activity("x");
+        b.case();
+        b.activity("y");
+        b.xor_join();
+        let s = b.build().unwrap();
+        let rep = check_structure(&s);
+        assert!(rep.is_correct(), "{rep}");
+    }
+
+    #[test]
+    fn mixed_guards_with_two_else_branches_rejected() {
+        use adept_model::{CmpOp, Guard, Value, ValueType};
+        let mut b = SchemaBuilder::new("g");
+        let d = b.data("amount", ValueType::Int);
+        b.xor_split();
+        b.case_when(Guard::new(d, CmpOp::Ge, Value::Int(10)));
+        b.activity("x");
+        b.case();
+        b.activity("y");
+        b.case();
+        b.activity("z");
+        b.xor_join();
+        let s = b.build().unwrap();
+        let rep = check_structure(&s);
+        assert!(rep.has(IssueKind::GuardStructure));
+    }
+}

@@ -1,0 +1,66 @@
+//! E-health scenario (the paper reports ADEPT2 deployments in e-health):
+//! a clinical pathway with an examination loop and a guarded surgery
+//! branch; one patient receives an ad-hoc specialist consult; a later
+//! guideline update (type change) adds a mandatory lab review for all
+//! future and compliant running cases.
+//!
+//! Run with: `cargo run -p adept-examples --bin clinical_pathway`
+
+use adept_core::{ChangeOp, MigrationOptions, NewActivity};
+use adept_engine::ProcessEngine;
+use adept_simgen::{scenarios, RandomDriver};
+
+fn main() {
+    let engine = ProcessEngine::new();
+    let name = engine.deploy(scenarios::clinical_pathway()).unwrap();
+    let v1 = engine.repo.deployed(&name, 1).unwrap();
+
+    // Admit five patients at different stages.
+    let mut patients = Vec::new();
+    for k in 0..5u64 {
+        let id = engine.create_instance(&name).unwrap();
+        let mut driver = RandomDriver::new(k);
+        engine.run_instance(id, &mut driver, Some(k as usize)).unwrap();
+        patients.push(id);
+    }
+
+    // Patient 0 gets an ad-hoc specialist consult before anamnesis.
+    let admit = v1.schema.node_by_name("admit patient").unwrap().id;
+    let anam = v1.schema.node_by_name("anamnesis").unwrap().id;
+    match engine.ad_hoc_change(
+        patients[0],
+        &ChangeOp::SerialInsert {
+            activity: NewActivity::named("specialist consult").with_role("physician"),
+            pred: admit,
+            succ: anam,
+        },
+    ) {
+        Ok(()) => println!("{}: specialist consult inserted ad hoc", patients[0]),
+        Err(e) => println!("{}: consult rejected ({e})", patients[0]),
+    }
+
+    // Guideline update: lab review before the therapy plan, for everyone.
+    let therapy = v1.schema.node_by_name("therapy plan").unwrap().id;
+    let discharge = v1.schema.node_by_name("discharge").unwrap().id;
+    engine
+        .evolve_type(
+            &name,
+            &[ChangeOp::SerialInsert {
+                activity: NewActivity::named("lab review").with_role("lab"),
+                pred: therapy,
+                succ: discharge,
+            }],
+        )
+        .unwrap();
+    let report = engine
+        .migrate_all(&name, &MigrationOptions::default(), 2)
+        .unwrap();
+    println!("\n{report}");
+
+    // Treat everyone to discharge.
+    for (k, id) in patients.iter().enumerate() {
+        let mut driver = RandomDriver::new(1000 + k as u64);
+        engine.run_instance(*id, &mut driver, Some(300)).unwrap();
+        println!("\n{} final state:\n{}", id, engine.render_instance(*id).unwrap());
+    }
+}

@@ -1,0 +1,48 @@
+//! Container transportation (paper reference [3], Bassil/Keller/Kropf):
+//! parallel customs handling and vessel loading ordered by a sync edge; a
+//! storm forces an ad-hoc re-route (insert "divert to alternate port"),
+//! demonstrating correctness-preserving deviation under way.
+//!
+//! Run with: `cargo run -p adept-examples --bin container_logistics`
+
+use adept_core::{ChangeOp, NewActivity};
+use adept_engine::ProcessEngine;
+use adept_simgen::scenarios;
+use adept_state::DefaultDriver;
+
+fn main() {
+    let engine = ProcessEngine::new();
+    let name = engine.deploy(scenarios::container_logistics()).unwrap();
+    let v1 = engine.repo.deployed(&name, 1).unwrap();
+
+    let shipment = engine.create_instance(&name).unwrap();
+    engine.run_instance(shipment, &mut DefaultDriver, Some(3)).unwrap();
+    println!("shipment under way:\n{}", engine.render_instance(shipment).unwrap());
+
+    // Storm: divert before sea transport.
+    let sea = v1.schema.node_by_name("sea transport").unwrap().id;
+    let deliver = v1.schema.node_by_name("deliver container").unwrap().id;
+    engine
+        .ad_hoc_change(
+            shipment,
+            &ChangeOp::SerialInsert {
+                activity: NewActivity::named("divert to alternate port").with_role("dispatcher"),
+                pred: sea,
+                succ: deliver,
+            },
+        )
+        .unwrap();
+    println!("ad-hoc diversion inserted (instance is now biased: {})",
+        engine.store.get(shipment).unwrap().bias.summary());
+
+    // An illegal deviation is rejected: deleting the already-completed
+    // booking would violate the state precondition.
+    let book = v1.schema.node_by_name("book transport").unwrap().id;
+    match engine.ad_hoc_change(shipment, &ChangeOp::DeleteActivity { node: book }) {
+        Err(e) => println!("deleting completed booking correctly rejected: {e}"),
+        Ok(()) => unreachable!("must be rejected"),
+    }
+
+    engine.run_instance(shipment, &mut DefaultDriver, None).unwrap();
+    println!("\ndelivered:\n{}", engine.render_instance(shipment).unwrap());
+}

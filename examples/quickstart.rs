@@ -1,0 +1,70 @@
+//! Quickstart: model a process, run an instance, apply an ad-hoc change,
+//! evolve the type and migrate — the whole ADEPT2 loop in ~60 lines.
+//!
+//! Run with: `cargo run -p adept-examples --bin quickstart`
+
+use adept_core::{ChangeOp, MigrationOptions, NewActivity};
+use adept_engine::ProcessEngine;
+use adept_model::{SchemaBuilder, ValueType};
+use adept_state::DefaultDriver;
+
+fn main() {
+    // 1. Model a template with the fluent builder.
+    let mut b = SchemaBuilder::new("expense approval");
+    let amount = b.data("amount", ValueType::Int);
+    let submit = b.activity("submit expense");
+    b.write(submit, amount);
+    let review = b.activity("review");
+    b.read(review, amount);
+    let payout = b.activity("payout");
+    let _ = payout;
+    let schema = b.build().expect("well-formed schema");
+
+    // 2. Deploy and start instances.
+    let engine = ProcessEngine::new();
+    let name = engine.deploy(schema).unwrap();
+    let i1 = engine.create_instance(&name).unwrap();
+    let i2 = engine.create_instance(&name).unwrap();
+    println!("deployed \"{name}\", created {i1} and {i2}");
+
+    // 3. Execute I1 one step, then deviate ad hoc: insert an audit step.
+    engine.run_instance(i1, &mut DefaultDriver, Some(1)).unwrap();
+    let v1 = engine.repo.deployed(&name, 1).unwrap();
+    let review_id = v1.schema.node_by_name("review").unwrap().id;
+    let payout_id = v1.schema.node_by_name("payout").unwrap().id;
+    engine
+        .ad_hoc_change(
+            i1,
+            &ChangeOp::SerialInsert {
+                activity: NewActivity::named("audit").with_role("auditor"),
+                pred: review_id,
+                succ: payout_id,
+            },
+        )
+        .unwrap();
+    println!("\nI1 after the ad-hoc change:\n{}", engine.render_instance(i1).unwrap());
+
+    // 4. Evolve the type for everyone: notify the submitter at the end.
+    let end = v1.schema.end_node();
+    engine
+        .evolve_type(
+            &name,
+            &[ChangeOp::SerialInsert {
+                activity: NewActivity::named("notify submitter"),
+                pred: payout_id,
+                succ: end,
+            }],
+        )
+        .unwrap();
+    let report = engine
+        .migrate_all(&name, &MigrationOptions::default(), 1)
+        .unwrap();
+    println!("{report}");
+
+    // 5. Finish both instances; I1 executes audit + notify, I2 just notify.
+    for id in [i1, i2] {
+        engine.run_instance(id, &mut DefaultDriver, None).unwrap();
+        assert!(engine.is_finished(id).unwrap());
+        println!("{id} finished:\n{}", engine.render_instance(id).unwrap());
+    }
+}

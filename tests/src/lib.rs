@@ -1,0 +1,1 @@
+//! Integration test crate for the ADEPT2 reproduction (tests live in `tests/`).

@@ -1,0 +1,109 @@
+//! The paper's central efficiency claim (C2): the per-operation compliance
+//! conditions decide exactly like the trace-replay criterion — *"precise
+//! and easy to implement compliance conditions"* that avoid replaying
+//! histories. Property-tested over random schemas, random instance
+//! progress and random change operations.
+
+use adept_core::{check_fast, check_trace};
+use adept_simgen::{generate_population, random_change, GenParams};
+use adept_state::Execution;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 64,
+        ..ProptestConfig::default()
+    })]
+
+    /// fast(ΔT, marking) == trace-replay(reduced history, S') for random
+    /// workloads.
+    #[test]
+    fn fast_conditions_match_trace_criterion(
+        schema_seed in 0u64..5000,
+        pop_seed in 0u64..5000,
+        change_seed in 0u64..5000,
+    ) {
+        let schema = adept_simgen::generate_schema(&GenParams::sized(14), schema_seed);
+        let ex = Execution::new(&schema).unwrap();
+        let Some((evolved, delta)) = random_change(&schema, change_seed, "prop") else {
+            return Ok(()); // no applicable change on this schema
+        };
+        let ex_new = Execution::new(&evolved).unwrap();
+
+        // moveActivity is the one operation whose state-based condition is
+        // deliberately *conservative* (sufficient, not necessary): moving an
+        // already-executed activity can coincidentally fit the recorded
+        // order, which replay accepts but the NS-table rejects — the same
+        // precision gap the ADEPT literature documents. For moves we check
+        // soundness (fast-compliant => trace-compliant); for every other
+        // operation the conditions are exact.
+        let has_move = delta.ops.iter().any(|r| {
+            matches!(r.op, adept_core::ChangeOp::MoveActivity { .. })
+        });
+        for st in generate_population(&ex, 4, pop_seed) {
+            let fast = check_fast(&schema, &ex.blocks, &st, &delta);
+            let trace = check_trace(&schema, &ex.blocks, &ex_new, &st);
+            if has_move {
+                prop_assert!(
+                    !fast.is_compliant() || trace.is_compliant(),
+                    "fast accepted a move that trace rejects (schema {} / pop {} / change {}):\n  delta: {}\n  fast:  {}\n  trace: {}\n  history: {}",
+                    schema_seed, pop_seed, change_seed, &delta, fast, trace, &st.history
+                );
+            } else {
+                prop_assert_eq!(
+                    fast.is_compliant(),
+                    trace.is_compliant(),
+                    "divergence on schema seed {} / pop seed {} / change seed {}:\n  delta: {}\n  fast:  {}\n  trace: {}\n  history: {}",
+                    schema_seed, pop_seed, change_seed, &delta, fast, trace, &st.history
+                );
+            }
+        }
+    }
+
+    /// Fresh instances (no progress) are compliant with every valid change.
+    #[test]
+    fn fresh_instances_always_compliant(
+        schema_seed in 0u64..5000,
+        change_seed in 0u64..5000,
+    ) {
+        let schema = adept_simgen::generate_schema(&GenParams::sized(12), schema_seed);
+        let ex = Execution::new(&schema).unwrap();
+        let Some((evolved, delta)) = random_change(&schema, change_seed, "fresh") else {
+            return Ok(());
+        };
+        let st = ex.init().unwrap();
+        let fast = check_fast(&schema, &ex.blocks, &st, &delta);
+        prop_assert!(fast.is_compliant(), "fresh instance rejected: {}", fast);
+        let ex_new = Execution::new(&evolved).unwrap();
+        let trace = check_trace(&schema, &ex.blocks, &ex_new, &st);
+        prop_assert!(trace.is_compliant(), "fresh instance rejected by trace: {}", trace);
+    }
+
+    /// Attribute-only changes never make any instance non-compliant.
+    #[test]
+    fn attribute_changes_always_compliant(
+        schema_seed in 0u64..5000,
+        pop_seed in 0u64..5000,
+    ) {
+        let schema = adept_simgen::generate_schema(&GenParams::sized(10), schema_seed);
+        let ex = Execution::new(&schema).unwrap();
+        let Some(act) = schema.activities().next() else { return Ok(()); };
+        let mut evolved = schema.clone();
+        let rec = adept_core::apply_op(
+            &mut evolved,
+            &adept_core::ChangeOp::SetActivityAttributes {
+                node: act.id,
+                attrs: adept_model::ActivityAttributes {
+                    role: Some("auditor".into()),
+                    ..Default::default()
+                },
+            },
+        ).unwrap();
+        let delta: adept_core::Delta = std::iter::once(rec).collect();
+        let ex_new = Execution::new(&evolved).unwrap();
+        for st in generate_population(&ex, 3, pop_seed) {
+            prop_assert!(check_fast(&schema, &ex.blocks, &st, &delta).is_compliant());
+            prop_assert!(check_trace(&schema, &ex.blocks, &ex_new, &st).is_compliant());
+        }
+    }
+}
