@@ -3,6 +3,8 @@
 //! verification, state compliance, state adaptation, substitution-block
 //! derivation) as experienced by a single running instance.
 
+#![allow(deprecated)] // benches the per-op path the txn API amortises
+
 use adept_core::{ChangeOp, NewActivity};
 use adept_engine::ProcessEngine;
 use adept_simgen::scenarios;
@@ -14,7 +16,8 @@ fn bench_adhoc(c: &mut Criterion) {
     let mut group = c.benchmark_group("adhoc_change");
     group.sample_size(30);
 
-    let ops: Vec<(&str, Box<dyn Fn(&adept_model::ProcessSchema) -> ChangeOp>)> = vec![
+    type OpMaker = Box<dyn Fn(&adept_model::ProcessSchema) -> ChangeOp>;
+    let ops: Vec<(&str, OpMaker)> = vec![
         (
             "serial_insert",
             Box::new(|s| ChangeOp::SerialInsert {
@@ -62,7 +65,9 @@ fn bench_adhoc(c: &mut Criterion) {
                     let engine = ProcessEngine::new();
                     let name = engine.deploy(scenarios::order_process()).unwrap();
                     let id = engine.create_instance(&name).unwrap();
-                    engine.run_instance(id, &mut DefaultDriver, Some(1)).unwrap();
+                    engine
+                        .run_instance(id, &mut DefaultDriver, Some(1))
+                        .unwrap();
                     let op = make(&engine.repo.deployed(&name, 1).unwrap().schema);
                     (engine, id, op)
                 },

@@ -4,6 +4,8 @@
 //! Measures per-access schema resolution latency; the byte-level memory
 //! comparison is printed once at the end.
 
+#![allow(deprecated)] // single-op wrappers exercised deliberately
+
 use adept_core::{apply_op, ChangeOp, Delta, NewActivity};
 use adept_model::EdgeKind;
 use adept_simgen::{generate_schema, GenParams};
@@ -11,9 +13,11 @@ use adept_storage::{InstanceStore, Representation, SchemaRepository};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
-fn setup(strategy: Representation, schema_size: usize, biased: bool)
-    -> (SchemaRepository, InstanceStore, adept_model::InstanceId)
-{
+fn setup(
+    strategy: Representation,
+    schema_size: usize,
+    biased: bool,
+) -> (SchemaRepository, InstanceStore, adept_model::InstanceId) {
     let schema = generate_schema(&GenParams::sized(schema_size), 42);
     let repo = SchemaRepository::new();
     let name = repo.deploy(schema).unwrap();
@@ -53,7 +57,11 @@ fn bench_fig2(c: &mut Criterion) {
         for (label, strategy, biased) in [
             ("unbiased_shared", Representation::Hybrid, false),
             ("hybrid_overlay_cached", Representation::Hybrid, true),
-            ("rematerialize_each_access", Representation::RedundantFree, true),
+            (
+                "rematerialize_each_access",
+                Representation::RedundantFree,
+                true,
+            ),
             ("full_copy", Representation::FullCopy, true),
         ] {
             let (repo, store, id) = setup(strategy, schema_size, biased);

@@ -4,6 +4,8 @@
 //! workers. The paper: "the concomitant migration of thousands of
 //! instances ... on-the-fly ... avoid performance penalties".
 
+#![allow(deprecated)] // single-op wrappers exercised deliberately
+
 use adept_core::MigrationOptions;
 use adept_engine::ProcessEngine;
 use adept_simgen::{scenarios, RandomDriver};
@@ -18,9 +20,7 @@ fn populate(n: usize) -> (ProcessEngine, String) {
         let mut driver = RandomDriver::new(k as u64);
         // Random progress: 0..=2 completed activities keeps most instances
         // compliant (the interesting hot path).
-        engine
-            .run_instance(id, &mut driver, Some(k % 3))
-            .unwrap();
+        engine.run_instance(id, &mut driver, Some(k % 3)).unwrap();
     }
     (engine, name)
 }
@@ -39,9 +39,12 @@ fn bench_fig3(c: &mut Criterion) {
                         || {
                             let (engine, name) = populate(n);
                             engine
-                                .evolve_type(&name, &scenarios::fig1_delta_ops(
-                                    &engine.repo.deployed(&name, 1).unwrap().schema,
-                                ))
+                                .evolve_type(
+                                    &name,
+                                    &scenarios::fig1_delta_ops(
+                                        &engine.repo.deployed(&name, 1).unwrap().schema,
+                                    ),
+                                )
                                 .unwrap();
                             (engine, name)
                         },

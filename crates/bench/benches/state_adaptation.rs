@@ -39,31 +39,23 @@ fn bench_adaptation(c: &mut Criterion) {
         let ex_new = Execution::new(&evolved).unwrap();
         let events = st.history.len();
 
-        group.bench_with_input(
-            BenchmarkId::new("incremental", events),
-            &events,
-            |b, _| {
-                b.iter_batched(
-                    || st.clone(),
-                    |mut adapted| {
-                        adapt_instance_state(&schema, &ex.blocks, &ex_new, &delta, &mut adapted)
-                            .unwrap();
-                        black_box(adapted)
-                    },
-                    criterion::BatchSize::SmallInput,
-                )
-            },
-        );
-        group.bench_with_input(
-            BenchmarkId::new("full_replay", events),
-            &events,
-            |b, _| {
-                b.iter(|| {
-                    let reduced = st.history.reduced(&schema, &ex.blocks);
-                    black_box(ex_new.replay(&reduced).unwrap())
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("incremental", events), &events, |b, _| {
+            b.iter_batched(
+                || st.clone(),
+                |mut adapted| {
+                    adapt_instance_state(&schema, &ex.blocks, &ex_new, &delta, &mut adapted)
+                        .unwrap();
+                    black_box(adapted)
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+        group.bench_with_input(BenchmarkId::new("full_replay", events), &events, |b, _| {
+            b.iter(|| {
+                let reduced = st.history.reduced(&schema, &ex.blocks);
+                black_box(ex_new.replay(&reduced).unwrap())
+            })
+        });
     }
     group.finish();
 }

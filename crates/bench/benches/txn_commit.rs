@@ -1,0 +1,106 @@
+//! Change-transaction amortisation: committing N staged operations as ONE
+//! transaction (single verification + compliance pass) versus applying the
+//! same N operations through the per-op path (one full verification pass
+//! *each*). The gap widens linearly with N — this is the hot path every
+//! multi-op repair, batch deviation and staged evolution takes.
+
+#![allow(deprecated)] // benches the per-op path the txn API amortises
+
+use adept_core::{ChangeOp, NewActivity};
+use adept_engine::ProcessEngine;
+use adept_model::ProcessSchema;
+use adept_simgen::{generate_schema, GenParams};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+/// N serial inserts spread along the control edges of the schema.
+fn batch_ops(schema: &ProcessSchema, n: usize) -> Vec<ChangeOp> {
+    let mut ops = Vec::new();
+    let edges: Vec<_> = schema
+        .edges()
+        .filter(|e| e.kind == adept_model::EdgeKind::Control)
+        .map(|e| (e.from, e.to))
+        .collect();
+    for k in 0..n {
+        let (pred, succ) = edges[k % edges.len()];
+        ops.push(ChangeOp::SerialInsert {
+            activity: NewActivity::named(format!("batch{k}")),
+            pred,
+            succ,
+        });
+    }
+    ops
+}
+
+fn setup(n_ops: usize) -> (ProcessEngine, adept_model::InstanceId, Vec<ChangeOp>) {
+    let engine = ProcessEngine::new();
+    let schema = generate_schema(&GenParams::sized(30), 42);
+    let name = engine.deploy(schema).unwrap();
+    let id = engine.create_instance(&name).unwrap();
+    let dep = engine.repo.deployed(&name, 1).unwrap();
+    let ops = batch_ops(&dep.schema, n_ops);
+    (engine, id, ops)
+}
+
+fn bench_txn_commit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("txn_commit");
+    group.sample_size(20);
+
+    for n in [1usize, 4, 8, 16] {
+        group.throughput(Throughput::Elements(n as u64));
+
+        // One transaction: N staged ops, ONE verification pass at commit.
+        group.bench_with_input(BenchmarkId::new("transactional", n), &n, |b, &n| {
+            b.iter_batched(
+                || setup(n),
+                |(engine, id, ops)| {
+                    let mut session = engine.begin_change(id).unwrap();
+                    for op in &ops {
+                        session.stage(op).unwrap();
+                    }
+                    black_box(session.commit().unwrap())
+                },
+                criterion::BatchSize::PerIteration,
+            )
+        });
+
+        // Per-op path: N separate changes, N verification passes.
+        group.bench_with_input(BenchmarkId::new("per_op", n), &n, |b, &n| {
+            b.iter_batched(
+                || setup(n),
+                |(engine, id, ops)| {
+                    for op in &ops {
+                        engine.ad_hoc_change(id, op).unwrap();
+                    }
+                    black_box(engine.store.get(id).unwrap().bias.len())
+                },
+                criterion::BatchSize::PerIteration,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_preview(c: &mut Criterion) {
+    let mut group = c.benchmark_group("txn_preview");
+    group.sample_size(20);
+    // Preview = the full commit gates as a dry run: it should cost about
+    // one commit, not N per-op applications.
+    group.bench_function("preview_8_ops", |b| {
+        b.iter_batched(
+            || setup(8),
+            |(engine, id, ops)| {
+                let mut session = engine.begin_change(id).unwrap();
+                for op in &ops {
+                    session.stage(op).unwrap();
+                }
+                black_box(session.preview().unwrap().is_committable())
+            },
+            criterion::BatchSize::PerIteration,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_txn_commit, bench_preview);
+criterion_main!(benches);

@@ -70,8 +70,7 @@ fn rewind_region(
     roots: &[adept_model::NodeId],
 ) {
     let mut stack: Vec<adept_model::NodeId> = roots.to_vec();
-    let mut seen: std::collections::BTreeSet<adept_model::NodeId> =
-        roots.iter().copied().collect();
+    let mut seen: std::collections::BTreeSet<adept_model::NodeId> = roots.iter().copied().collect();
     while let Some(n) = stack.pop() {
         match m.node(n) {
             NodeState::Activated => m.set_node(n, NodeState::NotActivated),
@@ -109,9 +108,7 @@ fn adapt_op(new_ex: &Execution<'_>, rec: &AppliedOp, st: &mut InstanceState) {
             // re-gates them. Dead or unsignalled edges leave downstream
             // state untouched (it derives from other paths, if at all).
             let mut fired = false;
-            if let (Some(old), Some(entry)) =
-                (rec.removed_edges.first(), rec.added_edges.first())
-            {
+            if let (Some(old), Some(entry)) = (rec.removed_edges.first(), rec.added_edges.first()) {
                 let s = m.edge(*old);
                 fired = s == EdgeState::TrueSignaled;
                 m.forget_edge(*old);
@@ -284,8 +281,14 @@ mod tests {
             )
             .unwrap();
             let sq = rec1.inserted_activity().unwrap();
-            let rec2 = apply_op(&mut s_new, &ChangeOp::InsertSyncEdge { from: sq, to: confirm })
-                .unwrap();
+            let rec2 = apply_op(
+                &mut s_new,
+                &ChangeOp::InsertSyncEdge {
+                    from: sq,
+                    to: confirm,
+                },
+            )
+            .unwrap();
             let delta: Delta = vec![rec1, rec2].into_iter().collect();
 
             let ex_new = Execution::new(&s_new).unwrap();

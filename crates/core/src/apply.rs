@@ -175,8 +175,9 @@ fn alloc_edge(
             EdgeKind::Loop => Ok(schema.add_loop_edge(
                 e.from,
                 e.to,
-                e.loop_cond
-                    .ok_or_else(|| ChangeError::Precondition("loop edge without condition".into()))?,
+                e.loop_cond.ok_or_else(|| {
+                    ChangeError::Precondition("loop edge without condition".into())
+                })?,
             )?),
         },
         Some(f) => {
@@ -337,7 +338,8 @@ fn branch_insert(
     attach_data_edges(schema, x, activity)?;
     let mut rec = AppliedOp::plain(op.clone());
     rec.added_nodes.extend([x, split, join]);
-    rec.added_edges.extend([entry, to_x, x_join, else_edge, exit]);
+    rec.added_edges
+        .extend([entry, to_x, x_join, else_edge, exit]);
     rec.removed_edges.push(old_edge_id);
     Ok(rec)
 }
@@ -362,8 +364,7 @@ fn parallel_insert(
     // edges: compute it and check its boundary.
     let fwd = graph::reachable_from(schema, from, EdgeFilter::CONTROL);
     let back = graph::reaching_to(schema, to, EdgeFilter::CONTROL);
-    let region: std::collections::BTreeSet<NodeId> =
-        fwd.intersection(&back).copied().collect();
+    let region: std::collections::BTreeSet<NodeId> = fwd.intersection(&back).copied().collect();
     if !region.contains(&from) || !region.contains(&to) {
         return Err(ChangeError::Precondition(format!(
             "{to} is not reachable from {from}"
@@ -436,14 +437,8 @@ fn delete_activity(
         .out_edges_kind(node, EdgeKind::Control)
         .map(|e| e.id)
         .collect();
-    let has_sync = schema
-        .in_edges_kind(node, EdgeKind::Sync)
-        .next()
-        .is_some()
-        || schema
-            .out_edges_kind(node, EdgeKind::Sync)
-            .next()
-            .is_some();
+    let has_sync = schema.in_edges_kind(node, EdgeKind::Sync).next().is_some()
+        || schema.out_edges_kind(node, EdgeKind::Sync).next().is_some();
 
     let mut rec = AppliedOp::plain(op.clone());
     if cin.len() == 1 && cout.len() == 1 && !has_sync {
@@ -455,8 +450,7 @@ fn delete_activity(
         // branch decisions (`XorChosen`) reference the head node, and
         // replacing it by a silent null task (ADEPT's "empty activity")
         // keeps those decisions resolvable during compliance replay.
-        let is_xor_branch_head =
-            schema.node(pin.from).map(|n| n.kind) == Ok(NodeKind::XorSplit);
+        let is_xor_branch_head = schema.node(pin.from).map(|n| n.kind) == Ok(NodeKind::XorSplit);
         if schema
             .edge_between(pin.from, pout.to, EdgeKind::Control)
             .is_none()
@@ -513,14 +507,8 @@ fn move_activity(
             "{node} is not serial (1 in / 1 out control edge) and cannot be moved"
         )));
     }
-    let has_sync = schema
-        .in_edges_kind(node, EdgeKind::Sync)
-        .next()
-        .is_some()
-        || schema
-            .out_edges_kind(node, EdgeKind::Sync)
-            .next()
-            .is_some();
+    let has_sync = schema.in_edges_kind(node, EdgeKind::Sync).next().is_some()
+        || schema.out_edges_kind(node, EdgeKind::Sync).next().is_some();
     if has_sync {
         return Err(ChangeError::Precondition(format!(
             "{node} has sync edges; delete them before moving"
@@ -574,7 +562,9 @@ fn insert_sync_edge(
     schema.node(from)?;
     schema.node(to)?;
     if from == to {
-        return Err(ChangeError::Precondition("sync edge cannot be a self loop".into()));
+        return Err(ChangeError::Precondition(
+            "sync edge cannot be a self loop".into(),
+        ));
     }
     let blocks = Blocks::analyze(schema)
         .map_err(|e| ChangeError::Precondition(format!("block analysis failed: {e}")))?;
@@ -664,7 +654,14 @@ mod tests {
         )
         .unwrap();
         let sq = rec1.inserted_activity().unwrap();
-        apply_op(&mut s, &ChangeOp::InsertSyncEdge { from: sq, to: confirm }).unwrap();
+        apply_op(
+            &mut s,
+            &ChangeOp::InsertSyncEdge {
+                from: sq,
+                to: confirm,
+            },
+        )
+        .unwrap();
         assert!(is_correct(&s));
         assert_eq!(s.sync_edges().count(), 1);
         assert_eq!(s.sole_control_successor(compose), Some(sq));
@@ -679,7 +676,14 @@ mod tests {
         let confirm = node(&s, "confirm order");
         let pack = node(&s, "pack goods");
         let compose = node(&s, "compose order");
-        apply_op(&mut s, &ChangeOp::InsertSyncEdge { from: confirm, to: compose }).unwrap();
+        apply_op(
+            &mut s,
+            &ChangeOp::InsertSyncEdge {
+                from: confirm,
+                to: compose,
+            },
+        )
+        .unwrap();
         let rec = apply_op(
             &mut s,
             &ChangeOp::SerialInsert {
@@ -690,8 +694,14 @@ mod tests {
         )
         .unwrap();
         let sq = rec.inserted_activity().unwrap();
-        let err = apply_op(&mut s, &ChangeOp::InsertSyncEdge { from: sq, to: confirm })
-            .unwrap_err();
+        let err = apply_op(
+            &mut s,
+            &ChangeOp::InsertSyncEdge {
+                from: sq,
+                to: confirm,
+            },
+        )
+        .unwrap_err();
         assert!(matches!(err, ChangeError::Precondition(_)), "{err}");
         assert!(err.to_string().contains("deadlock"));
     }
@@ -749,11 +759,7 @@ mod tests {
     #[test]
     fn delete_rejects_non_activity() {
         let mut s = order_process();
-        let split = s
-            .nodes()
-            .find(|n| n.kind == NodeKind::AndSplit)
-            .unwrap()
-            .id;
+        let split = s.nodes().find(|n| n.kind == NodeKind::AndSplit).unwrap().id;
         assert!(apply_op(&mut s, &ChangeOp::DeleteActivity { node: split }).is_err());
     }
 
@@ -847,7 +853,10 @@ mod tests {
             },
         )
         .unwrap_err();
-        assert!(matches!(err, ChangeError::PostconditionViolated(_)), "{err}");
+        assert!(
+            matches!(err, ChangeError::PostconditionViolated(_)),
+            "{err}"
+        );
         // Schema unchanged on failure.
         assert!(s.node_by_name("x").is_none());
     }
@@ -857,11 +866,7 @@ mod tests {
         let mut s = order_process();
         let get = node(&s, "get order");
         let collect = node(&s, "collect data");
-        let and_split = s
-            .nodes()
-            .find(|n| n.kind == NodeKind::AndSplit)
-            .unwrap()
-            .id;
+        let and_split = s.nodes().find(|n| n.kind == NodeKind::AndSplit).unwrap().id;
         let mut instance_schema = s.clone();
         instance_schema.reserve_private_id_space();
         let rec = apply_op(
@@ -944,9 +949,15 @@ mod tests {
     fn attribute_change() {
         let mut s = order_process();
         let get = node(&s, "get order");
-        let mut attrs = adept_model::ActivityAttributes::default();
-        attrs.role = Some("sales".into());
-        apply_op(&mut s, &ChangeOp::SetActivityAttributes { node: get, attrs }).unwrap();
+        let attrs = adept_model::ActivityAttributes {
+            role: Some("sales".into()),
+            ..Default::default()
+        };
+        apply_op(
+            &mut s,
+            &ChangeOp::SetActivityAttributes { node: get, attrs },
+        )
+        .unwrap();
         assert_eq!(s.node(get).unwrap().attrs.role.as_deref(), Some("sales"));
     }
 }

@@ -261,7 +261,10 @@ fn insert_on_edge_condition(
         None => Verdict::Compliant,
         Some((n, s)) => Verdict::conflict(
             ConflictKind::State,
-            format!("{}: {n} behind the insertion point is already {s}", rec.op.name()),
+            format!(
+                "{}: {n} behind the insertion point is already {s}",
+                rec.op.name()
+            ),
         ),
     }
 }
@@ -290,7 +293,9 @@ fn first_entered_event_node(
                 // its successors), stop this path.
             }
             NodeKind::XorSplit | NodeKind::LoopEnd => {
-                if s == NodeState::Completed || (node.kind == NodeKind::LoopEnd && m.loop_count(n) > 0) {
+                if s == NodeState::Completed
+                    || (node.kind == NodeKind::LoopEnd && m.loop_count(n) > 0)
+                {
                     return Some((n, s));
                 }
             }
@@ -362,14 +367,12 @@ fn completed_before_started(
                 // branch of this split than the chosen one.
                 if let Some(info) = blocks.by_split.get(split) {
                     let from_branch = info.branch_of(from);
-                    let chosen_branch = info
-                        .branch_of(*branch_target)
-                        .or_else(|| {
-                            // Branch target may be the head node itself.
-                            schema
-                                .out_edges_kind(*split, EdgeKind::Control)
-                                .position(|e| e.to == *branch_target)
-                        });
+                    let chosen_branch = info.branch_of(*branch_target).or_else(|| {
+                        // Branch target may be the head node itself.
+                        schema
+                            .out_edges_kind(*split, EdgeKind::Control)
+                            .position(|e| e.to == *branch_target)
+                    });
                     if let (Some(fb), Some(cb)) = (from_branch, chosen_branch) {
                         if fb != cb {
                             from_sealed = true;
@@ -459,8 +462,14 @@ mod tests {
         .unwrap();
         let sq = rec1.inserted_activity().unwrap();
         let confirm = s_new.node_by_name("confirm order").unwrap().id;
-        let rec2 = apply_op(&mut s_new, &ChangeOp::InsertSyncEdge { from: sq, to: confirm })
-            .unwrap();
+        let rec2 = apply_op(
+            &mut s_new,
+            &ChangeOp::InsertSyncEdge {
+                from: sq,
+                to: confirm,
+            },
+        )
+        .unwrap();
         let delta: Delta = vec![rec1, rec2].into_iter().collect();
 
         let ex_new = Execution::new(&s_new).unwrap();

@@ -49,10 +49,7 @@ impl Delta {
 
     /// All nodes the delta *anchors on* (pre-change nodes it references).
     pub fn anchor_nodes(&self) -> BTreeSet<NodeId> {
-        self.ops
-            .iter()
-            .flat_map(|r| r.anchor_nodes())
-            .collect()
+        self.ops.iter().flat_map(|r| r.anchor_nodes()).collect()
     }
 
     /// All nodes the delta added.
@@ -277,9 +274,7 @@ mod tests {
         .unwrap();
         let x = rec.inserted_activity().unwrap();
         delta.push(rec);
-        delta.push(
-            apply_op(&mut s, &crate::ops::ChangeOp::DeleteActivity { node: x }).unwrap(),
-        );
+        delta.push(apply_op(&mut s, &crate::ops::ChangeOp::DeleteActivity { node: x }).unwrap());
         assert_eq!(delta.len(), 2);
         delta.purge();
         assert!(delta.is_empty(), "insert+delete of same node is a no-op");

@@ -74,10 +74,7 @@ pub fn inverse_of(schema: &ProcessSchema, rec: &AppliedOp) -> Option<ChangeOp> {
 /// Undoes the **last** operation of a bias on the given (materialised)
 /// schema: applies the inverse with full checking and pops + purges the
 /// delta. Returns the inverse's application record.
-pub fn undo_last(
-    schema: &mut ProcessSchema,
-    bias: &mut Delta,
-) -> Result<AppliedOp, ChangeError> {
+pub fn undo_last(schema: &mut ProcessSchema, bias: &mut Delta) -> Result<AppliedOp, ChangeError> {
     let last = bias
         .ops
         .last()
@@ -119,7 +116,11 @@ mod tests {
         let original = base();
         let mut s = original.clone();
         let a = s.node_by_name("a").unwrap().id;
-        let split = s.nodes().find(|n| n.kind == adept_model::NodeKind::AndSplit).unwrap().id;
+        let split = s
+            .nodes()
+            .find(|n| n.kind == adept_model::NodeKind::AndSplit)
+            .unwrap()
+            .id;
         let mut bias = Delta::new();
         bias.push(
             apply_op(
@@ -147,7 +148,14 @@ mod tests {
         let right = s.node_by_name("right").unwrap().id;
         let mut bias = Delta::new();
         bias.push(
-            apply_op(&mut s, &ChangeOp::InsertSyncEdge { from: left, to: right }).unwrap(),
+            apply_op(
+                &mut s,
+                &ChangeOp::InsertSyncEdge {
+                    from: left,
+                    to: right,
+                },
+            )
+            .unwrap(),
         );
         assert_eq!(s.sync_edges().count(), 1);
         undo_last(&mut s, &mut bias).unwrap();
@@ -163,7 +171,11 @@ mod tests {
         let mut s = base();
         let left = s.node_by_name("left").unwrap().id;
         let right = s.node_by_name("right").unwrap().id;
-        let join = s.nodes().find(|n| n.kind == adept_model::NodeKind::AndJoin).unwrap().id;
+        let join = s
+            .nodes()
+            .find(|n| n.kind == adept_model::NodeKind::AndJoin)
+            .unwrap()
+            .id;
         let mut bias = Delta::new();
         // Move "left" behind "right" (into the other branch).
         bias.push(

@@ -7,6 +7,13 @@
 //!   (serial/parallel/conditional insert, delete, move, sync edges, data
 //!   flow changes) with structural pre-conditions and full verification as
 //!   post-condition: a dynamic change can never corrupt a schema.
+//! * [`txn`] — **change transactions**, the primary change surface: stage
+//!   any number of operations against a working overlay, dry-run them with
+//!   [`ChangeTxn::preview`], then commit atomically. A commit pays exactly
+//!   **one** full verification pass and one Fig.-1 compliance pass for the
+//!   whole batch — instead of one per operation — and a failed commit is
+//!   observably side-effect free. Recorded inverses ([`inverse`]) make
+//!   staged operations individually rollback-able.
 //! * [`delta`] — change logs (ΔT for type changes, the *bias* ΔI for
 //!   ad-hoc modified instances) and their algebra (disjointness, purging).
 //! * [`compliance`] — the correctness criterion for migrating running
@@ -21,41 +28,44 @@
 //!   onto the new version), and the migration report of the paper's
 //!   Fig. 3.
 //!
-//! The typical flow, mirroring the paper's demo:
+//! The transactional flow — stage, preview, commit:
 //!
 //! ```
-//! use adept_core::{ChangeOp, Delta, MigrationOptions, NewActivity, ProcessType};
-//! use adept_core::migration::migrate_instance;
+//! use adept_core::{ChangeOp, ChangeTxn, NewActivity};
 //! use adept_model::SchemaBuilder;
-//! use adept_state::{DefaultDriver, Execution};
 //!
-//! // Deploy version 1 of the order process.
 //! let mut b = SchemaBuilder::new("online order");
 //! b.activity("get order");
 //! b.activity("pack goods");
-//! let mut pt = ProcessType::new(b.build().unwrap()).unwrap();
+//! let base = b.build().unwrap();
+//! let get = base.node_by_name("get order").unwrap().id;
+//! let pack = base.node_by_name("pack goods").unwrap().id;
 //!
-//! // Start an instance on V1.
-//! let v1 = pt.latest().clone();
-//! let ex = Execution::new(&v1).unwrap();
-//! let mut st = ex.init().unwrap();
-//! ex.run(&mut st, &mut DefaultDriver, Some(1)).unwrap();
-//!
-//! // Evolve the type: V2 inserts "send invoice" before "pack goods".
-//! let get = v1.node_by_name("get order").unwrap().id;
-//! let pack = v1.node_by_name("pack goods").unwrap().id;
-//! let (v2, delta) = pt.evolve(&[ChangeOp::SerialInsert {
+//! // Stage two operations; no verification runs yet.
+//! let mut txn = ChangeTxn::begin(base);
+//! let invoice = txn.stage(&ChangeOp::SerialInsert {
 //!     activity: NewActivity::named("send invoice"),
 //!     pred: get,
 //!     succ: pack,
-//! }]).unwrap();
-//! assert_eq!(v2, 2);
+//! }).unwrap().inserted_activity().unwrap();
+//! txn.stage(&ChangeOp::SetActivityAttributes {
+//!     node: invoice,
+//!     attrs: adept_model::ActivityAttributes { role: Some("clerk".into()), ..Default::default() },
+//! }).unwrap();
 //!
-//! // Migrate the running instance on the fly.
-//! let res = migrate_instance(&v1, &ex.blocks, pt.latest(), &delta,
-//!     &Delta::new(), &st, &MigrationOptions::default());
-//! assert!(res.verdict.is_compliant());
+//! // Pure dry run: per-op diagnostics + the single verification pass.
+//! let preview = txn.preview(None);
+//! assert!(preview.is_committable());
+//!
+//! // Atomic commit: one verification pass for the whole batch.
+//! let committed = txn.commit_schema().unwrap();
+//! assert_eq!(committed.delta.len(), 2);
+//! assert!(committed.schema.node_by_name("send invoice").is_some());
 //! ```
+//!
+//! The classic per-operation entry point ([`apply_op`]) remains for
+//! callers that genuinely change one thing; `adept-engine` builds its
+//! session API (`begin_change` / `begin_evolution`) on [`ChangeTxn`].
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -68,6 +78,7 @@ pub mod error;
 pub mod inverse;
 pub mod migration;
 pub mod ops;
+pub mod txn;
 
 pub use adapt::adapt_instance_state;
 pub use apply::{apply_op, apply_op_unverified, apply_recorded};
@@ -80,3 +91,4 @@ pub use migration::{
     ProcessType,
 };
 pub use ops::{AppliedOp, ChangeOp, NewActivity};
+pub use txn::{ChangeTxn, CommittedTxn, OpDiagnostic, StagedOp, TxnPreview};

@@ -102,6 +102,42 @@ impl ProcessType {
     pub fn delta_between(&self, from: u32) -> Option<&Delta> {
         self.deltas.get((from as usize).checked_sub(1)?)
     }
+
+    /// Appends an **already-verified** schema as the next version, with
+    /// the delta that produced it. This is the change-transaction commit
+    /// path: the transaction ran the single verification pass over its
+    /// final overlay, so re-applying (and re-verifying) each operation
+    /// here would defeat the amortisation. The caller asserts that
+    /// `schema` is `latest() + delta`; the id-space invariant of
+    /// [`ProcessType::evolve`] is still enforced.
+    pub fn push_prepared(
+        &mut self,
+        mut schema: ProcessSchema,
+        delta: Delta,
+    ) -> Result<u32, ChangeError> {
+        if !schema.ids_below_private_space() {
+            return Err(ChangeError::Precondition(
+                "type evolution exhausted the public id space".into(),
+            ));
+        }
+        schema.version = self.latest().version + 1;
+        let v = schema.version;
+        self.versions.push(schema);
+        self.deltas.push(delta);
+        Ok(v)
+    }
+
+    /// Reverses the most recent [`ProcessType::push_prepared`], restoring
+    /// the version chain to its prior state. Install paths that discover a
+    /// pushed version is unusable (e.g. its block structure does not
+    /// analyze) use this so the `versions`/`deltas` pairing stays owned by
+    /// this type. A no-op on version 1 — the base version is never popped.
+    pub fn pop_prepared(&mut self) {
+        if self.versions.len() > 1 {
+            self.versions.pop();
+            self.deltas.pop();
+        }
+    }
 }
 
 /// Options controlling a migration run.
@@ -180,7 +216,10 @@ pub fn migrate_instance(
             if let Err(e) = apply_recorded(&mut target, rec) {
                 return MigrationResult::conflict(
                     ConflictKind::Structural,
-                    format!("bias {} cannot be re-applied on the new version: {e}", rec.op),
+                    format!(
+                        "bias {} cannot be re-applied on the new version: {e}",
+                        rec.op
+                    ),
                 );
             }
         }
@@ -190,7 +229,10 @@ pub fn migrate_instance(
                 let msgs: Vec<String> = report.errors().map(|i| i.to_string()).collect();
                 return MigrationResult::conflict(
                     ConflictKind::Structural,
-                    format!("type change and instance bias conflict: {}", msgs.join("; ")),
+                    format!(
+                        "type change and instance bias conflict: {}",
+                        msgs.join("; ")
+                    ),
                 );
             }
         }
@@ -224,7 +266,13 @@ pub fn migrate_instance(
 
     // Step 3: state adaptation.
     let mut adapted = st.clone();
-    if let Err(e) = adapt_instance_state(current_schema, current_blocks, &new_ex, delta_t, &mut adapted) {
+    if let Err(e) = adapt_instance_state(
+        current_schema,
+        current_blocks,
+        &new_ex,
+        delta_t,
+        &mut adapted,
+    ) {
         return MigrationResult::conflict(
             ConflictKind::State,
             format!("state adaptation failed: {e}"),
@@ -499,7 +547,10 @@ mod tests {
         match &res.verdict {
             Verdict::NotCompliant(c) => {
                 assert_eq!(c.kind, ConflictKind::Structural, "{c}");
-                assert!(c.reason.contains("deadlock") || c.reason.contains("conflict"), "{c}");
+                assert!(
+                    c.reason.contains("deadlock") || c.reason.contains("conflict"),
+                    "{c}"
+                );
             }
             v => panic!("expected structural conflict, got {v}"),
         }

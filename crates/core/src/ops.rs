@@ -10,9 +10,7 @@
 //! node/edge ids the application allocated. Records are what deltas,
 //! substitution blocks and conflict analysis operate on.
 
-use adept_model::{
-    AccessMode, ActivityAttributes, DataId, EdgeId, Guard, NodeId, ValueType,
-};
+use adept_model::{AccessMode, ActivityAttributes, DataId, EdgeId, Guard, NodeId, ValueType};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 

@@ -1,0 +1,511 @@
+//! Change transactions: staging multiple change operations as one guarded,
+//! atomic unit.
+//!
+//! ADEPT2's promise is that dynamic changes — ad-hoc instance deviations
+//! and type evolutions alike — can never corrupt a schema or an instance
+//! state. The one-op-at-a-time entry points ([`crate::apply::apply_op`])
+//! buy that promise expensively: every operation pays a **full buildtime
+//! verification pass** as its postcondition, so a change of N operations
+//! verifies N times. A [`ChangeTxn`] restores the amortised cost model the
+//! paper intends:
+//!
+//! 1. **stage** — each operation is applied to a private *working overlay*
+//!    of the base schema with its structural preconditions checked, its
+//!    application record ([`AppliedOp`]) captured, and its inverse
+//!    ([`crate::inverse::inverse_of`]) recorded for rollback;
+//! 2. **preview** — a pure dry run: per-op diagnostics, exactly one full
+//!    verification pass over the final overlay, and one Fig.-1
+//!    fast-compliance pass of the composed delta against an instance
+//!    marking — nothing is mutated;
+//! 3. **commit** — the same single verification + compliance gate, after
+//!    which the caller installs the overlay and composed [`Delta`]
+//!    atomically. A failing gate consumes nothing: the base schema, the
+//!    staged record and every observable structure are untouched.
+//!
+//! The transaction owns all intermediate state, so *abort is free*:
+//! dropping a `ChangeTxn` leaves the world bit-identical to before
+//! `begin`.
+
+use crate::apply::apply_op_unverified;
+use crate::compliance::{check_fast_op, Verdict};
+use crate::delta::Delta;
+use crate::error::ChangeError;
+use crate::inverse::inverse_of;
+use crate::ops::{AppliedOp, ChangeOp};
+use adept_model::{Blocks, ProcessSchema};
+use adept_state::InstanceState;
+use adept_verify::{verify_schema, VerificationReport};
+use std::fmt;
+
+/// One staged operation: its application record on the working overlay and
+/// the inverse operation that would undo it (when the operation is
+/// invertible from its record).
+#[derive(Debug, Clone, PartialEq)]
+pub struct StagedOp {
+    /// The application record (requested op + allocated/removed ids).
+    pub rec: AppliedOp,
+    /// The inverse operation, computed against the post-application
+    /// overlay. `None` for operations that are not invertible from their
+    /// record (e.g. deleting a nullified activity).
+    pub inverse: Option<ChangeOp>,
+}
+
+/// A change transaction: a sequence of operations staged against a working
+/// overlay of a base schema, committed (or dropped) as one unit.
+#[derive(Debug, Clone)]
+pub struct ChangeTxn {
+    base: ProcessSchema,
+    working: ProcessSchema,
+    staged: Vec<StagedOp>,
+}
+
+/// Per-operation diagnostics of a [`TxnPreview`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpDiagnostic {
+    /// Position in staging order.
+    pub index: usize,
+    /// Rendered operation.
+    pub op: String,
+    /// Whether the recorded inverse can undo this operation.
+    pub invertible: bool,
+    /// The per-operation fast-compliance verdict, when the preview was
+    /// taken against an instance state.
+    pub compliance: Option<Verdict>,
+}
+
+/// The result of a pure dry run over a transaction.
+#[derive(Debug, Clone)]
+pub struct TxnPreview {
+    /// Per staged operation: rendering, invertibility, compliance.
+    pub per_op: Vec<OpDiagnostic>,
+    /// The full buildtime verification report of the final overlay (the
+    /// one verification pass a commit would perform).
+    pub verification: VerificationReport,
+    /// The overall fast-compliance verdict of the composed delta against
+    /// the supplied instance state; `None` for schema-only previews (type
+    /// evolutions).
+    pub compliance: Option<Verdict>,
+}
+
+impl TxnPreview {
+    /// Whether a commit taken now would pass both gates.
+    pub fn is_committable(&self) -> bool {
+        self.verification.is_correct() && self.compliance.as_ref().is_none_or(Verdict::is_compliant)
+    }
+}
+
+impl fmt::Display for TxnPreview {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "transaction preview: {} op(s), {}",
+            self.per_op.len(),
+            if self.is_committable() {
+                "committable"
+            } else {
+                "NOT committable"
+            }
+        )?;
+        for d in &self.per_op {
+            write!(f, "  [{}] {}", d.index, d.op)?;
+            if !d.invertible {
+                write!(f, " (not invertible)")?;
+            }
+            if let Some(v) = &d.compliance {
+                write!(f, " — {v}")?;
+            }
+            writeln!(f)?;
+        }
+        if !self.verification.is_correct() {
+            writeln!(f, "  verification: {}", self.verification)?;
+        }
+        Ok(())
+    }
+}
+
+impl ChangeTxn {
+    /// Opens a transaction against `base`. The base is kept untouched; all
+    /// staging happens on a private working overlay.
+    pub fn begin(base: ProcessSchema) -> Self {
+        let working = base.clone();
+        Self {
+            base,
+            working,
+            staged: Vec::new(),
+        }
+    }
+
+    /// The schema the transaction was opened on.
+    pub fn base(&self) -> &ProcessSchema {
+        &self.base
+    }
+
+    /// The working overlay with all staged operations applied.
+    pub fn working(&self) -> &ProcessSchema {
+        &self.working
+    }
+
+    /// The staged operations in staging order.
+    pub fn staged(&self) -> &[StagedOp] {
+        &self.staged
+    }
+
+    /// Number of staged operations.
+    pub fn len(&self) -> usize {
+        self.staged.len()
+    }
+
+    /// Whether nothing has been staged yet.
+    pub fn is_empty(&self) -> bool {
+        self.staged.is_empty()
+    }
+
+    /// Stages one operation: checks its structural preconditions against
+    /// the current overlay, applies it, and records the application and
+    /// its inverse. **No** full verification runs here — that cost is paid
+    /// once, at preview/commit time.
+    ///
+    /// On failure the overlay is untouched and the transaction remains
+    /// usable (the failed operation is simply not part of it).
+    pub fn stage(&mut self, op: &ChangeOp) -> Result<&AppliedOp, ChangeError> {
+        let rec = apply_op_unverified(&mut self.working, op)?;
+        let inverse = inverse_of(&self.working, &rec);
+        self.staged.push(StagedOp { rec, inverse });
+        Ok(&self.staged.last().expect("just pushed").rec)
+    }
+
+    /// Rolls back the most recently staged operation. The overlay is
+    /// rebuilt by replaying the remaining records from the base with their
+    /// **recorded ids** ([`crate::apply::apply_recorded`]) — applying the
+    /// op's inverse instead would yield a semantically equal overlay with
+    /// *different* edge ids, silently breaking the `working = base +
+    /// delta` id correspondence that substitution blocks rely on. Works
+    /// for every operation, invertible or not.
+    pub fn unstage_last(&mut self) -> Result<AppliedOp, ChangeError> {
+        let popped = self.staged.pop().ok_or_else(|| {
+            ChangeError::Precondition("transaction has no staged operations".into())
+        })?;
+        let mut working = self.base.clone();
+        for s in &self.staged {
+            if let Err(e) = crate::apply::apply_recorded(&mut working, &s.rec) {
+                // Cannot happen: the same prefix applied before. Restore
+                // the popped op so the transaction stays consistent.
+                self.staged.push(popped);
+                return Err(e);
+            }
+        }
+        self.working = working;
+        Ok(popped.rec)
+    }
+
+    /// The composed delta of all staged operations, in staging order.
+    pub fn delta(&self) -> Delta {
+        self.staged.iter().map(|s| s.rec.clone()).collect()
+    }
+
+    /// The recorded inverses, aligned with [`ChangeTxn::staged`].
+    pub fn inverses(&self) -> Vec<Option<ChangeOp>> {
+        self.staged.iter().map(|s| s.inverse.clone()).collect()
+    }
+
+    /// Runs the **single** full buildtime verification pass over the final
+    /// overlay — the postcondition a commit enforces.
+    pub fn verify(&self) -> VerificationReport {
+        verify_schema(&self.working)
+    }
+
+    /// Runs the Fig.-1 fast-compliance conditions of every staged
+    /// operation against an instance marking (one pass over the staged
+    /// records, no replay, no re-verification). Returns the first
+    /// conflict, with the index of the offending operation.
+    pub fn check_compliance(
+        &self,
+        blocks: &Blocks,
+        st: &InstanceState,
+    ) -> Result<(), (usize, Verdict)> {
+        for (i, s) in self.staged.iter().enumerate() {
+            let v = check_fast_op(&self.base, blocks, st, &s.rec);
+            if !v.is_compliant() {
+                return Err((i, v));
+            }
+        }
+        Ok(())
+    }
+
+    /// A pure dry run: per-op diagnostics, one verification pass, and —
+    /// when an instance state is supplied — the composed compliance
+    /// verdict. Nothing observable is mutated.
+    pub fn preview(&self, instance: Option<(&Blocks, &InstanceState)>) -> TxnPreview {
+        let mut per_op: Vec<OpDiagnostic> = self
+            .staged
+            .iter()
+            .enumerate()
+            .map(|(i, s)| OpDiagnostic {
+                index: i,
+                op: s.rec.to_string(),
+                invertible: s.inverse.is_some(),
+                compliance: None,
+            })
+            .collect();
+        let compliance = instance.map(|(blocks, st)| {
+            for (d, s) in per_op.iter_mut().zip(&self.staged) {
+                d.compliance = Some(check_fast_op(&self.base, blocks, st, &s.rec));
+            }
+            per_op
+                .iter()
+                .filter_map(|d| d.compliance.clone())
+                .find(|v| !v.is_compliant())
+                .unwrap_or(Verdict::Compliant)
+        });
+        TxnPreview {
+            per_op,
+            verification: self.verify(),
+            compliance,
+        }
+    }
+
+    /// Commits the transaction's *schema side*: runs the single
+    /// verification pass and, on success, consumes the transaction into
+    /// its outcome — the verified overlay, the composed delta and the
+    /// recorded inverses. Callers install the outcome atomically (swap a
+    /// repository version, set an instance bias).
+    ///
+    /// On failure the transaction is handed back unchanged together with
+    /// the error, so the caller can keep staging or abort — and since
+    /// nothing outside the transaction was touched, a failed commit is
+    /// observably side-effect free.
+    pub fn commit_schema(self) -> Result<CommittedTxn, (Box<ChangeTxn>, ChangeError)> {
+        let report = self.verify();
+        if !report.is_correct() {
+            let msgs: Vec<String> = report.errors().map(|i| i.to_string()).collect();
+            let err = ChangeError::PostconditionViolated(msgs.join("; "));
+            return Err((Box::new(self), err));
+        }
+        let delta = self.delta();
+        let inverses = self.inverses();
+        Ok(CommittedTxn {
+            base: self.base,
+            schema: self.working,
+            delta,
+            inverses,
+        })
+    }
+}
+
+/// The outcome of a successfully committed transaction.
+#[derive(Debug, Clone)]
+pub struct CommittedTxn {
+    /// The schema the transaction was opened on.
+    pub base: ProcessSchema,
+    /// The verified final schema (base + all staged operations).
+    pub schema: ProcessSchema,
+    /// The composed change log, in staging order.
+    pub delta: Delta,
+    /// The recorded inverse per operation (rollback material).
+    pub inverses: Vec<Option<ChangeOp>>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::NewActivity;
+    use adept_model::{NodeId, SchemaBuilder};
+    use adept_verify::{is_correct, verification_passes};
+
+    fn order() -> ProcessSchema {
+        let mut b = SchemaBuilder::new("order");
+        b.activity("get order");
+        b.activity("collect data");
+        b.and_split();
+        b.branch();
+        b.activity("confirm order");
+        b.branch();
+        b.activity("compose order");
+        b.activity("pack goods");
+        b.and_join();
+        b.activity("deliver goods");
+        b.build().unwrap()
+    }
+
+    fn node(s: &ProcessSchema, name: &str) -> NodeId {
+        s.node_by_name(name).unwrap().id
+    }
+
+    #[test]
+    fn stage_commit_applies_all_ops_with_one_verification() {
+        let base = order();
+        let compose = node(&base, "compose order");
+        let pack = node(&base, "pack goods");
+        let confirm = node(&base, "confirm order");
+        let mut txn = ChangeTxn::begin(base.clone());
+
+        let before = verification_passes();
+        let sq = txn
+            .stage(&ChangeOp::SerialInsert {
+                activity: NewActivity::named("send questions"),
+                pred: compose,
+                succ: pack,
+            })
+            .unwrap()
+            .inserted_activity()
+            .unwrap();
+        txn.stage(&ChangeOp::InsertSyncEdge {
+            from: sq,
+            to: confirm,
+        })
+        .unwrap();
+        assert_eq!(
+            verification_passes(),
+            before,
+            "staging must not run full verification"
+        );
+
+        let committed = txn.commit_schema().unwrap();
+        assert_eq!(
+            verification_passes(),
+            before + 1,
+            "commit runs exactly one verification pass"
+        );
+        assert!(is_correct(&committed.schema));
+        assert_eq!(committed.delta.len(), 2);
+        assert!(committed.schema.node_by_name("send questions").is_some());
+        assert_eq!(committed.base, base, "base is preserved untouched");
+    }
+
+    #[test]
+    fn failed_stage_leaves_overlay_untouched() {
+        let base = order();
+        let get = node(&base, "get order");
+        let deliver = node(&base, "deliver goods");
+        let mut txn = ChangeTxn::begin(base);
+        let snapshot = txn.working().clone();
+        // Not adjacent: structural precondition fails.
+        let err = txn
+            .stage(&ChangeOp::SerialInsert {
+                activity: NewActivity::named("x"),
+                pred: get,
+                succ: deliver,
+            })
+            .unwrap_err();
+        assert!(matches!(err, ChangeError::Precondition(_)));
+        assert_eq!(txn.working(), &snapshot);
+        assert!(txn.is_empty());
+    }
+
+    #[test]
+    fn failed_commit_returns_txn_and_keeps_base_identical() {
+        // A staged op that only the *full* verification rejects: insert an
+        // activity reading a data element that is written later.
+        let mut b = SchemaBuilder::new("g");
+        let d = b.data("late", adept_model::ValueType::Int);
+        let a = b.activity("a");
+        let c = b.activity("c");
+        b.write(c, d);
+        let base = b.build().unwrap();
+
+        let mut txn = ChangeTxn::begin(base.clone());
+        txn.stage(&ChangeOp::SerialInsert {
+            activity: NewActivity::named("x").reading(d),
+            pred: a,
+            succ: c,
+        })
+        .unwrap();
+        let (txn, err) = txn.commit_schema().unwrap_err();
+        assert!(
+            matches!(err, ChangeError::PostconditionViolated(_)),
+            "{err}"
+        );
+        assert_eq!(txn.base(), &base, "failed commit is side-effect free");
+        assert_eq!(txn.len(), 1, "staged record survives for inspection");
+    }
+
+    #[test]
+    fn unstage_last_restores_the_exact_overlay() {
+        let base = order();
+        let get = node(&base, "get order");
+        let collect = node(&base, "collect data");
+        let mut txn = ChangeTxn::begin(base.clone());
+        txn.stage(&ChangeOp::SerialInsert {
+            activity: NewActivity::named("tmp"),
+            pred: get,
+            succ: collect,
+        })
+        .unwrap();
+        assert_eq!(txn.len(), 1);
+        txn.unstage_last().unwrap();
+        assert!(txn.is_empty());
+        assert_eq!(txn.working(), &base, "overlay is id-identical to base");
+        // Nothing staged: further unstaging errors cleanly.
+        assert!(txn.unstage_last().is_err());
+    }
+
+    #[test]
+    fn unstage_keeps_recorded_ids_of_remaining_ops() {
+        // Regression for the id-correspondence bug: undoing op 2 must not
+        // shift the edge ids recorded for op 1 (a bias delta must replay
+        // exactly onto the base).
+        let base = order();
+        let get = node(&base, "get order");
+        let collect = node(&base, "collect data");
+        let mut txn = ChangeTxn::begin(base.clone());
+        let keep = txn
+            .stage(&ChangeOp::SerialInsert {
+                activity: NewActivity::named("keep"),
+                pred: get,
+                succ: collect,
+            })
+            .unwrap()
+            .inserted_activity()
+            .unwrap();
+        txn.stage(&ChangeOp::SerialInsert {
+            activity: NewActivity::named("discard"),
+            pred: keep,
+            succ: collect,
+        })
+        .unwrap();
+        txn.unstage_last().unwrap();
+        // Replaying the remaining delta on the base reproduces the overlay
+        // exactly (ids included).
+        let mut replayed = base.clone();
+        for s in txn.staged() {
+            crate::apply::apply_recorded(&mut replayed, &s.rec).unwrap();
+        }
+        assert_eq!(&replayed, txn.working());
+        // A non-invertible op (delete with null-replacement) unstages too.
+        let confirm = node(txn.working(), "confirm order");
+        let pack = node(txn.working(), "pack goods");
+        txn.stage(&ChangeOp::InsertSyncEdge {
+            from: confirm,
+            to: pack,
+        })
+        .unwrap();
+        txn.stage(&ChangeOp::DeleteActivity { node: confirm })
+            .unwrap();
+        assert!(txn.staged().last().unwrap().inverse.is_none());
+        txn.unstage_last().unwrap();
+        assert!(txn.working().has_node(confirm));
+    }
+
+    #[test]
+    fn preview_is_pure_and_reports_per_op() {
+        let base = order();
+        let compose = node(&base, "compose order");
+        let pack = node(&base, "pack goods");
+        let mut txn = ChangeTxn::begin(base);
+        txn.stage(&ChangeOp::SerialInsert {
+            activity: NewActivity::named("extra"),
+            pred: compose,
+            succ: pack,
+        })
+        .unwrap();
+        let snapshot = txn.clone();
+        let p = txn.preview(None);
+        assert!(p.is_committable(), "{p}");
+        assert_eq!(p.per_op.len(), 1);
+        assert!(p.per_op[0].invertible);
+        assert!(p.compliance.is_none(), "schema-only preview");
+        // Purity: the transaction is unchanged by previewing.
+        assert_eq!(txn.working(), snapshot.working());
+        assert_eq!(txn.staged(), snapshot.staged());
+    }
+}

@@ -9,7 +9,9 @@ use adept_core::{
 };
 use adept_model::{Blocks, DataId, InstanceId, NodeId, ProcessSchema, Value};
 use adept_state::{Decision, Driver, Execution, RuntimeError};
-use adept_storage::{InstanceStore, MemoryBreakdown, Representation, SchemaRepository};
+use adept_storage::{
+    InstanceStore, MemoryBreakdown, Representation, SchemaRepository, Snapshot, TxnLog, TxnTarget,
+};
 use std::fmt;
 use std::sync::Arc;
 
@@ -59,6 +61,8 @@ pub struct ProcessEngine {
     pub store: InstanceStore,
     /// The monitoring component.
     pub monitor: Monitor,
+    /// The persisted log of committed change transactions.
+    pub txn_log: TxnLog,
 }
 
 impl ProcessEngine {
@@ -74,16 +78,48 @@ impl ProcessEngine {
             repo: SchemaRepository::new(),
             store: InstanceStore::new(strategy),
             monitor: Monitor::new(),
+            txn_log: TxnLog::new(),
         }
     }
 
     /// Assembles an engine around an existing repository and store (the
     /// persistence restore path: `adept_storage::persist::restore`).
+    ///
+    /// The transaction log starts **empty**, so sequence numbers restart
+    /// at 1 — when restoring a [`Snapshot`] that carries committed
+    /// transactions, use [`ProcessEngine::from_snapshot`] (or
+    /// [`ProcessEngine::from_parts_with_log`]) to keep the change
+    /// history and its numbering intact.
     pub fn from_parts(repo: SchemaRepository, store: InstanceStore) -> Self {
+        Self::from_parts_with_log(repo, store, TxnLog::new())
+    }
+
+    /// Captures a persistence snapshot of the whole engine: repository,
+    /// instance store *and* the committed change-transaction log.
+    pub fn snapshot(&self) -> Snapshot {
+        adept_storage::snapshot_with_txns(&self.repo, &self.store, &self.txn_log)
+    }
+
+    /// Restores an engine from a snapshot, including the transaction log
+    /// (so the audit trail and its sequence numbering survive a
+    /// save/restore round-trip).
+    pub fn from_snapshot(s: &Snapshot) -> Result<Self, EngineError> {
+        let (repo, store, txn_log) = adept_storage::restore_with_txns(s)?;
+        Ok(Self::from_parts_with_log(repo, store, txn_log))
+    }
+
+    /// Assembles an engine around restored repository, store and
+    /// transaction log (`adept_storage::persist::restore_with_txns`).
+    pub fn from_parts_with_log(
+        repo: SchemaRepository,
+        store: InstanceStore,
+        txn_log: TxnLog,
+    ) -> Self {
         Self {
             repo,
             store,
             monitor: Monitor::new(),
+            txn_log,
         }
     }
 
@@ -112,8 +148,10 @@ impl ProcessEngine {
             .ok_or_else(|| EngineError::NotFound(format!("version {version}")))?;
         let st = dep.execution().init()?;
         let id = self.store.create(type_name, version, st);
-        self.monitor
-            .record(EngineEvent::InstanceCreated { instance: id, version });
+        self.monitor.record(EngineEvent::InstanceCreated {
+            instance: id,
+            version,
+        });
         Ok(id)
     }
 
@@ -122,10 +160,7 @@ impl ProcessEngine {
     // ------------------------------------------------------------------
 
     /// Resolves the schema + block structure an instance currently runs on.
-    fn context_of(
-        &self,
-        id: InstanceId,
-    ) -> Result<(Arc<ProcessSchema>, Blocks), EngineError> {
+    fn context_of(&self, id: InstanceId) -> Result<(Arc<ProcessSchema>, Blocks), EngineError> {
         let inst = self
             .store
             .get(id)
@@ -142,6 +177,16 @@ impl ProcessEngine {
         let blocks = Blocks::analyze(&schema)
             .map_err(|e| EngineError::Change(ChangeError::Precondition(e.to_string())))?;
         Ok((schema, blocks))
+    }
+
+    /// The owned schema + block structure a change session stages against
+    /// (see [`ProcessEngine::begin_change`]).
+    pub(crate) fn change_context(
+        &self,
+        id: InstanceId,
+    ) -> Result<(ProcessSchema, Blocks), EngineError> {
+        let (schema, blocks) = self.context_of(id)?;
+        Ok(((*schema).clone(), blocks))
     }
 
     /// The global worklist: every activated activity of every instance.
@@ -315,56 +360,21 @@ impl ProcessEngine {
 
     /// Applies an ad-hoc change to a single running instance.
     ///
-    /// The operation is applied to a private copy of the instance schema
-    /// (structural pre-/post-conditions), the *state* precondition is
-    /// checked against the current marking (the Fig. 1 conditions), and on
-    /// success the instance's bias, substitution block and adapted state
-    /// are committed — other instances are unaffected and the system stays
-    /// robust, exactly as Sec. 2 of the paper demands.
+    /// Thin wrapper over a one-operation change transaction
+    /// ([`ProcessEngine::begin_change`] → stage → commit): the operation's
+    /// structural preconditions, the full verification postcondition and
+    /// the Fig. 1 state precondition all still apply, and on success the
+    /// instance's bias, substitution block and adapted state are committed
+    /// atomically — other instances are unaffected.
+    #[deprecated(
+        since = "0.3.0",
+        note = "use begin_change(id) → stage(op) → preview()/commit(); one transaction \
+                amortises verification over all staged ops"
+    )]
     pub fn ad_hoc_change(&self, id: InstanceId, op: &ChangeOp) -> Result<(), EngineError> {
-        let (current, blocks) = self.context_of(id)?;
-        let inst = self
-            .store
-            .get(id)
-            .ok_or_else(|| EngineError::NotFound(format!("{id}")))?;
-        let mut materialized = (*current).clone();
-        materialized.reserve_private_id_space();
-        let rec = match apply_op(&mut materialized, op) {
-            Ok(rec) => rec,
-            Err(e) => {
-                self.monitor.record(EngineEvent::AdHocRejected {
-                    instance: id,
-                    op: op.to_string(),
-                    reason: e.to_string(),
-                });
-                return Err(e.into());
-            }
-        };
-        let verdict = check_fast_op(&current, &blocks, &inst.state, &rec);
-        if let Verdict::NotCompliant(c) = verdict {
-            self.monitor.record(EngineEvent::AdHocRejected {
-                instance: id,
-                op: op.to_string(),
-                reason: c.to_string(),
-            });
-            return Err(EngineError::Change(ChangeError::StatePrecondition {
-                node: rec.anchor_nodes().first().copied().unwrap_or(NodeId(0)),
-                reason: c.to_string(),
-            }));
-        }
-        let new_ex = Execution::new(&materialized)
-            .map_err(|e| EngineError::Change(ChangeError::Precondition(e.to_string())))?;
-        let mut st = inst.state.clone();
-        let single: Delta = std::iter::once(rec.clone()).collect();
-        adapt_instance_state(&current, &blocks, &new_ex, &single, &mut st)?;
-        let mut bias = inst.bias.clone();
-        bias.push(rec);
-        bias.purge();
-        self.store.set_bias(id, bias, &materialized, st);
-        self.monitor.record(EngineEvent::AdHocChanged {
-            instance: id,
-            op: op.to_string(),
-        });
+        let mut session = self.begin_change(id)?;
+        session.stage(op)?;
+        session.commit()?;
         Ok(())
     }
 
@@ -380,13 +390,11 @@ impl ProcessEngine {
             .ok_or_else(|| EngineError::NotFound(format!("{id}")))?;
         let mut materialized = (*current).clone();
         let mut bias = inst.bias.clone();
-        let last = bias
-            .ops
-            .last()
-            .cloned()
-            .ok_or_else(|| EngineError::Change(ChangeError::Precondition(
+        let last = bias.ops.last().cloned().ok_or_else(|| {
+            EngineError::Change(ChangeError::Precondition(
                 "instance is unbiased; nothing to undo".into(),
-            )))?;
+            ))
+        })?;
         let inv = adept_core::inverse_of(&materialized, &last).ok_or_else(|| {
             EngineError::Change(ChangeError::Precondition(format!(
                 "{} is not invertible",
@@ -402,21 +410,51 @@ impl ProcessEngine {
         let verdict = check_fast_op(&current, &blocks, &inst.state, &probe_rec);
         if let Verdict::NotCompliant(c) = verdict {
             return Err(EngineError::Change(ChangeError::StatePrecondition {
-                node: probe_rec.anchor_nodes().first().copied().unwrap_or(NodeId(0)),
+                node: probe_rec
+                    .anchor_nodes()
+                    .first()
+                    .copied()
+                    .unwrap_or(NodeId(0)),
                 reason: c.to_string(),
             }));
         }
-        let rec = adept_core::undo_last(&mut materialized, &mut bias)
-            .map_err(EngineError::Change)?;
+        let rec =
+            adept_core::undo_last(&mut materialized, &mut bias).map_err(EngineError::Change)?;
+        let applied_inverse = rec.op.clone();
         let new_ex = Execution::new(&materialized)
             .map_err(|e| EngineError::Change(ChangeError::Precondition(e.to_string())))?;
         let mut st = inst.state.clone();
         let single: Delta = std::iter::once(rec).collect();
         adapt_instance_state(&current, &blocks, &new_ex, &single, &mut st)?;
-        self.store.set_bias(id, bias, &materialized, st);
+        if !self.store.set_bias_if(
+            id,
+            inst.version,
+            &inst.bias,
+            &inst.state,
+            bias,
+            &materialized,
+            st,
+        ) {
+            return Err(EngineError::Change(ChangeError::Precondition(format!(
+                "concurrent change: {id} was modified while the undo committed"
+            ))));
+        }
+        // The undo is a committed change like any other: it gets its own
+        // transaction record (applied inverse + the op that would redo it)
+        // so the audit trail can reconstruct the bias exactly.
+        let seq = self.txn_log.append(
+            TxnTarget::Instance(id),
+            vec![applied_inverse],
+            vec![Some(last.op.clone())],
+        );
         self.monitor.record(EngineEvent::AdHocChanged {
             instance: id,
             op: format!("undo {}", last.op.name()),
+        });
+        self.monitor.record(EngineEvent::TxnCommitted {
+            target: id.to_string(),
+            ops: 1,
+            seq,
         });
         Ok(())
     }
@@ -426,17 +464,32 @@ impl ProcessEngine {
     // ------------------------------------------------------------------
 
     /// Evolves a process type to a new version.
+    ///
+    /// Thin wrapper over a change transaction
+    /// ([`ProcessEngine::begin_evolution`] → stage each op → commit), so
+    /// the whole batch pays one verification pass and either becomes one
+    /// new version or — if any operation fails — no version at all.
+    #[deprecated(
+        since = "0.3.0",
+        note = "use begin_evolution(type) → stage(op) → preview()/commit() for staged, \
+                previewable multi-op evolutions"
+    )]
     pub fn evolve_type(
         &self,
         type_name: &str,
         ops: &[ChangeOp],
     ) -> Result<(u32, Delta), EngineError> {
-        let (v, delta) = self.repo.evolve(type_name, ops)?;
-        self.monitor.record(EngineEvent::TypeEvolved {
-            type_name: type_name.to_string(),
-            version: v,
-        });
-        Ok((v, delta))
+        let mut session = self.begin_evolution(type_name)?;
+        for op in ops {
+            session.stage(op)?;
+        }
+        let receipt = session.commit()?;
+        Ok((
+            receipt
+                .new_version
+                .expect("evolution commits produce a version"),
+            receipt.delta,
+        ))
     }
 
     /// Migrates all instances of a type to its newest version (hop by hop
@@ -590,11 +643,7 @@ impl ProcessEngine {
 
     /// Re-checks compliance of an instance against a delta without applying
     /// anything (used by what-if tooling and tests).
-    pub fn check_compliance(
-        &self,
-        id: InstanceId,
-        delta: &Delta,
-    ) -> Result<Verdict, EngineError> {
+    pub fn check_compliance(&self, id: InstanceId, delta: &Delta) -> Result<Verdict, EngineError> {
         let (current, blocks) = self.context_of(id)?;
         let inst = self
             .store
@@ -615,7 +664,10 @@ impl ProcessEngine {
             .store
             .get(id)
             .ok_or_else(|| EngineError::NotFound(format!("{id}")))?;
-        Ok(crate::monitor::render_instance_summary(&schema, &inst.state))
+        Ok(crate::monitor::render_instance_summary(
+            &schema,
+            &inst.state,
+        ))
     }
 }
 
@@ -626,6 +678,7 @@ impl Default for ProcessEngine {
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the wrapper entry points are exercised deliberately
 mod tests {
     use super::*;
     use adept_core::NewActivity;
@@ -663,9 +716,7 @@ mod tests {
         engine.complete_activity(id, wl[0].node, vec![]).unwrap();
         assert!(!engine.is_finished(id).unwrap());
 
-        engine
-            .run_instance(id, &mut DefaultDriver, None)
-            .unwrap();
+        engine.run_instance(id, &mut DefaultDriver, None).unwrap();
         assert!(engine.is_finished(id).unwrap());
         assert!(engine
             .monitor
@@ -742,7 +793,9 @@ mod tests {
         let i1 = engine.create_instance(&name).unwrap(); // fresh: compliant
         let i2 = engine.create_instance(&name).unwrap(); // will be biased w/ conflict
         let i3 = engine.create_instance(&name).unwrap(); // runs to completion: state conflict
-        engine.run_instance(i1, &mut DefaultDriver, Some(2)).unwrap();
+        engine
+            .run_instance(i1, &mut DefaultDriver, Some(2))
+            .unwrap();
         engine.run_instance(i3, &mut DefaultDriver, None).unwrap();
 
         // I2's ad-hoc bias: sync(confirm order -> compose order).
@@ -751,7 +804,13 @@ mod tests {
         let compose = v1.schema.node_by_name("compose order").unwrap().id;
         let pack = v1.schema.node_by_name("pack goods").unwrap().id;
         engine
-            .ad_hoc_change(i2, &ChangeOp::InsertSyncEdge { from: confirm, to: compose })
+            .ad_hoc_change(
+                i2,
+                &ChangeOp::InsertSyncEdge {
+                    from: confirm,
+                    to: compose,
+                },
+            )
             .unwrap();
 
         // ΔT: insert "send questions" + sync to confirm order (Fig. 1).
@@ -775,7 +834,13 @@ mod tests {
             .unwrap()
             .id;
         let (v3, _) = engine
-            .evolve_type(&name, &[ChangeOp::InsertSyncEdge { from: sq, to: confirm }])
+            .evolve_type(
+                &name,
+                &[ChangeOp::InsertSyncEdge {
+                    from: sq,
+                    to: confirm,
+                }],
+            )
             .unwrap();
         assert_eq!(v3, 3);
 
@@ -792,11 +857,7 @@ mod tests {
         assert!(engine.is_finished(i1).unwrap());
         let inst1 = engine.store.get(i1).unwrap();
         assert_eq!(inst1.version, 3);
-        assert!(inst1
-            .state
-            .history
-            .started_activities()
-            .contains(&sq));
+        assert!(inst1.state.history.started_activities().contains(&sq));
     }
 
     #[test]
@@ -876,7 +937,9 @@ mod tests {
             )
             .unwrap();
         // Execute past the inserted activity.
-        engine.run_instance(id, &mut DefaultDriver, Some(2)).unwrap();
+        engine
+            .run_instance(id, &mut DefaultDriver, Some(2))
+            .unwrap();
         let err = engine.undo_ad_hoc_change(id).unwrap_err();
         assert!(matches!(
             err,

@@ -4,21 +4,72 @@
 //! "number of buildtime and runtime components"):
 //!
 //! * [`ProcessEngine`] — deploy templates, create and execute instances,
-//!   serve worklists, apply **ad-hoc instance changes** with state
-//!   preconditions, **evolve process types** and **migrate instance
+//!   serve worklists, **evolve process types** and **migrate instance
 //!   populations** (optionally with parallel worker threads);
+//! * [`session`] — the transactional change surface: every dynamic change
+//!   — ad-hoc instance deviation or type evolution — is a **change
+//!   session** driving the stage → preview → commit lifecycle;
 //! * [`worklist`] — work items and role-based claiming;
 //! * [`monitor`] — the monitoring component: an event log with logical
 //!   timestamps plus DOT/text visualisation of instance states (the demo's
 //!   Fig. 3 views).
+//!
+//! ## Changing a running instance: stage → preview → commit
+//!
+//! ```
+//! use adept_core::{ChangeOp, NewActivity};
+//! use adept_engine::ProcessEngine;
+//! use adept_model::SchemaBuilder;
+//!
+//! let engine = ProcessEngine::new();
+//! let mut b = SchemaBuilder::new("expense");
+//! b.activity("submit");
+//! b.activity("payout");
+//! let name = engine.deploy(b.build().unwrap()).unwrap();
+//! let id = engine.create_instance(&name).unwrap();
+//! let v1 = engine.repo.deployed(&name, 1).unwrap();
+//! let submit = v1.schema.node_by_name("submit").unwrap().id;
+//! let payout = v1.schema.node_by_name("payout").unwrap().id;
+//!
+//! // Stage any number of operations against a private overlay.
+//! let mut session = engine.begin_change(id).unwrap();
+//! let audit = session.stage(&ChangeOp::SerialInsert {
+//!     activity: NewActivity::named("audit"),
+//!     pred: submit,
+//!     succ: payout,
+//! }).unwrap().inserted_activity().unwrap();
+//! session.stage(&ChangeOp::SetActivityAttributes {
+//!     node: audit,
+//!     attrs: adept_model::ActivityAttributes { role: Some("auditor".into()), ..Default::default() },
+//! }).unwrap();
+//!
+//! // Pure dry run: nothing in the engine changes.
+//! let preview = session.preview().unwrap();
+//! assert!(preview.is_committable());
+//!
+//! // Atomic commit: ONE verification pass + ONE compliance pass for the
+//! // whole batch; a failure would leave the instance bit-identical.
+//! let receipt = session.commit().unwrap();
+//! assert_eq!(receipt.ops, 2);
+//! assert_eq!(engine.txn_log.len(), 1);
+//! ```
+//!
+//! Type evolutions use the same lifecycle via
+//! [`ProcessEngine::begin_evolution`]; committed transactions land in the
+//! persisted [`adept_storage::TxnLog`] (`engine.txn_log`) with their
+//! recorded inverses. The single-op entry points
+//! [`ProcessEngine::ad_hoc_change`] / [`ProcessEngine::evolve_type`]
+//! remain as deprecated wrappers over one-op transactions.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod engine;
 pub mod monitor;
+pub mod session;
 pub mod worklist;
 
 pub use engine::{EngineError, ProcessEngine};
 pub use monitor::{render_instance_dot, render_instance_summary, EngineEvent, Monitor};
+pub use session::{ChangeSession, TxnReceipt};
 pub use worklist::WorkItem;

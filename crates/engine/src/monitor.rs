@@ -66,6 +66,14 @@ pub enum EngineEvent {
         /// The new version.
         version: u32,
     },
+    /// A type-evolution commit was rejected (verification failure or a
+    /// lost base-version race).
+    EvolutionRejected {
+        /// Type name.
+        type_name: String,
+        /// Why the commit failed.
+        reason: String,
+    },
     /// An instance migrated to a new version.
     Migrated {
         /// The instance.
@@ -84,6 +92,22 @@ pub enum EngineEvent {
     InstanceFinished {
         /// The instance.
         instance: InstanceId,
+    },
+    /// A change transaction committed atomically.
+    TxnCommitted {
+        /// Rendered target (instance id or new type version).
+        target: String,
+        /// Number of operations the transaction carried.
+        ops: usize,
+        /// Sequence number in the persisted transaction log.
+        seq: u64,
+    },
+    /// A change session was abandoned without committing.
+    TxnAborted {
+        /// Rendered target.
+        target: String,
+        /// Number of operations that were staged when aborted.
+        staged: usize,
     },
 }
 
@@ -111,6 +135,9 @@ impl fmt::Display for EngineEvent {
             EngineEvent::TypeEvolved { type_name, version } => {
                 write!(f, "\"{type_name}\" evolved to V{version}")
             }
+            EngineEvent::EvolutionRejected { type_name, reason } => {
+                write!(f, "\"{type_name}\" evolution rejected: {reason}")
+            }
             EngineEvent::Migrated {
                 instance,
                 to_version,
@@ -119,6 +146,12 @@ impl fmt::Display for EngineEvent {
                 write!(f, "{instance} stays: {reason}")
             }
             EngineEvent::InstanceFinished { instance } => write!(f, "{instance} finished"),
+            EngineEvent::TxnCommitted { target, ops, seq } => {
+                write!(f, "txn #{seq} committed on {target} ({ops} ops)")
+            }
+            EngineEvent::TxnAborted { target, staged } => {
+                write!(f, "txn on {target} aborted ({staged} ops staged)")
+            }
         }
     }
 }

@@ -1,0 +1,426 @@
+//! Change sessions: the engine's transactional change surface.
+//!
+//! A [`ChangeSession`] wraps an [`adept_core::ChangeTxn`] with the
+//! engine-side bookkeeping for one target — a running instance
+//! ([`ProcessEngine::begin_change`]) or a process type
+//! ([`ProcessEngine::begin_evolution`]) — and drives the
+//! stage → preview → commit lifecycle:
+//!
+//! * [`ChangeSession::stage`] applies one operation to the session's
+//!   private working overlay (structural preconditions only — the
+//!   expensive checks are deferred);
+//! * [`ChangeSession::preview`] is a **pure dry run**: per-op diagnostics,
+//!   the single full verification pass, and the Fig.-1 fast-compliance
+//!   verdict against the instance's *current* marking, without mutating
+//!   engine state;
+//! * [`ChangeSession::commit`] re-runs both gates once and atomically
+//!   installs the outcome — schema swap or bias update, local state
+//!   adaptation, monitor events, and a [`adept_storage::TxnLog`] record.
+//!   A failed commit leaves instance and repository bit-identical;
+//! * [`ChangeSession::abort`] drops everything (staging never touched the
+//!   engine, so abort is free).
+//!
+//! Committing `N` staged operations costs **one** verification pass and
+//! one compliance pass — the amortisation that makes multi-op changes
+//! practical at population scale.
+
+use crate::engine::{EngineError, ProcessEngine};
+use crate::monitor::EngineEvent;
+use adept_core::{
+    adapt_instance_state, ChangeError, ChangeOp, ChangeTxn, Delta, StagedOp, TxnPreview, Verdict,
+};
+use adept_model::{Blocks, InstanceId, NodeId};
+use adept_state::Execution;
+use adept_storage::TxnTarget;
+
+/// What a session changes.
+#[derive(Debug, Clone)]
+enum SessionTarget {
+    /// An ad-hoc change of one instance. The bias and version observed at
+    /// `begin_change` guard against concurrent modification at commit.
+    Instance {
+        id: InstanceId,
+        bias_at_begin: Delta,
+        version_at_begin: u32,
+    },
+    /// A type evolution based on `base_version`.
+    Type { name: String, base_version: u32 },
+}
+
+/// A staged multi-operation change against one instance or process type.
+///
+/// Obtained from [`ProcessEngine::begin_change`] /
+/// [`ProcessEngine::begin_evolution`]; consumed by
+/// [`ChangeSession::commit`] or [`ChangeSession::abort`]. Dropping the
+/// session without committing is equivalent to aborting.
+#[derive(Debug)]
+pub struct ChangeSession<'e> {
+    engine: &'e ProcessEngine,
+    target: SessionTarget,
+    txn: ChangeTxn,
+    blocks: Blocks,
+}
+
+/// The receipt of a committed change transaction.
+#[derive(Debug, Clone)]
+pub struct TxnReceipt {
+    /// Sequence number in the engine's transaction log.
+    pub seq: u64,
+    /// Number of committed operations.
+    pub ops: usize,
+    /// For type evolutions: the version the commit produced.
+    pub new_version: Option<u32>,
+    /// The composed change log, in staging order.
+    pub delta: Delta,
+}
+
+impl ProcessEngine {
+    /// Opens a change session for an ad-hoc modification of one running
+    /// instance. The session stages against a private overlay of the
+    /// instance's *current* (possibly already biased) schema; the engine
+    /// is not touched until [`ChangeSession::commit`].
+    pub fn begin_change(&self, id: InstanceId) -> Result<ChangeSession<'_>, EngineError> {
+        let (current, blocks) = self.change_context(id)?;
+        let inst = self
+            .store
+            .get(id)
+            .ok_or_else(|| EngineError::NotFound(format!("{id}")))?;
+        let mut base = current;
+        base.reserve_private_id_space();
+        Ok(ChangeSession {
+            engine: self,
+            target: SessionTarget::Instance {
+                id,
+                bias_at_begin: inst.bias,
+                version_at_begin: inst.version,
+            },
+            txn: ChangeTxn::begin(base),
+            blocks,
+        })
+    }
+
+    /// Opens a change session evolving a process type. Staging happens on
+    /// a private overlay of the newest version; committing installs the
+    /// result as the next version (rejecting the commit if another
+    /// evolution won the race in between).
+    pub fn begin_evolution(&self, type_name: &str) -> Result<ChangeSession<'_>, EngineError> {
+        let version = self
+            .repo
+            .latest_version(type_name)
+            .ok_or_else(|| EngineError::NotFound(format!("process type {type_name:?}")))?;
+        let dep = self
+            .repo
+            .deployed(type_name, version)
+            .ok_or_else(|| EngineError::NotFound(format!("version {version}")))?;
+        Ok(ChangeSession {
+            engine: self,
+            target: SessionTarget::Type {
+                name: type_name.to_string(),
+                base_version: version,
+            },
+            txn: ChangeTxn::begin((*dep.schema).clone()),
+            blocks: (*dep.blocks).clone(),
+        })
+    }
+}
+
+impl ChangeSession<'_> {
+    /// Stages one operation on the session's working overlay. Structural
+    /// preconditions are checked immediately; the full verification and
+    /// compliance gates run once, at preview/commit. On failure nothing is
+    /// staged and the session remains usable.
+    pub fn stage(&mut self, op: &ChangeOp) -> Result<adept_core::AppliedOp, EngineError> {
+        match self.txn.stage(op) {
+            Ok(rec) => Ok(rec.clone()),
+            Err(e) => {
+                if let SessionTarget::Instance { id, .. } = &self.target {
+                    self.engine.monitor.record(EngineEvent::AdHocRejected {
+                        instance: *id,
+                        op: op.to_string(),
+                        reason: e.to_string(),
+                    });
+                }
+                Err(e.into())
+            }
+        }
+    }
+
+    /// Rolls back the most recently staged operation. The remaining
+    /// records are replayed from the session's base overlay — deliberately
+    /// *not* undone via the recorded inverse, which would renumber
+    /// overlay-created nodes and break the id correspondence of the
+    /// records that stay staged (see `ChangeTxn::unstage_last`).
+    pub fn unstage_last(&mut self) -> Result<adept_core::AppliedOp, EngineError> {
+        self.txn.unstage_last().map_err(EngineError::from)
+    }
+
+    /// The staged operations, in staging order.
+    pub fn staged(&self) -> &[StagedOp] {
+        self.txn.staged()
+    }
+
+    /// Number of staged operations.
+    pub fn len(&self) -> usize {
+        self.txn.len()
+    }
+
+    /// Whether nothing has been staged.
+    pub fn is_empty(&self) -> bool {
+        self.txn.is_empty()
+    }
+
+    /// The composed delta of all staged operations.
+    pub fn delta(&self) -> Delta {
+        self.txn.delta()
+    }
+
+    /// A pure dry run of the commit gates: per-op diagnostics, the single
+    /// verification pass over the final overlay and — for instance
+    /// sessions — the fast-compliance verdict against the instance's
+    /// *current* marking. No engine state is mutated; previewing and then
+    /// aborting leaves the world bit-identical.
+    ///
+    /// Like [`ChangeSession::commit`], the dry run fails with a
+    /// concurrent-change error if the instance was modified since the
+    /// session began — its verdicts would otherwise mix the session's
+    /// schema with a marking that belongs to a different one.
+    pub fn preview(&self) -> Result<TxnPreview, EngineError> {
+        match &self.target {
+            SessionTarget::Instance {
+                id,
+                bias_at_begin,
+                version_at_begin,
+            } => {
+                let inst = self
+                    .engine
+                    .store
+                    .get(*id)
+                    .ok_or_else(|| EngineError::NotFound(format!("{id}")))?;
+                if inst.version != *version_at_begin || inst.bias != *bias_at_begin {
+                    return Err(EngineError::Change(ChangeError::Precondition(format!(
+                        "concurrent change: {id} was modified since the session began"
+                    ))));
+                }
+                Ok(self.txn.preview(Some((&self.blocks, &inst.state))))
+            }
+            SessionTarget::Type { name, base_version } => {
+                if self.engine.repo.latest_version(name) != Some(*base_version) {
+                    return Err(EngineError::Change(ChangeError::Precondition(format!(
+                        "concurrent evolution: \"{name}\" is no longer at V{base_version}"
+                    ))));
+                }
+                Ok(self.txn.preview(None))
+            }
+        }
+    }
+
+    /// Commits all staged operations atomically: exactly one full
+    /// verification pass over the final overlay, one Fig.-1 compliance
+    /// pass against the current instance marking (instance sessions), then
+    /// the installation — bias + adapted state, or the new type version —
+    /// a `TxnCommitted` monitor event and a transaction-log record.
+    ///
+    /// Any gate failure returns the error with **no observable effect**:
+    /// instance, repository, bias and state are untouched.
+    pub fn commit(self) -> Result<TxnReceipt, EngineError> {
+        match self.target {
+            SessionTarget::Instance {
+                id,
+                bias_at_begin,
+                version_at_begin,
+            } => Self::commit_instance(
+                self.engine,
+                self.txn,
+                self.blocks,
+                id,
+                bias_at_begin,
+                version_at_begin,
+            ),
+            SessionTarget::Type { name, base_version } => {
+                Self::commit_evolution(self.engine, self.txn, name, base_version)
+            }
+        }
+    }
+
+    /// Abandons the session. Staging never touched the engine, so this
+    /// only records the abort for the monitoring component.
+    pub fn abort(self) {
+        let target = match &self.target {
+            SessionTarget::Instance { id, .. } => id.to_string(),
+            SessionTarget::Type { name, .. } => format!("\"{name}\""),
+        };
+        self.engine.monitor.record(EngineEvent::TxnAborted {
+            target,
+            staged: self.txn.len(),
+        });
+    }
+
+    fn commit_instance(
+        engine: &ProcessEngine,
+        txn: ChangeTxn,
+        blocks: Blocks,
+        id: InstanceId,
+        bias_at_begin: Delta,
+        version_at_begin: u32,
+    ) -> Result<TxnReceipt, EngineError> {
+        let inst = engine
+            .store
+            .get(id)
+            .ok_or_else(|| EngineError::NotFound(format!("{id}")))?;
+        // Concurrency guard: the session staged against the schema
+        // observed at begin; if another change or a migration rebased the
+        // instance since, the overlay no longer applies.
+        if inst.version != version_at_begin || inst.bias != bias_at_begin {
+            return Err(EngineError::Change(ChangeError::Precondition(format!(
+                "concurrent change: {id} was modified since the session began"
+            ))));
+        }
+
+        // Gate 1 — state compliance: one pass of the per-operation Fig. 1
+        // conditions over the staged records, against the *current*
+        // marking.
+        if let Err((idx, verdict)) = txn.check_compliance(&blocks, &inst.state) {
+            let rec = &txn.staged()[idx].rec;
+            let reason = match &verdict {
+                Verdict::NotCompliant(c) => c.to_string(),
+                Verdict::Compliant => unreachable!("conflict verdicts only"),
+            };
+            engine.monitor.record(EngineEvent::AdHocRejected {
+                instance: id,
+                op: rec.op.to_string(),
+                reason: reason.clone(),
+            });
+            return Err(EngineError::Change(ChangeError::StatePrecondition {
+                node: rec.anchor_nodes().first().copied().unwrap_or(NodeId(0)),
+                reason,
+            }));
+        }
+
+        // Gate 2 — the single full verification pass over the overlay.
+        let committed = match txn.commit_schema() {
+            Ok(c) => c,
+            Err((txn, e)) => {
+                engine.monitor.record(EngineEvent::AdHocRejected {
+                    instance: id,
+                    op: txn.delta().summary(),
+                    reason: e.to_string(),
+                });
+                return Err(e.into());
+            }
+        };
+
+        // Local state adaptation on the verified overlay.
+        let new_ex = Execution::new(&committed.schema)
+            .map_err(|e| EngineError::Change(ChangeError::Precondition(e.to_string())))?;
+        let mut st = inst.state.clone();
+        adapt_instance_state(&committed.base, &blocks, &new_ex, &committed.delta, &mut st)?;
+
+        // Installation: one store mutation makes the whole batch visible.
+        // The version/bias/state snapshot every gate above validated
+        // against is re-checked under the store's write lock
+        // (compare-and-set), so a commit, migration or execution step
+        // racing in after the `get` cannot be clobbered.
+        let mut bias = bias_at_begin;
+        let ops: Vec<ChangeOp> = committed.delta.ops.iter().map(|r| r.op.clone()).collect();
+        let n = committed.delta.len();
+        for rec in &committed.delta.ops {
+            bias.push(rec.clone());
+        }
+        bias.purge();
+        if !engine.store.set_bias_if(
+            id,
+            inst.version,
+            &inst.bias,
+            &inst.state,
+            bias,
+            &committed.schema,
+            st,
+        ) {
+            return Err(EngineError::Change(ChangeError::Precondition(format!(
+                "concurrent change: {id} was modified while the transaction committed"
+            ))));
+        }
+        for rec in &committed.delta.ops {
+            engine.monitor.record(EngineEvent::AdHocChanged {
+                instance: id,
+                op: rec.op.to_string(),
+            });
+        }
+
+        let seq = engine
+            .txn_log
+            .append(TxnTarget::Instance(id), ops, committed.inverses);
+        engine.monitor.record(EngineEvent::TxnCommitted {
+            target: id.to_string(),
+            ops: n,
+            seq,
+        });
+        Ok(TxnReceipt {
+            seq,
+            ops: n,
+            new_version: None,
+            delta: committed.delta,
+        })
+    }
+
+    fn commit_evolution(
+        engine: &ProcessEngine,
+        txn: ChangeTxn,
+        name: String,
+        base_version: u32,
+    ) -> Result<TxnReceipt, EngineError> {
+        // The single full verification pass over the evolved overlay.
+        let committed = match txn.commit_schema() {
+            Ok(c) => c,
+            Err((_txn, e)) => {
+                engine.monitor.record(EngineEvent::EvolutionRejected {
+                    type_name: name,
+                    reason: e.to_string(),
+                });
+                return Err(e.into());
+            }
+        };
+        let ops: Vec<ChangeOp> = committed.delta.ops.iter().map(|r| r.op.clone()).collect();
+        let n = committed.delta.len();
+        // Atomic install: the repository re-checks the base version, so a
+        // racing evolution cannot interleave.
+        let v = match engine.repo.install_evolution(
+            &name,
+            base_version,
+            committed.schema,
+            committed.delta.clone(),
+        ) {
+            Ok(v) => v,
+            Err(e) => {
+                engine.monitor.record(EngineEvent::EvolutionRejected {
+                    type_name: name,
+                    reason: e.to_string(),
+                });
+                return Err(e.into());
+            }
+        };
+        engine.monitor.record(EngineEvent::TypeEvolved {
+            type_name: name.clone(),
+            version: v,
+        });
+        let seq = engine.txn_log.append(
+            TxnTarget::Type {
+                name,
+                new_version: v,
+            },
+            ops,
+            committed.inverses,
+        );
+        engine.monitor.record(EngineEvent::TxnCommitted {
+            target: format!("V{v}"),
+            ops: n,
+            seq,
+        });
+        Ok(TxnReceipt {
+            seq,
+            ops: n,
+            new_version: Some(v),
+            delta: committed.delta,
+        })
+    }
+}

@@ -29,7 +29,7 @@ impl WorkItem {
     /// Whether an actor with the given role may claim this item. Items
     /// without a role are claimable by anyone.
     pub fn claimable_by(&self, role: &str) -> bool {
-        self.role.as_deref().map_or(true, |r| r == role)
+        self.role.as_deref().is_none_or(|r| r == role)
     }
 }
 

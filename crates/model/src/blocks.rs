@@ -74,7 +74,10 @@ impl std::fmt::Display for BlockError {
             BlockError::CyclicBackbone => f.write_str("control backbone is cyclic"),
             BlockError::UnmatchedSplit(n) => write!(f, "split {n} has no matching join"),
             BlockError::MalformedLoopEdge(a, b) => {
-                write!(f, "loop edge {a} -> {b} does not connect LoopEnd to LoopStart")
+                write!(
+                    f,
+                    "loop edge {a} -> {b} does not connect LoopEnd to LoopStart"
+                )
             }
         }
     }
@@ -176,7 +179,10 @@ impl Blocks {
             enclosing.insert(n, stack.into_iter().map(|(_, s, b)| (s, b)).collect());
         }
 
-        Ok(Blocks { by_split, enclosing })
+        Ok(Blocks {
+            by_split,
+            enclosing,
+        })
     }
 
     /// The blocks enclosing `n`, outermost first, as `(split, branch_index)`.
@@ -314,11 +320,7 @@ mod tests {
     fn recovers_parallel_block() {
         let (s, n) = nested();
         let blocks = Blocks::analyze(&s).unwrap();
-        let and_split = s
-            .nodes()
-            .find(|x| x.kind == NodeKind::AndSplit)
-            .unwrap()
-            .id;
+        let and_split = s.nodes().find(|x| x.kind == NodeKind::AndSplit).unwrap().id;
         let info = &blocks.by_split[&and_split];
         assert_eq!(info.kind, BlockKind::Parallel);
         assert_eq!(info.branches.len(), 2);

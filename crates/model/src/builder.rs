@@ -32,7 +32,9 @@ enum SplitKind {
 enum Frame {
     /// The top-level sequence (or loop body / branch body is handled by the
     /// frames below). `last` is the node new elements attach to.
-    Seq { last: NodeId },
+    Seq {
+        last: NodeId,
+    },
     Split {
         kind: SplitKind,
         split: NodeId,
@@ -40,7 +42,10 @@ enum Frame {
         current: Option<BranchEnd>,
         pending_guard: Option<Guard>,
     },
-    Loop { start: NodeId, last: NodeId },
+    Loop {
+        start: NodeId,
+        last: NodeId,
+    },
 }
 
 /// Fluent builder for [`ProcessSchema`]s.
@@ -427,8 +432,8 @@ impl SeqPeek for Option<&Frame> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::edge::{CmpOp, EdgeKind};
     use crate::data::Value;
+    use crate::edge::{CmpOp, EdgeKind};
 
     #[test]
     fn sequence_only() {
@@ -499,7 +504,11 @@ mod tests {
         b.activity("retry");
         let le = b.loop_end(LoopCond::Times(3));
         let s = b.build().unwrap();
-        let ls = s.nodes().find(|n| n.kind == NodeKind::LoopStart).unwrap().id;
+        let ls = s
+            .nodes()
+            .find(|n| n.kind == NodeKind::LoopStart)
+            .unwrap()
+            .id;
         let loop_edge = s.edge_between(le, ls, EdgeKind::Loop).unwrap();
         assert_eq!(loop_edge.loop_cond, Some(LoopCond::Times(3)));
     }

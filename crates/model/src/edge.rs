@@ -187,7 +187,11 @@ impl Edge {
 
 impl fmt::Display for Edge {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}: {} -[{}]-> {}", self.id, self.from, self.kind, self.to)?;
+        write!(
+            f,
+            "{}: {} -[{}]-> {}",
+            self.id, self.from, self.kind, self.to
+        )?;
         if let Some(g) = &self.guard {
             write!(f, " if {g}")?;
         }

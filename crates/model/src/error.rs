@@ -63,7 +63,10 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        assert_eq!(ModelError::UnknownNode(NodeId(3)).to_string(), "unknown node n3");
+        assert_eq!(
+            ModelError::UnknownNode(NodeId(3)).to_string(),
+            "unknown node n3"
+        );
         assert!(ModelError::BuilderState("oops".into())
             .to_string()
             .contains("oops"));

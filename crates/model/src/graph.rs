@@ -161,10 +161,7 @@ pub fn path_exists(schema: &ProcessSchema, a: NodeId, b: NodeId, filter: EdgeFil
 /// Uses the classic iterative set-intersection formulation; schemas are
 /// small (tens to a few hundred nodes), so the simple O(N²) data-flow
 /// iteration is more than fast enough and easy to audit.
-pub fn immediate_postdominators(
-    schema: &ProcessSchema,
-    exit: NodeId,
-) -> BTreeMap<NodeId, NodeId> {
+pub fn immediate_postdominators(schema: &ProcessSchema, exit: NodeId) -> BTreeMap<NodeId, NodeId> {
     let order = match topo_order(schema, EdgeFilter::CONTROL) {
         Ok(o) => o,
         Err(_) => return BTreeMap::new(), // cyclic control backbone: malformed
@@ -304,7 +301,8 @@ mod tests {
         s.add_control_edge(ls, a).unwrap();
         s.add_control_edge(a, le).unwrap();
         s.add_control_edge(le, end).unwrap();
-        s.add_loop_edge(le, ls, crate::edge::LoopCond::Times(3)).unwrap();
+        s.add_loop_edge(le, ls, crate::edge::LoopCond::Times(3))
+            .unwrap();
         assert!(is_acyclic(&s, EdgeFilter::CONTROL_SYNC));
         assert!(!is_acyclic(&s, EdgeFilter::ALL));
     }

@@ -39,7 +39,11 @@ pub fn to_dot(schema: &ProcessSchema, annotations: &BTreeMap<NodeId, String>) ->
         } else {
             ""
         };
-        let _ = writeln!(out, "  \"{}\" [shape={shape}, label=\"{label}\"{style}];", n.id);
+        let _ = writeln!(
+            out,
+            "  \"{}\" [shape={shape}, label=\"{label}\"{style}];",
+            n.id
+        );
     }
     for e in schema.edges() {
         let (style, color) = match e.kind {

@@ -89,9 +89,7 @@ impl ProcessSchema {
 
     /// All activity nodes (the user-visible work items).
     pub fn activities(&self) -> impl Iterator<Item = &Node> {
-        self.nodes
-            .values()
-            .filter(|n| n.kind == NodeKind::Activity)
+        self.nodes.values().filter(|n| n.kind == NodeKind::Activity)
     }
 
     /// The unique `Start` node. Panics on malformed schemas that lack one —
@@ -200,8 +198,7 @@ impl ProcessSchema {
 
     /// Finds an edge of the given kind between two nodes.
     pub fn edge_between(&self, from: NodeId, to: NodeId, kind: EdgeKind) -> Option<&Edge> {
-        self.out_edges(from)
-            .find(|e| e.to == to && e.kind == kind)
+        self.out_edges(from).find(|e| e.to == to && e.kind == kind)
     }
 
     /// All loop edges of the schema.
@@ -326,7 +323,9 @@ impl ProcessSchema {
         kind: NodeKind,
     ) -> Result<NodeId, ModelError> {
         if self.nodes.contains_key(&id) {
-            return Err(ModelError::BuilderState(format!("node id {id} already in use")));
+            return Err(ModelError::BuilderState(format!(
+                "node id {id} already in use"
+            )));
         }
         self.node_ids.reserve_through(id.0);
         self.nodes.insert(id, Node::new(id, name, kind));
@@ -338,7 +337,9 @@ impl ProcessSchema {
     /// Adds an edge with a caller-chosen id (see [`ProcessSchema::add_node_at`]).
     pub fn add_edge_at(&mut self, id: EdgeId, mut e: Edge) -> Result<EdgeId, ModelError> {
         if self.edges.contains_key(&id) {
-            return Err(ModelError::BuilderState(format!("edge id {id} already in use")));
+            return Err(ModelError::BuilderState(format!(
+                "edge id {id} already in use"
+            )));
         }
         if !self.has_node(e.from) {
             return Err(ModelError::UnknownNode(e.from));
@@ -366,7 +367,9 @@ impl ProcessSchema {
         ty: ValueType,
     ) -> Result<DataId, ModelError> {
         if self.data.contains_key(&id) {
-            return Err(ModelError::BuilderState(format!("data id {id} already in use")));
+            return Err(ModelError::BuilderState(format!(
+                "data id {id} already in use"
+            )));
         }
         self.data_ids.reserve_through(id.0);
         self.data.insert(id, DataElement::new(id, name, ty));
@@ -449,7 +452,8 @@ impl ProcessSchema {
         if !self.has_node(id) {
             return Err(ModelError::UnknownNode(id));
         }
-        let incident = self.out.get(&id).map_or(0, Vec::len) + self.inc.get(&id).map_or(0, Vec::len);
+        let incident =
+            self.out.get(&id).map_or(0, Vec::len) + self.inc.get(&id).map_or(0, Vec::len);
         if incident > 0 {
             return Err(ModelError::NodeHasEdges(id));
         }
@@ -538,7 +542,8 @@ impl ProcessSchema {
         }
         s += self.data_edges.capacity() * size_of::<DataEdge>();
         for (_, v) in self.out.iter().chain(self.inc.iter()) {
-            s += size_of::<NodeId>() + size_of::<Vec<EdgeId>>() + v.capacity() * size_of::<EdgeId>();
+            s +=
+                size_of::<NodeId>() + size_of::<Vec<EdgeId>>() + v.capacity() * size_of::<EdgeId>();
         }
         s
     }

@@ -150,7 +150,10 @@ fn random_control_edge(
         // Inserting right before the end node or after start is fine, but
         // keep away from loop-structure nodes to maximise applicability.
         .filter(|e| {
-            let from_kind = schema.node(e.from).map(|n| n.kind).unwrap_or(NodeKind::Null);
+            let from_kind = schema
+                .node(e.from)
+                .map(|n| n.kind)
+                .unwrap_or(NodeKind::Null);
             from_kind != NodeKind::LoopEnd
         })
         .map(|e| (e.from, e.to))

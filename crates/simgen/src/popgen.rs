@@ -55,11 +55,7 @@ impl Driver for RandomDriver {
 /// Generates `n` instances of a schema at random progress points: instance
 /// `k` executes a random number of activities between 0 and roughly the
 /// schema's activity count. Deterministic per seed.
-pub fn generate_population(
-    ex: &Execution<'_>,
-    n: usize,
-    seed: u64,
-) -> Vec<InstanceState> {
+pub fn generate_population(ex: &Execution<'_>, n: usize, seed: u64) -> Vec<InstanceState> {
     let mut rng = SmallRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
     let activities = ex.schema.activities().count();
     (0..n)
@@ -74,11 +70,7 @@ pub fn generate_population(
 }
 
 /// Generates `n` *finished* instances (ran to completion).
-pub fn generate_finished_population(
-    ex: &Execution<'_>,
-    n: usize,
-    seed: u64,
-) -> Vec<InstanceState> {
+pub fn generate_finished_population(ex: &Execution<'_>, n: usize, seed: u64) -> Vec<InstanceState> {
     (0..n)
         .map(|k| {
             let mut driver = RandomDriver::new(seed.wrapping_add(k as u64));
@@ -101,10 +93,7 @@ mod tests {
         let p1 = generate_population(&ex, 20, 99);
         let p2 = generate_population(&ex, 20, 99);
         assert_eq!(p1, p2, "same seed, same population");
-        let progressed: usize = p1
-            .iter()
-            .filter(|st| !st.history.is_empty())
-            .count();
+        let progressed: usize = p1.iter().filter(|st| !st.history.is_empty()).count();
         assert!(progressed > 5, "population should show progress variety");
     }
 
@@ -134,6 +123,9 @@ mod tests {
                 finished += 1;
             }
         }
-        assert!(finished >= 15, "most random runs should finish: {finished}/20");
+        assert!(
+            finished >= 15,
+            "most random runs should finish: {finished}/20"
+        );
     }
 }

@@ -101,7 +101,11 @@ pub fn clinical_pathway() -> ProcessSchema {
     let lab = b.activity_with("lab tests", |a| a.role = Some("lab".into()));
     b.write(lab, lab_ok);
     let _ = exam;
-    b.loop_end(LoopCond::While(Guard::new(lab_ok, CmpOp::Eq, Value::Bool(false))));
+    b.loop_end(LoopCond::While(Guard::new(
+        lab_ok,
+        CmpOp::Eq,
+        Value::Bool(false),
+    )));
     b.xor_split();
     b.case_when(Guard::new(severity, CmpOp::Ge, Value::Int(7)));
     b.activity_with("surgery", |a| a.role = Some("surgeon".into()));

@@ -121,11 +121,24 @@ fn gen_sequence(
     let mut produced = 0usize;
     // A forced sequence (block branch, loop body) emits at least one
     // element even with an exhausted budget — two empty branches of one
-    // block would be structurally illegal.
-    while produced < min_here || (*budget > 0 && rng.gen_bool(0.72)) {
+    // block would be structurally illegal. The top-level sequence keeps
+    // emitting while budget remains, so the generated size reliably
+    // scales with `target_activities` for every seed; nested sequences
+    // end on a coin flip so block sizes stay varied.
+    while produced < min_here || (*budget > 0 && (depth == 0 || rng.gen_bool(0.72))) {
         let roll: f64 = rng.gen();
         if depth < params.max_depth && *budget >= 4 && roll < params.p_parallel {
-            gen_parallel(b, params, rng, data, budget, depth, written, counter, &mut surface);
+            gen_parallel(
+                b,
+                params,
+                rng,
+                data,
+                budget,
+                depth,
+                written,
+                counter,
+                &mut surface,
+            );
         } else if depth < params.max_depth
             && *budget >= 4
             && roll < params.p_parallel + params.p_xor
@@ -138,7 +151,15 @@ fn gen_sequence(
             b.loop_start();
             let mut body_written = written.clone();
             gen_sequence(
-                b, params, rng, data, budget, depth + 1, &mut body_written, counter, true,
+                b,
+                params,
+                rng,
+                data,
+                budget,
+                depth + 1,
+                &mut body_written,
+                counter,
+                true,
             );
             b.loop_end(LoopCond::Times(rng.gen_range(1..=3)));
             // The body runs at least once (ADEPT loops are do-while), so
@@ -202,7 +223,17 @@ fn gen_parallel(
     for _ in 0..branches {
         b.branch();
         let mut bw = written.clone();
-        let s = gen_sequence(b, params, rng, data, budget, depth + 1, &mut bw, counter, true);
+        let s = gen_sequence(
+            b,
+            params,
+            rng,
+            data,
+            budget,
+            depth + 1,
+            &mut bw,
+            counter,
+            true,
+        );
         branch_surfaces.push(s);
         union.extend(bw);
     }
@@ -242,7 +273,17 @@ fn gen_xor(
     for _ in 0..branches {
         b.case();
         let mut bw = written.clone();
-        gen_sequence(b, params, rng, data, budget, depth + 1, &mut bw, counter, true);
+        gen_sequence(
+            b,
+            params,
+            rng,
+            data,
+            budget,
+            depth + 1,
+            &mut bw,
+            counter,
+            true,
+        );
         intersection = Some(match intersection {
             None => bw,
             Some(acc) => acc.intersection(&bw).copied().collect(),
@@ -301,8 +342,14 @@ mod tests {
             }
         }
         use adept_model::NodeKind;
-        assert!(kinds.contains(&NodeKind::AndSplit), "no parallel blocks generated");
-        assert!(kinds.contains(&NodeKind::XorSplit), "no conditional blocks generated");
+        assert!(
+            kinds.contains(&NodeKind::AndSplit),
+            "no parallel blocks generated"
+        );
+        assert!(
+            kinds.contains(&NodeKind::XorSplit),
+            "no conditional blocks generated"
+        );
         assert!(kinds.contains(&NodeKind::LoopStart), "no loops generated");
     }
 }

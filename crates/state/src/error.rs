@@ -78,7 +78,10 @@ impl fmt::Display for RuntimeError {
             RuntimeError::NotRunning(n) => write!(f, "{n} is not running"),
             RuntimeError::NoDecisionPending(n) => write!(f, "no decision pending at {n}"),
             RuntimeError::NoBranchMatches(n) => {
-                write!(f, "no branch guard matches at {n} and no else branch exists")
+                write!(
+                    f,
+                    "no branch guard matches at {n} and no else branch exists"
+                )
             }
             RuntimeError::BranchNotFound { split, target } => {
                 write!(f, "no branch of {split} matches target {target}")

@@ -20,9 +20,7 @@ use crate::history::{Event, ExecutionHistory};
 use crate::marking::{EdgeState, Marking, NodeState};
 use crate::replay::ReplayScript;
 use adept_model::blocks::BlockError;
-use adept_model::{
-    Blocks, DataId, EdgeKind, LoopCond, NodeId, NodeKind, ProcessSchema, Value,
-};
+use adept_model::{Blocks, DataId, EdgeKind, LoopCond, NodeId, NodeKind, ProcessSchema, Value};
 use serde::{Deserialize, Serialize};
 
 /// The complete runtime state of one process instance.
@@ -327,9 +325,10 @@ impl<'s> Execution<'s> {
                     match d {
                         Decision::Xor { split, targets } => {
                             let idx = driver.choose_branch(self.schema, split, &targets);
-                            let target = *targets
-                                .get(idx)
-                                .ok_or(RuntimeError::BranchNotFound { split, target: split })?;
+                            let target = *targets.get(idx).ok_or(RuntimeError::BranchNotFound {
+                                split,
+                                target: split,
+                            })?;
                             self.decide_xor(st, split, target)?;
                         }
                         Decision::Loop {
@@ -433,7 +432,7 @@ impl<'s> Execution<'s> {
                 if info
                     .branches
                     .get(i)
-                    .map_or(false, |region| region.contains(&target))
+                    .is_some_and(|region| region.contains(&target))
                 {
                     return Ok(e.id);
                 }
@@ -576,7 +575,11 @@ impl<'s> Execution<'s> {
         }
     }
 
-    fn evaluate_guards(&self, st: &InstanceState, split: NodeId) -> Result<adept_model::EdgeId, RuntimeError> {
+    fn evaluate_guards(
+        &self,
+        st: &InstanceState,
+        split: NodeId,
+    ) -> Result<adept_model::EdgeId, RuntimeError> {
         let mut else_edge = None;
         for e in self.schema.out_edges_kind(split, EdgeKind::Control) {
             match &e.guard {
@@ -608,10 +611,11 @@ impl<'s> Execution<'s> {
             .out_edges(split)
             .filter(|e| e.kind != EdgeKind::Loop)
             .map(|e| {
-                let s = if e.id == chosen && e.kind == EdgeKind::Control {
+                // Sync edges signal true regardless: the split itself completed.
+                let s = if (e.id == chosen && e.kind == EdgeKind::Control)
+                    || e.kind == EdgeKind::Sync
+                {
                     EdgeState::TrueSignaled
-                } else if e.kind == EdgeKind::Sync {
-                    EdgeState::TrueSignaled // the split itself completed
                 } else {
                     EdgeState::FalseSignaled
                 };

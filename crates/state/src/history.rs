@@ -219,7 +219,10 @@ mod tests {
 
         let mut h = ExecutionHistory::new();
         // Iteration 1.
-        h.record(Event::Started { node: body, reads: vec![] });
+        h.record(Event::Started {
+            node: body,
+            reads: vec![],
+        });
         h.record(Event::Completed {
             node: body,
             writes: vec![],
@@ -230,7 +233,10 @@ mod tests {
         });
         h.record(Event::LoopReset { loop_start: ls });
         // Iteration 2 (final).
-        h.record(Event::Started { node: body, reads: vec![] });
+        h.record(Event::Started {
+            node: body,
+            reads: vec![],
+        });
         h.record(Event::Completed {
             node: body,
             writes: vec![],
@@ -266,12 +272,18 @@ mod tests {
             .id;
 
         let mut h = ExecutionHistory::new();
-        h.record(Event::Started { node: before, reads: vec![] });
+        h.record(Event::Started {
+            node: before,
+            reads: vec![],
+        });
         h.record(Event::Completed {
             node: before,
             writes: vec![],
         });
-        h.record(Event::Started { node: body, reads: vec![] });
+        h.record(Event::Started {
+            node: body,
+            reads: vec![],
+        });
         h.record(Event::LoopReset { loop_start: ls });
         let r = h.reduced(&s, &blocks);
         assert_eq!(
@@ -284,9 +296,18 @@ mod tests {
     #[test]
     fn started_activities_dedups() {
         let mut h = ExecutionHistory::new();
-        h.record(Event::Started { node: NodeId(1), reads: vec![] });
-        h.record(Event::Started { node: NodeId(2), reads: vec![] });
-        h.record(Event::Started { node: NodeId(1), reads: vec![] });
+        h.record(Event::Started {
+            node: NodeId(1),
+            reads: vec![],
+        });
+        h.record(Event::Started {
+            node: NodeId(2),
+            reads: vec![],
+        });
+        h.record(Event::Started {
+            node: NodeId(1),
+            reads: vec![],
+        });
         assert_eq!(h.started_activities(), vec![NodeId(1), NodeId(2)]);
     }
 }

@@ -183,22 +183,14 @@ impl InstanceStore {
     }
 
     /// Mutates an instance in place via the supplied closure.
-    pub fn update<R>(
-        &self,
-        id: InstanceId,
-        f: impl FnOnce(&mut StoredInstance) -> R,
-    ) -> Option<R> {
+    pub fn update<R>(&self, id: InstanceId, f: impl FnOnce(&mut StoredInstance) -> R) -> Option<R> {
         self.instances.write().get_mut(&id).map(f)
     }
 
     /// Resolves the schema an instance currently executes on, following the
     /// store's representation strategy. `repo` provides the shared
     /// deployed versions.
-    pub fn schema_of(
-        &self,
-        repo: &SchemaRepository,
-        id: InstanceId,
-    ) -> Option<Arc<ProcessSchema>> {
+    pub fn schema_of(&self, repo: &SchemaRepository, id: InstanceId) -> Option<Arc<ProcessSchema>> {
         // Fast path: unbiased or cached.
         {
             let instances = self.instances.read();
@@ -249,10 +241,53 @@ impl InstanceStore {
         materialized: &ProcessSchema,
         state: InstanceState,
     ) -> bool {
+        self.install_bias(id, None, bias, materialized, state)
+    }
+
+    /// Compare-and-set variant of [`InstanceStore::set_bias`]: the new
+    /// bias/state is installed only if the instance's version, bias and
+    /// state still match the snapshot the caller validated against —
+    /// check and install happen under one write lock, so a change
+    /// committed from a stale snapshot (racing commit, migration or
+    /// execution step in between) is rejected instead of clobbering the
+    /// concurrent update. Returns `false` on mismatch or unknown id.
+    #[allow(clippy::too_many_arguments)]
+    pub fn set_bias_if(
+        &self,
+        id: InstanceId,
+        expected_version: u32,
+        expected_bias: &Delta,
+        expected_state: &InstanceState,
+        bias: Delta,
+        materialized: &ProcessSchema,
+        state: InstanceState,
+    ) -> bool {
+        self.install_bias(
+            id,
+            Some((expected_version, expected_bias, expected_state)),
+            bias,
+            materialized,
+            state,
+        )
+    }
+
+    fn install_bias(
+        &self,
+        id: InstanceId,
+        expected: Option<(u32, &Delta, &InstanceState)>,
+        bias: Delta,
+        materialized: &ProcessSchema,
+        state: InstanceState,
+    ) -> bool {
         let mut instances = self.instances.write();
         let Some(inst) = instances.get_mut(&id) else {
             return false;
         };
+        if let Some((version, exp_bias, exp_state)) = expected {
+            if inst.version != version || inst.bias != *exp_bias || inst.state != *exp_state {
+                return false;
+            }
+        }
         inst.subst = SubstitutionBlock::from_delta(&bias, materialized);
         inst.bias = bias;
         inst.state = state;

@@ -17,6 +17,8 @@
 //!   strategies (the two alternatives the paper dismisses and the hybrid
 //!   approach it adopts), with access statistics and byte-level memory
 //!   accounting for the Fig. 2 experiments.
+//! * [`TxnLog`] — the append-only log of committed change transactions
+//!   (ops + recorded inverses), embedded in persistence snapshots.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -25,10 +27,12 @@ pub mod instances;
 pub mod persist;
 pub mod repo;
 pub mod subst;
+pub mod txnlog;
 
-pub use instances::{
-    AccessStats, InstanceStore, MemoryBreakdown, Representation, StoredInstance,
+pub use instances::{AccessStats, InstanceStore, MemoryBreakdown, Representation, StoredInstance};
+pub use persist::{
+    from_json, restore, restore_with_txns, snapshot, snapshot_with_txns, to_json, Snapshot,
 };
-pub use persist::{from_json, restore, snapshot, to_json, Snapshot};
 pub use repo::{DeployedSchema, SchemaRepository};
 pub use subst::SubstitutionBlock;
+pub use txnlog::{TxnLog, TxnRecord, TxnTarget};

@@ -12,6 +12,7 @@
 use crate::instances::{InstanceStore, Representation, StoredInstance};
 use crate::repo::SchemaRepository;
 use crate::subst::SubstitutionBlock;
+use crate::txnlog::{TxnLog, TxnRecord};
 use adept_core::{ChangeError, Delta, ProcessType};
 use adept_model::InstanceId;
 use adept_state::InstanceState;
@@ -35,7 +36,7 @@ pub struct InstanceRecord {
 }
 
 /// A complete engine snapshot.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct Snapshot {
     /// Snapshot format version (for forward evolution).
     pub format: u32,
@@ -45,12 +46,51 @@ pub struct Snapshot {
     pub types: Vec<ProcessType>,
     /// All instances.
     pub instances: Vec<InstanceRecord>,
+    /// The committed change-transaction log. Defaults to empty so
+    /// format-1 snapshots (written before the log existed) still parse.
+    pub txns: Vec<TxnRecord>,
 }
 
-/// Current snapshot format version.
-pub const SNAPSHOT_FORMAT: u32 = 1;
+// Hand-written so the `txns` field can default: format-1 snapshots were
+// written before the transaction log existed and must stay restorable.
+// The default is gated on the format — a format-2 document *missing* the
+// field is corrupt (truncated write), not historic, and must not be
+// silently restored with an empty audit log.
+impl serde::Deserialize for Snapshot {
+    fn deserialize(v: &serde::Value) -> Result<Self, serde::Error> {
+        let m = serde::as_map(v, "Snapshot")?;
+        let format: u32 = serde::Deserialize::deserialize(serde::field(m, "format")?)?;
+        Ok(Snapshot {
+            format,
+            strategy: serde::Deserialize::deserialize(serde::field(m, "strategy")?)?,
+            types: serde::Deserialize::deserialize(serde::field(m, "types")?)?,
+            instances: serde::Deserialize::deserialize(serde::field(m, "instances")?)?,
+            txns: match serde::field(m, "txns") {
+                Ok(v) => serde::Deserialize::deserialize(v)?,
+                Err(_) if format <= 1 => Vec::new(),
+                Err(e) => return Err(e),
+            },
+        })
+    }
+}
 
-/// Captures a snapshot of a repository + store pair.
+/// Current snapshot format version. Version 2 added the change-transaction
+/// log (`txns`).
+pub const SNAPSHOT_FORMAT: u32 = 2;
+
+/// Captures a snapshot including the change-transaction log.
+pub fn snapshot_with_txns(
+    repo: &SchemaRepository,
+    store: &InstanceStore,
+    txn_log: &TxnLog,
+) -> Snapshot {
+    let mut s = snapshot(repo, store);
+    s.txns = txn_log.records();
+    s
+}
+
+/// Captures a snapshot of a repository + store pair (with an empty txn
+/// log; see [`snapshot_with_txns`]).
 pub fn snapshot(repo: &SchemaRepository, store: &InstanceStore) -> Snapshot {
     let mut types = Vec::new();
     for name in repo.type_names() {
@@ -78,6 +118,7 @@ pub fn snapshot(repo: &SchemaRepository, store: &InstanceStore) -> Snapshot {
         strategy: store.strategy(),
         types,
         instances,
+        txns: Vec::new(),
     }
 }
 
@@ -91,13 +132,21 @@ pub fn to_json(s: &Snapshot) -> Result<String, ChangeError> {
 pub fn from_json(json: &str) -> Result<Snapshot, ChangeError> {
     let s: Snapshot = serde_json::from_str(json)
         .map_err(|e| ChangeError::Precondition(format!("snapshot parse failed: {e}")))?;
-    if s.format != SNAPSHOT_FORMAT {
+    if s.format == 0 || s.format > SNAPSHOT_FORMAT {
         return Err(ChangeError::Precondition(format!(
-            "unsupported snapshot format {} (expected {SNAPSHOT_FORMAT})",
+            "unsupported snapshot format {} (expected 1..={SNAPSHOT_FORMAT})",
             s.format
         )));
     }
     Ok(s)
+}
+
+/// Restores repository, store *and* transaction log from a snapshot.
+pub fn restore_with_txns(
+    s: &Snapshot,
+) -> Result<(SchemaRepository, InstanceStore, TxnLog), ChangeError> {
+    let (repo, store) = restore(s)?;
+    Ok((repo, store, TxnLog::from_records(s.txns.clone())))
 }
 
 /// Restores a repository + store pair from a snapshot. Caches (deployed
@@ -222,11 +271,40 @@ mod tests {
     }
 
     #[test]
+    fn format_1_snapshot_without_txns_still_parses() {
+        let (repo, store, _) = world();
+        let mut snap = snapshot(&repo, &store);
+        snap.format = 1;
+        // A format-1 writer never emitted the `txns` field.
+        let json = serde_json::to_string(&snap)
+            .unwrap()
+            .replace(",\"txns\":[]", "");
+        assert!(!json.contains("txns"), "field must be absent: {json}");
+        let parsed = from_json(&json).unwrap();
+        assert_eq!(parsed.format, 1);
+        assert!(parsed.txns.is_empty());
+        assert!(restore_with_txns(&parsed).is_ok());
+    }
+
+    #[test]
     fn unsupported_format_rejected() {
         let (repo, store, _) = world();
         let mut snap = snapshot(&repo, &store);
         snap.format = 99;
         let json = serde_json::to_string(&snap).unwrap();
+        assert!(from_json(&json).is_err());
+    }
+
+    #[test]
+    fn format_2_snapshot_missing_txns_is_corrupt() {
+        let (repo, store, _) = world();
+        let snap = snapshot(&repo, &store);
+        // Same truncation as the format-1 test, but claiming format 2:
+        // the field is mandatory there, so the document must be rejected
+        // rather than restored with a silently empty audit log.
+        let json = serde_json::to_string(&snap)
+            .unwrap()
+            .replace(",\"txns\":[]", "");
         assert!(from_json(&json).is_err());
     }
 

@@ -75,9 +75,50 @@ impl SchemaRepository {
         Ok((v, delta))
     }
 
+    /// Installs an **already-verified** evolved schema as the next version
+    /// of a type (the change-transaction commit path; see
+    /// [`adept_core::ProcessType::push_prepared`]). `expected_base` guards
+    /// against racing evolutions: if another transaction committed first,
+    /// the install is rejected and nothing changes. Returns the new
+    /// version number.
+    pub fn install_evolution(
+        &self,
+        name: &str,
+        expected_base: u32,
+        schema: ProcessSchema,
+        delta: Delta,
+    ) -> Result<u32, ChangeError> {
+        let mut types = self.types.write();
+        let pt = types
+            .get_mut(name)
+            .ok_or_else(|| ChangeError::Precondition(format!("unknown process type {name:?}")))?;
+        if pt.version_count() != expected_base {
+            return Err(ChangeError::Precondition(format!(
+                "concurrent evolution: \"{name}\" is at V{}, transaction began on V{expected_base}",
+                pt.version_count()
+            )));
+        }
+        let v = pt.push_prepared(schema, delta)?;
+        match DeployedSchema::new(pt.latest().clone()) {
+            Ok(dep) => {
+                self.deployed.write().insert((name.to_string(), v), dep);
+                Ok(v)
+            }
+            Err(e) => {
+                // Keep the install atomic: a schema whose block structure
+                // does not analyze must not leave a half-pushed version.
+                pt.pop_prepared();
+                Err(e)
+            }
+        }
+    }
+
     /// The deployed schema of a specific version.
     pub fn deployed(&self, name: &str, version: u32) -> Option<DeployedSchema> {
-        self.deployed.read().get(&(name.to_string(), version)).cloned()
+        self.deployed
+            .read()
+            .get(&(name.to_string(), version))
+            .cloned()
     }
 
     /// The newest version number of a type.
@@ -148,7 +189,12 @@ mod tests {
         assert_eq!(v, 2);
         assert_eq!(delta.len(), 1);
         assert_eq!(repo.latest_version(&name), Some(2));
-        assert!(repo.deployed(&name, 2).unwrap().schema.node_by_name("x").is_some());
+        assert!(repo
+            .deployed(&name, 2)
+            .unwrap()
+            .schema
+            .node_by_name("x")
+            .is_some());
         assert!(repo.delta_between(&name, 1).is_some());
         assert_eq!(repo.type_names(), vec![name]);
         assert!(repo.schema_bytes() > 0);

@@ -73,8 +73,12 @@ impl SubstitutionBlock {
                     block.added_data.push(de.clone());
                 }
             }
-            block.removed_edges.extend(rec.removed_edges.iter().copied());
-            block.removed_nodes.extend(rec.removed_nodes.iter().copied());
+            block
+                .removed_edges
+                .extend(rec.removed_edges.iter().copied());
+            block
+                .removed_nodes
+                .extend(rec.removed_nodes.iter().copied());
             block
                 .nullified_nodes
                 .extend(rec.nullified_nodes.iter().copied());
@@ -85,10 +89,7 @@ impl SubstitutionBlock {
         block.added_edges.retain(|e| !removed.contains(&e.id));
         block.removed_edges.retain(|id| {
             // Only original-schema edges need explicit removal markers.
-            !delta
-                .ops
-                .iter()
-                .any(|r| r.added_edges.contains(id))
+            !delta.ops.iter().any(|r| r.added_edges.contains(id))
         });
         let removed_nodes = block.removed_nodes.clone();
         block.added_nodes.retain(|n| !removed_nodes.contains(&n.id));
@@ -209,7 +210,11 @@ mod tests {
         let confirm = materialized.node_by_name("confirm order").unwrap().id;
         let mut delta = Delta::new();
         delta.push(
-            apply_op(&mut materialized, &ChangeOp::DeleteActivity { node: confirm }).unwrap(),
+            apply_op(
+                &mut materialized,
+                &ChangeOp::DeleteActivity { node: confirm },
+            )
+            .unwrap(),
         );
         let block = SubstitutionBlock::from_delta(&delta, &materialized);
         let rebuilt = block.overlay(&base).unwrap();

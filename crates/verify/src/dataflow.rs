@@ -10,7 +10,9 @@
 
 use crate::report::{Issue, IssueKind, VerificationReport};
 use adept_model::graph::{self, EdgeFilter};
-use adept_model::{AccessMode, BlockKind, Blocks, DataId, EdgeKind, LoopCond, NodeId, ProcessSchema};
+use adept_model::{
+    AccessMode, BlockKind, Blocks, DataId, EdgeKind, LoopCond, NodeId, ProcessSchema,
+};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Runs all data-flow checks.
@@ -50,9 +52,8 @@ pub fn compute_definitely_written(
     blocks: &Blocks,
 ) -> BTreeMap<NodeId, BTreeSet<DataId>> {
     let mut dw: BTreeMap<NodeId, BTreeSet<DataId>> = BTreeMap::new();
-    let writes_of = |n: NodeId| -> BTreeSet<DataId> {
-        schema.writes_of(n).map(|de| de.data).collect()
-    };
+    let writes_of =
+        |n: NodeId| -> BTreeSet<DataId> { schema.writes_of(n).map(|de| de.data).collect() };
     let skippable = |n: NodeId| -> bool {
         blocks
             .enclosing(n)
@@ -112,9 +113,12 @@ fn check_mandatory_reads(
         if de.mode != AccessMode::Read || de.optional {
             continue;
         }
-        let written = dw.get(&de.node).map_or(false, |s| s.contains(&de.data));
+        let written = dw.get(&de.node).is_some_and(|s| s.contains(&de.data));
         if !written {
-            let node = schema.node(de.node).map(|n| n.name.clone()).unwrap_or_default();
+            let node = schema
+                .node(de.node)
+                .map(|n| n.name.clone())
+                .unwrap_or_default();
             let data = schema
                 .data_element(de.data)
                 .map(|d| d.name.clone())
@@ -144,12 +148,8 @@ fn check_guard_reads(
     rep: &mut VerificationReport,
 ) {
     let check = |decider: NodeId, data: DataId, what: &str, rep: &mut VerificationReport| {
-        let available = dw
-            .get(&decider)
-            .map_or(false, |s| s.contains(&data))
-            || schema
-                .writes_of(decider)
-                .any(|w| w.data == data);
+        let available = dw.get(&decider).is_some_and(|s| s.contains(&data))
+            || schema.writes_of(decider).any(|w| w.data == data);
         if !available {
             rep.push(
                 Issue::error(

@@ -32,9 +32,25 @@ pub mod structural;
 pub use report::{Issue, IssueKind, Severity, VerificationReport};
 
 use adept_model::ProcessSchema;
+use std::cell::Cell;
+
+thread_local! {
+    static PASSES: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Number of full verification passes ([`verify_schema`] calls) this
+/// thread has performed. The change-transaction layer uses this to prove
+/// its core amortisation guarantee — *one* verification pass per committed
+/// transaction, however many operations were staged. Thread-local, so
+/// concurrent tests and parallel migration workers never skew each other's
+/// measurements.
+pub fn verification_passes() -> u64 {
+    PASSES.with(Cell::get)
+}
 
 /// Runs the complete ADEPT2 buildtime verification suite on a schema.
 pub fn verify_schema(schema: &ProcessSchema) -> VerificationReport {
+    PASSES.with(|c| c.set(c.get() + 1));
     let mut rep = structural::check_structure(schema);
     rep.merge(deadlock::check_deadlock_freedom(schema));
     rep.merge(dataflow::check_dataflow(schema));

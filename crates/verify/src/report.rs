@@ -143,17 +143,12 @@ pub struct VerificationReport {
 impl VerificationReport {
     /// Whether the schema may be deployed (no error-severity issues).
     pub fn is_correct(&self) -> bool {
-        !self
-            .issues
-            .iter()
-            .any(|i| i.severity == Severity::Error)
+        !self.issues.iter().any(|i| i.severity == Severity::Error)
     }
 
     /// All error-severity issues.
     pub fn errors(&self) -> impl Iterator<Item = &Issue> {
-        self.issues
-            .iter()
-            .filter(|i| i.severity == Severity::Error)
+        self.issues.iter().filter(|i| i.severity == Severity::Error)
     }
 
     /// All warning-severity issues.

@@ -30,7 +30,10 @@ fn check_start_end(schema: &ProcessSchema, rep: &mut VerificationReport) {
         rep.push(
             Issue::error(
                 IssueKind::StartEndStructure,
-                format!("schema must have exactly one start node, found {}", starts.len()),
+                format!(
+                    "schema must have exactly one start node, found {}",
+                    starts.len()
+                ),
             )
             .with_nodes(starts),
         );
@@ -39,7 +42,10 @@ fn check_start_end(schema: &ProcessSchema, rep: &mut VerificationReport) {
         rep.push(
             Issue::error(
                 IssueKind::StartEndStructure,
-                format!("schema must have exactly one end node, found {}", ends.len()),
+                format!(
+                    "schema must have exactly one end node, found {}",
+                    ends.len()
+                ),
             )
             .with_nodes(ends),
         );
@@ -63,7 +69,12 @@ fn check_degrees(schema: &ProcessSchema, rep: &mut VerificationReport) {
             }
             NodeKind::End => {
                 if cin != 1 || cout != 0 {
-                    bad(format!("end node {n} must have 1 in / 0 out control edges (has {cin}/{cout})"), rep);
+                    bad(
+                        format!(
+                            "end node {n} must have 1 in / 0 out control edges (has {cin}/{cout})"
+                        ),
+                        rep,
+                    );
                 }
             }
             NodeKind::Activity | NodeKind::Null => {
@@ -73,12 +84,22 @@ fn check_degrees(schema: &ProcessSchema, rep: &mut VerificationReport) {
             }
             NodeKind::AndSplit | NodeKind::XorSplit => {
                 if cin != 1 || cout < 2 {
-                    bad(format!("split {n} must have 1 in / >=2 out control edges (has {cin}/{cout})"), rep);
+                    bad(
+                        format!(
+                            "split {n} must have 1 in / >=2 out control edges (has {cin}/{cout})"
+                        ),
+                        rep,
+                    );
                 }
             }
             NodeKind::AndJoin | NodeKind::XorJoin => {
                 if cin < 2 || cout != 1 {
-                    bad(format!("join {n} must have >=2 in / 1 out control edges (has {cin}/{cout})"), rep);
+                    bad(
+                        format!(
+                            "join {n} must have >=2 in / 1 out control edges (has {cin}/{cout})"
+                        ),
+                        rep,
+                    );
                 }
             }
             NodeKind::LoopStart => {

@@ -20,38 +20,46 @@ fn main() {
     for k in 0..5u64 {
         let id = engine.create_instance(&name).unwrap();
         let mut driver = RandomDriver::new(k);
-        engine.run_instance(id, &mut driver, Some(k as usize)).unwrap();
+        engine
+            .run_instance(id, &mut driver, Some(k as usize))
+            .unwrap();
         patients.push(id);
     }
 
-    // Patient 0 gets an ad-hoc specialist consult before anamnesis.
+    // Patient 0 gets an ad-hoc specialist consult before anamnesis — a
+    // one-op change session, previewed before committing.
     let admit = v1.schema.node_by_name("admit patient").unwrap().id;
     let anam = v1.schema.node_by_name("anamnesis").unwrap().id;
-    match engine.ad_hoc_change(
-        patients[0],
-        &ChangeOp::SerialInsert {
-            activity: NewActivity::named("specialist consult").with_role("physician"),
-            pred: admit,
-            succ: anam,
-        },
-    ) {
-        Ok(()) => println!("{}: specialist consult inserted ad hoc", patients[0]),
+    let mut session = engine.begin_change(patients[0]).unwrap();
+    let staged = session.stage(&ChangeOp::SerialInsert {
+        activity: NewActivity::named("specialist consult").with_role("physician"),
+        pred: admit,
+        succ: anam,
+    });
+    match staged {
+        Ok(_) if session.preview().unwrap().is_committable() => {
+            session.commit().unwrap();
+            println!("{}: specialist consult inserted ad hoc", patients[0]);
+        }
+        Ok(_) => {
+            session.abort();
+            println!("{}: consult not committable, aborted", patients[0]);
+        }
         Err(e) => println!("{}: consult rejected ({e})", patients[0]),
     }
 
     // Guideline update: lab review before the therapy plan, for everyone.
     let therapy = v1.schema.node_by_name("therapy plan").unwrap().id;
     let discharge = v1.schema.node_by_name("discharge").unwrap().id;
-    engine
-        .evolve_type(
-            &name,
-            &[ChangeOp::SerialInsert {
-                activity: NewActivity::named("lab review").with_role("lab"),
-                pred: therapy,
-                succ: discharge,
-            }],
-        )
+    let mut evolution = engine.begin_evolution(&name).unwrap();
+    evolution
+        .stage(&ChangeOp::SerialInsert {
+            activity: NewActivity::named("lab review").with_role("lab"),
+            pred: therapy,
+            succ: discharge,
+        })
         .unwrap();
+    evolution.commit().unwrap();
     let report = engine
         .migrate_all(&name, &MigrationOptions::default(), 2)
         .unwrap();
@@ -61,6 +69,10 @@ fn main() {
     for (k, id) in patients.iter().enumerate() {
         let mut driver = RandomDriver::new(1000 + k as u64);
         engine.run_instance(*id, &mut driver, Some(300)).unwrap();
-        println!("\n{} final state:\n{}", id, engine.render_instance(*id).unwrap());
+        println!(
+            "\n{} final state:\n{}",
+            id,
+            engine.render_instance(*id).unwrap()
+        );
     }
 }

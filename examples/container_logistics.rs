@@ -16,33 +16,49 @@ fn main() {
     let v1 = engine.repo.deployed(&name, 1).unwrap();
 
     let shipment = engine.create_instance(&name).unwrap();
-    engine.run_instance(shipment, &mut DefaultDriver, Some(3)).unwrap();
-    println!("shipment under way:\n{}", engine.render_instance(shipment).unwrap());
+    engine
+        .run_instance(shipment, &mut DefaultDriver, Some(3))
+        .unwrap();
+    println!(
+        "shipment under way:\n{}",
+        engine.render_instance(shipment).unwrap()
+    );
 
-    // Storm: divert before sea transport.
+    // Storm: divert before sea transport (one-op change transaction).
     let sea = v1.schema.node_by_name("sea transport").unwrap().id;
     let deliver = v1.schema.node_by_name("deliver container").unwrap().id;
-    engine
-        .ad_hoc_change(
-            shipment,
-            &ChangeOp::SerialInsert {
-                activity: NewActivity::named("divert to alternate port").with_role("dispatcher"),
-                pred: sea,
-                succ: deliver,
-            },
-        )
+    let mut session = engine.begin_change(shipment).unwrap();
+    session
+        .stage(&ChangeOp::SerialInsert {
+            activity: NewActivity::named("divert to alternate port").with_role("dispatcher"),
+            pred: sea,
+            succ: deliver,
+        })
         .unwrap();
-    println!("ad-hoc diversion inserted (instance is now biased: {})",
-        engine.store.get(shipment).unwrap().bias.summary());
+    session.commit().unwrap();
+    println!(
+        "ad-hoc diversion inserted (instance is now biased: {})",
+        engine.store.get(shipment).unwrap().bias.summary()
+    );
 
-    // An illegal deviation is rejected: deleting the already-completed
-    // booking would violate the state precondition.
+    // An illegal deviation is rejected at commit: deleting the
+    // already-completed booking violates the state precondition, and the
+    // failed commit leaves the shipment untouched.
     let book = v1.schema.node_by_name("book transport").unwrap().id;
-    match engine.ad_hoc_change(shipment, &ChangeOp::DeleteActivity { node: book }) {
+    let mut session = engine.begin_change(shipment).unwrap();
+    session
+        .stage(&ChangeOp::DeleteActivity { node: book })
+        .unwrap();
+    match session.commit() {
         Err(e) => println!("deleting completed booking correctly rejected: {e}"),
-        Ok(()) => unreachable!("must be rejected"),
+        Ok(_) => unreachable!("must be rejected"),
     }
 
-    engine.run_instance(shipment, &mut DefaultDriver, None).unwrap();
-    println!("\ndelivered:\n{}", engine.render_instance(shipment).unwrap());
+    engine
+        .run_instance(shipment, &mut DefaultDriver, None)
+        .unwrap();
+    println!(
+        "\ndelivered:\n{}",
+        engine.render_instance(shipment).unwrap()
+    );
 }

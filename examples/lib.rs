@@ -1,0 +1,2 @@
+//! Placeholder library target; the examples live in the `[[bin]]` targets
+//! of this package (`cargo run -p adept-examples --bin quickstart`).

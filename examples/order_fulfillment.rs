@@ -18,24 +18,37 @@ fn main() {
 
     // I1: completed "get order" and "collect data".
     let i1 = engine.create_instance(&name).unwrap();
-    engine.run_instance(i1, &mut DefaultDriver, Some(2)).unwrap();
+    engine
+        .run_instance(i1, &mut DefaultDriver, Some(2))
+        .unwrap();
 
     // I2: individually modified (sync edge confirm -> compose).
     let i2 = engine.create_instance(&name).unwrap();
-    engine
-        .ad_hoc_change(i2, &scenarios::fig1_i2_bias_op(&v1.schema))
+    let mut session = engine.begin_change(i2).unwrap();
+    session
+        .stage(&scenarios::fig1_i2_bias_op(&v1.schema))
         .unwrap();
+    session.commit().unwrap();
 
     // I3: already finished packing.
     let i3 = engine.create_instance(&name).unwrap();
     engine.run_instance(i3, &mut DefaultDriver, None).unwrap();
 
-    // ΔT of Fig. 1: addActivity(send questions, compose order, pack goods)
-    // + insertSyncEdge(send questions, confirm order).
-    let (v2, delta) = engine
-        .evolve_type(&name, &scenarios::fig1_delta_ops(&v1.schema))
-        .unwrap();
-    println!("committed type change to V{v2}: {delta}\n");
+    // ΔT of Fig. 1 as ONE transaction: addActivity(send questions,
+    // compose order, pack goods) + insertSyncEdge(send questions, confirm
+    // order) — previewed, then committed atomically with a single
+    // verification pass.
+    let mut evolution = engine.begin_evolution(&name).unwrap();
+    for op in scenarios::fig1_delta_ops(&v1.schema) {
+        evolution.stage(&op).unwrap();
+    }
+    print!("previewing ΔT:\n{}", evolution.preview().unwrap());
+    let receipt = evolution.commit().unwrap();
+    let (v2, delta) = (receipt.new_version.unwrap(), receipt.delta);
+    println!(
+        "committed type change to V{v2} (txn #{}): {delta}\n",
+        receipt.seq
+    );
 
     // The Fig. 3 migration report.
     let report = engine
@@ -44,7 +57,10 @@ fn main() {
     println!("{report}");
 
     // Show I1's adapted state and let everything finish.
-    println!("I1 on V2 after migration:\n{}", engine.render_instance(i1).unwrap());
+    println!(
+        "I1 on V2 after migration:\n{}",
+        engine.render_instance(i1).unwrap()
+    );
     for id in [i1, i2, i3] {
         engine.run_instance(id, &mut DefaultDriver, None).unwrap();
     }
@@ -54,5 +70,8 @@ fn main() {
     let schema = engine.store.schema_of(&engine.repo, i1).unwrap();
     let state = engine.store.get(i1).unwrap().state;
     let dot = render_instance_dot(&schema, &state);
-    println!("I1 as DOT ({} bytes) — pipe to graphviz to visualise", dot.len());
+    println!(
+        "I1 as DOT ({} bytes) — pipe to graphviz to visualise",
+        dot.len()
+    );
 }

@@ -1,5 +1,7 @@
-//! Quickstart: model a process, run an instance, apply an ad-hoc change,
-//! evolve the type and migrate — the whole ADEPT2 loop in ~60 lines.
+//! Quickstart: model a process, run an instance, and make every dynamic
+//! change through the transactional surface — stage → preview → commit —
+//! for both an ad-hoc instance deviation and a type evolution, then
+//! migrate. The whole ADEPT2 loop in ~80 lines.
 //!
 //! Run with: `cargo run -p adept-examples --bin quickstart`
 
@@ -27,35 +29,67 @@ fn main() {
     let i2 = engine.create_instance(&name).unwrap();
     println!("deployed \"{name}\", created {i1} and {i2}");
 
-    // 3. Execute I1 one step, then deviate ad hoc: insert an audit step.
-    engine.run_instance(i1, &mut DefaultDriver, Some(1)).unwrap();
+    // 3. Execute I1 one step, then deviate ad hoc — transactionally.
+    //    Stage as many operations as the deviation needs; verification
+    //    and compliance run ONCE, at commit.
+    engine
+        .run_instance(i1, &mut DefaultDriver, Some(1))
+        .unwrap();
     let v1 = engine.repo.deployed(&name, 1).unwrap();
     let review_id = v1.schema.node_by_name("review").unwrap().id;
     let payout_id = v1.schema.node_by_name("payout").unwrap().id;
-    engine
-        .ad_hoc_change(
-            i1,
-            &ChangeOp::SerialInsert {
-                activity: NewActivity::named("audit").with_role("auditor"),
-                pred: review_id,
-                succ: payout_id,
-            },
-        )
-        .unwrap();
-    println!("\nI1 after the ad-hoc change:\n{}", engine.render_instance(i1).unwrap());
 
-    // 4. Evolve the type for everyone: notify the submitter at the end.
-    let end = v1.schema.end_node();
-    engine
-        .evolve_type(
-            &name,
-            &[ChangeOp::SerialInsert {
-                activity: NewActivity::named("notify submitter"),
-                pred: payout_id,
-                succ: end,
-            }],
-        )
+    let mut session = engine.begin_change(i1).unwrap();
+    let audit = session
+        .stage(&ChangeOp::SerialInsert {
+            activity: NewActivity::named("audit").with_role("auditor"),
+            pred: review_id,
+            succ: payout_id,
+        })
+        .unwrap()
+        .inserted_activity()
         .unwrap();
+    session
+        .stage(&ChangeOp::AddDataEdge {
+            node: audit,
+            data: amount,
+            mode: adept_model::AccessMode::Read,
+            optional: false,
+        })
+        .unwrap();
+
+    // Pure dry run: per-op diagnostics + verification + compliance,
+    // without touching the instance.
+    let preview = session.preview().unwrap();
+    print!("\npreviewing the staged deviation:\n{preview}");
+    assert!(preview.is_committable());
+
+    // Atomic commit: schema overlay, adapted state, bias and txn log all
+    // change together — or not at all.
+    let receipt = session.commit().unwrap();
+    println!(
+        "committed txn #{} ({} ops) — I1 after the change:\n{}",
+        receipt.seq,
+        receipt.ops,
+        engine.render_instance(i1).unwrap()
+    );
+
+    // 4. Evolve the type for everyone with the same lifecycle.
+    let end = v1.schema.end_node();
+    let mut evolution = engine.begin_evolution(&name).unwrap();
+    evolution
+        .stage(&ChangeOp::SerialInsert {
+            activity: NewActivity::named("notify submitter"),
+            pred: payout_id,
+            succ: end,
+        })
+        .unwrap();
+    let receipt = evolution.commit().unwrap();
+    println!(
+        "evolved \"{name}\" to V{} (txn #{})",
+        receipt.new_version.unwrap(),
+        receipt.seq
+    );
     let report = engine
         .migrate_all(&name, &MigrationOptions::default(), 1)
         .unwrap();
@@ -66,5 +100,11 @@ fn main() {
         engine.run_instance(id, &mut DefaultDriver, None).unwrap();
         assert!(engine.is_finished(id).unwrap());
         println!("{id} finished:\n{}", engine.render_instance(id).unwrap());
+    }
+
+    // The persisted transaction log remembers both commits (and their
+    // inverses, the rollback material).
+    for rec in engine.txn_log.records() {
+        println!("{rec}");
     }
 }

@@ -77,6 +77,8 @@ fn main() {
             stats.shared_hits, stats.cache_hits, stats.materializations
         );
     }
-    println!("-> the Hybrid strategy keeps biased instances cheap (minimal block + cached overlay),");
+    println!(
+        "-> the Hybrid strategy keeps biased instances cheap (minimal block + cached overlay),"
+    );
     println!("   RedundantFree pays a materialisation per access, FullCopy pays a schema copy per instance.");
 }

@@ -1,0 +1,53 @@
+//! Offline stand-in for `crossbeam`: the `scope` API this workspace uses,
+//! implemented over `std::thread::scope`.
+
+use std::any::Any;
+use std::marker::PhantomData;
+use std::thread;
+
+/// A scope handle passed to the closure of [`scope`].
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope thread::Scope<'scope, 'env>,
+}
+
+/// A handle to a spawned scoped thread.
+pub struct ScopedJoinHandle<'scope, T> {
+    inner: thread::ScopedJoinHandle<'scope, T>,
+    _marker: PhantomData<&'scope ()>,
+}
+
+impl<'scope, T> ScopedJoinHandle<'scope, T> {
+    /// Waits for the thread to finish, returning its result or panic
+    /// payload.
+    pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+        self.inner.join()
+    }
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread. The closure receives the scope handle
+    /// (crossbeam's signature); it may freely ignore it.
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner_scope = self.inner;
+        ScopedJoinHandle {
+            inner: inner_scope.spawn(move || f(&Scope { inner: inner_scope })),
+            _marker: PhantomData,
+        }
+    }
+}
+
+/// Runs `f` with a scope in which borrowed-data threads can be spawned;
+/// all spawned threads are joined before `scope` returns. The `Result`
+/// mirrors crossbeam's signature (`Err` on propagated panics — which
+/// `std::thread::scope` turns into a resumed panic instead, so this shim
+/// always returns `Ok`).
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(thread::scope(|s| f(&Scope { inner: s })))
+}

@@ -1,0 +1,419 @@
+//! Offline stand-in for `serde` providing the exact surface this workspace
+//! uses: `Serialize`/`Deserialize` traits over a JSON-like [`Value`] data
+//! model, plus the derive macros re-exported from `serde_derive`.
+//!
+//! The derive macros generate `Serialize::serialize` /
+//! `Deserialize::deserialize` impls against [`Value`]; `serde_json` (the
+//! sibling shim) renders and parses that model as standard JSON text.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::fmt;
+use std::hash::Hash;
+
+/// The serialization data model: a superset of JSON values. Maps with
+/// non-string keys are modelled as [`Value::Pairs`] and rendered as arrays
+/// of `[key, value]` pairs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Signed integer.
+    Int(i64),
+    /// Unsigned integer outside the `i64` range.
+    UInt(u64),
+    /// Floating point number.
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Seq(Vec<Value>),
+    /// Object with string keys (structs, string-keyed maps).
+    Map(Vec<(String, Value)>),
+    /// Map with arbitrary keys, kept in insertion order.
+    Pairs(Vec<(Value, Value)>),
+}
+
+/// Deserialization error: what was expected and what was found.
+#[derive(Debug, Clone)]
+pub struct Error(pub String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "deserialization error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl Error {
+    /// Constructs an error describing a type mismatch.
+    pub fn expected(what: &str, got: &Value) -> Self {
+        Error(format!("expected {what}, got {got:?}"))
+    }
+}
+
+/// Serialization into the [`Value`] model.
+pub trait Serialize {
+    /// Converts `self` into a [`Value`].
+    fn serialize(&self) -> Value;
+}
+
+/// Deserialization from the [`Value`] model.
+pub trait Deserialize: Sized {
+    /// Reconstructs `Self` from a [`Value`].
+    fn deserialize(v: &Value) -> Result<Self, Error>;
+}
+
+// ----------------------------------------------------------------------
+// Helpers used by derive-generated code
+// ----------------------------------------------------------------------
+
+/// Looks up a struct field in an object value.
+pub fn field<'a>(m: &'a [(String, Value)], k: &'static str) -> Result<&'a Value, Error> {
+    m.iter()
+        .find(|(n, _)| n == k)
+        .map(|(_, v)| v)
+        .ok_or_else(|| Error(format!("missing field {k:?}")))
+}
+
+/// Interprets a value as an object (struct / enum payload).
+pub fn as_map<'a>(v: &'a Value, what: &'static str) -> Result<&'a [(String, Value)], Error> {
+    match v {
+        Value::Map(m) => Ok(m),
+        other => Err(Error::expected(what, other)),
+    }
+}
+
+/// Interprets a value as an array of a statically known length.
+pub fn as_seq<'a>(v: &'a Value, n: usize, what: &'static str) -> Result<&'a [Value], Error> {
+    match v {
+        Value::Seq(s) if s.len() == n => Ok(s),
+        other => Err(Error::expected(what, other)),
+    }
+}
+
+// ----------------------------------------------------------------------
+// Primitive impls
+// ----------------------------------------------------------------------
+
+macro_rules! int_impl {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                Value::Int(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Int(i) => <$t>::try_from(*i)
+                        .map_err(|_| Error(format!("{i} out of range for {}", stringify!($t)))),
+                    Value::UInt(u) => <$t>::try_from(*u)
+                        .map_err(|_| Error(format!("{u} out of range for {}", stringify!($t)))),
+                    other => Err(Error::expected(stringify!($t), other)),
+                }
+            }
+        }
+    )*};
+}
+int_impl!(i8, i16, i32, i64, isize, u8, u16, u32, usize);
+
+impl Serialize for u64 {
+    fn serialize(&self) -> Value {
+        if let Ok(i) = i64::try_from(*self) {
+            Value::Int(i)
+        } else {
+            Value::UInt(*self)
+        }
+    }
+}
+
+impl Deserialize for u64 {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Int(i) => u64::try_from(*i).map_err(|_| Error(format!("{i} negative"))),
+            Value::UInt(u) => Ok(*u),
+            other => Err(Error::expected("u64", other)),
+        }
+    }
+}
+
+impl Serialize for f64 {
+    fn serialize(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Float(x) => Ok(*x),
+            Value::Int(i) => Ok(*i as f64),
+            Value::UInt(u) => Ok(*u as f64),
+            other => Err(Error::expected("f64", other)),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize(&self) -> Value {
+        Value::Float(*self as f64)
+    }
+}
+
+impl Deserialize for f32 {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        f64::deserialize(v).map(|x| x as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn serialize(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::expected("bool", other)),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(Error::expected("string", other)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn serialize(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn serialize(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            other => Err(Error::expected("char", other)),
+        }
+    }
+}
+
+impl Serialize for () {
+    fn serialize(&self) -> Value {
+        Value::Null
+    }
+}
+
+impl Deserialize for () {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(()),
+            other => Err(Error::expected("null", other)),
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Composite impls
+// ----------------------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self) -> Value {
+        match self {
+            None => Value::Null,
+            Some(x) => x.serialize(),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::deserialize(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        T::deserialize(v).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Seq(s) => s.iter().map(T::deserialize).collect(),
+            other => Err(Error::expected("array", other)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn serialize(&self) -> Value {
+        Value::Seq(vec![self.0.serialize(), self.1.serialize()])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        let s = as_seq(v, 2, "pair")?;
+        Ok((A::deserialize(&s[0])?, B::deserialize(&s[1])?))
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn serialize(&self) -> Value {
+        Value::Seq(vec![
+            self.0.serialize(),
+            self.1.serialize(),
+            self.2.serialize(),
+        ])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize, C: Deserialize> Deserialize for (A, B, C) {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        let s = as_seq(v, 3, "triple")?;
+        Ok((
+            A::deserialize(&s[0])?,
+            B::deserialize(&s[1])?,
+            C::deserialize(&s[2])?,
+        ))
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn serialize(&self) -> Value {
+        Value::Pairs(
+            self.iter()
+                .map(|(k, v)| (k.serialize(), v.serialize()))
+                .collect(),
+        )
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        pairs_of(v)?
+            .map(|(k, v)| Ok((K::deserialize(k)?, V::deserialize(v)?)))
+            .collect()
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for HashMap<K, V> {
+    fn serialize(&self) -> Value {
+        Value::Pairs(
+            self.iter()
+                .map(|(k, v)| (k.serialize(), v.serialize()))
+                .collect(),
+        )
+    }
+}
+
+impl<K: Deserialize + Eq + Hash, V: Deserialize> Deserialize for HashMap<K, V> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        pairs_of(v)?
+            .map(|(k, v)| Ok((K::deserialize(k)?, V::deserialize(v)?)))
+            .collect()
+    }
+}
+
+/// Iterates the `(key, value)` pairs of a serialized map, accepting both
+/// the native [`Value::Pairs`] form and its JSON parse (array of 2-arrays).
+fn pairs_of(v: &Value) -> Result<Box<dyn Iterator<Item = (&Value, &Value)> + '_>, Error> {
+    match v {
+        Value::Pairs(p) => Ok(Box::new(p.iter().map(|(k, v)| (k, v)))),
+        Value::Seq(s) => {
+            for e in s {
+                if !matches!(e, Value::Seq(inner) if inner.len() == 2) {
+                    return Err(Error::expected("[key, value] pair", e));
+                }
+            }
+            Ok(Box::new(s.iter().map(|e| match e {
+                Value::Seq(inner) => (&inner[0], &inner[1]),
+                _ => unreachable!(),
+            })))
+        }
+        other => Err(Error::expected("map", other)),
+    }
+}
+
+impl<T: Serialize> Serialize for BTreeSet<T> {
+    fn serialize(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Deserialize + Ord> Deserialize for BTreeSet<T> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Seq(s) => s.iter().map(T::deserialize).collect(),
+            other => Err(Error::expected("array", other)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for HashSet<T> {
+    fn serialize(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Deserialize + Eq + Hash> Deserialize for HashSet<T> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Seq(s) => s.iter().map(T::deserialize).collect(),
+            other => Err(Error::expected("array", other)),
+        }
+    }
+}

@@ -1,0 +1,434 @@
+//! Offline stand-in for `serde_derive`: `#[derive(Serialize)]` and
+//! `#[derive(Deserialize)]` for non-generic structs and enums, written
+//! directly against `proc_macro` (no syn/quote in the container).
+//!
+//! Generated code targets the sibling `serde` shim's value model:
+//!
+//! * named-field struct  → `Value::Map([(field, value), ...])`
+//! * newtype struct      → the inner value
+//! * tuple struct        → `Value::Seq([...])`
+//! * unit struct         → `Value::Null`
+//! * unit enum variant   → `Value::Str(variant)`
+//! * tuple enum variant  → `Value::Map([(variant, Seq([...]))])`
+//! * struct enum variant → `Value::Map([(variant, Map([...]))])`
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, true)
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, false)
+}
+
+// ----------------------------------------------------------------------
+// A minimal item model
+// ----------------------------------------------------------------------
+
+enum Fields {
+    Unit,
+    /// Tuple fields; the count.
+    Tuple(usize),
+    /// Named fields in declaration order.
+    Named(Vec<String>),
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Item {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+fn expand(input: TokenStream, serialize: bool) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(msg) => {
+            return format!("compile_error!({msg:?});").parse().unwrap();
+        }
+    };
+    let code = if serialize {
+        gen_serialize(&item)
+    } else {
+        gen_deserialize(&item)
+    };
+    code.parse().unwrap()
+}
+
+// ----------------------------------------------------------------------
+// Parsing
+// ----------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut toks = input.into_iter().peekable();
+    // Skip outer attributes and the visibility.
+    loop {
+        match toks.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                toks.next();
+                toks.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                toks.next();
+                if let Some(TokenTree::Group(g)) = toks.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        toks.next(); // pub(crate) etc.
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+    let kind = match toks.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected struct/enum, got {other:?}")),
+    };
+    let name = match toks.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected item name, got {other:?}")),
+    };
+    if let Some(TokenTree::Punct(p)) = toks.peek() {
+        if p.as_char() == '<' {
+            return Err(format!("derive shim does not support generics on {name}"));
+        }
+    }
+    match kind.as_str() {
+        "struct" => {
+            let fields = match toks.next() {
+                None => Fields::Unit,
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g.stream())?)
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(count_tuple_fields(g.stream()))
+                }
+                other => return Err(format!("unexpected token after struct name: {other:?}")),
+            };
+            Ok(Item::Struct { name, fields })
+        }
+        "enum" => {
+            let body = match toks.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => return Err(format!("expected enum body, got {other:?}")),
+            };
+            Ok(Item::Enum {
+                name,
+                variants: parse_variants(body)?,
+            })
+        }
+        other => Err(format!("cannot derive for {other}")),
+    }
+}
+
+/// Parses `{ attrs? vis? name: Type, ... }` into the field names. Type
+/// tokens are skipped with angle-bracket depth tracking (generic argument
+/// commas are not field separators).
+fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut toks = body.into_iter().peekable();
+    loop {
+        // Skip attributes (doc comments) and visibility.
+        loop {
+            match toks.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    toks.next();
+                    toks.next();
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    toks.next();
+                    if let Some(TokenTree::Group(g)) = toks.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            toks.next();
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        let Some(tree) = toks.next() else { break };
+        let TokenTree::Ident(id) = tree else {
+            return Err(format!("expected field name, got {tree:?}"));
+        };
+        fields.push(id.to_string());
+        match toks.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => return Err(format!("expected ':' after field, got {other:?}")),
+        }
+        // Skip the type up to the next top-level comma.
+        let mut angle = 0i32;
+        loop {
+            match toks.peek() {
+                None => break,
+                Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                    angle += 1;
+                    toks.next();
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == '>' => {
+                    angle -= 1;
+                    toks.next();
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' && angle == 0 => {
+                    toks.next();
+                    break;
+                }
+                _ => {
+                    toks.next();
+                }
+            }
+        }
+    }
+    Ok(fields)
+}
+
+/// Counts the fields of a tuple struct/variant body (top-level commas at
+/// angle depth 0, tolerant of a trailing comma).
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let mut count = 0usize;
+    let mut saw_tokens = false;
+    let mut angle = 0i32;
+    let mut pending = false;
+    for t in body {
+        saw_tokens = true;
+        match &t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                count += 1;
+                pending = false;
+                continue;
+            }
+            _ => {}
+        }
+        pending = true;
+    }
+    if pending {
+        count += 1;
+    }
+    if saw_tokens {
+        count
+    } else {
+        0
+    }
+}
+
+fn parse_variants(body: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut variants = Vec::new();
+    let mut toks = body.into_iter().peekable();
+    loop {
+        // Skip attributes.
+        while let Some(TokenTree::Punct(p)) = toks.peek() {
+            if p.as_char() == '#' {
+                toks.next();
+                toks.next();
+            } else {
+                break;
+            }
+        }
+        let Some(tree) = toks.next() else { break };
+        let TokenTree::Ident(id) = tree else {
+            return Err(format!("expected variant name, got {tree:?}"));
+        };
+        let name = id.to_string();
+        let fields = match toks.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let f = Fields::Named(parse_named_fields(g.stream())?);
+                toks.next();
+                f
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let f = Fields::Tuple(count_tuple_fields(g.stream()));
+                toks.next();
+                f
+            }
+            _ => Fields::Unit,
+        };
+        match toks.next() {
+            None => {
+                variants.push(Variant { name, fields });
+                break;
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {
+                variants.push(Variant { name, fields });
+            }
+            other => return Err(format!("unexpected token after variant {name}: {other:?}")),
+        }
+    }
+    Ok(variants)
+}
+
+// ----------------------------------------------------------------------
+// Code generation
+// ----------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Unit => "::serde::Value::Null".to_string(),
+                Fields::Tuple(1) => "::serde::Serialize::serialize(&self.0)".to_string(),
+                Fields::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Serialize::serialize(&self.{i})"))
+                        .collect();
+                    format!("::serde::Value::Seq(vec![{}])", items.join(", "))
+                }
+                Fields::Named(fs) => {
+                    let items: Vec<String> = fs
+                        .iter()
+                        .map(|f| {
+                            format!("({f:?}.to_string(), ::serde::Serialize::serialize(&self.{f}))")
+                        })
+                        .collect();
+                    format!("::serde::Value::Map(vec![{}])", items.join(", "))
+                }
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{\n                    fn serialize(&self) -> ::serde::Value {{ {body} }}\n                }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.fields {
+                    Fields::Unit => {
+                        arms.push_str(&format!(
+                            "{name}::{vn} => ::serde::Value::Str({vn:?}.to_string()),\n"
+                        ));
+                    }
+                    Fields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                        let items: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::serialize({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn}({}) => ::serde::Value::Map(vec![({vn:?}.to_string(), ::serde::Value::Seq(vec![{}]))]),\n",
+                            binds.join(", "),
+                            items.join(", ")
+                        ));
+                    }
+                    Fields::Named(fs) => {
+                        let binds = fs.join(", ");
+                        let items: Vec<String> = fs
+                            .iter()
+                            .map(|f| {
+                                format!("({f:?}.to_string(), ::serde::Serialize::serialize({f}))")
+                            })
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {binds} }} => ::serde::Value::Map(vec![({vn:?}.to_string(), ::serde::Value::Map(vec![{}]))]),\n",
+                            items.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n                    fn serialize(&self) -> ::serde::Value {{ match self {{ {arms} }} }}\n                }}"
+            )
+        }
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Unit => format!("match v {{ ::serde::Value::Null => Ok({name}), other => Err(::serde::Error::expected({name:?}, other)) }}"),
+                Fields::Tuple(1) => {
+                    format!("Ok({name}(::serde::Deserialize::deserialize(v)?))")
+                }
+                Fields::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Deserialize::deserialize(&s[{i}])?"))
+                        .collect();
+                    format!(
+                        "{{ let s = ::serde::as_seq(v, {n}, {name:?})?; Ok({name}({})) }}",
+                        items.join(", ")
+                    )
+                }
+                Fields::Named(fs) => {
+                    let items: Vec<String> = fs
+                        .iter()
+                        .map(|f| {
+                            format!("{f}: ::serde::Deserialize::deserialize(::serde::field(m, {f:?})?)?")
+                        })
+                        .collect();
+                    format!(
+                        "{{ let m = ::serde::as_map(v, {name:?})?; Ok({name} {{ {} }}) }}",
+                        items.join(", ")
+                    )
+                }
+            };
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n                    fn deserialize(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{ {body} }}\n                }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut payload_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.fields {
+                    Fields::Unit => {
+                        unit_arms.push_str(&format!("{vn:?} => Ok({name}::{vn}),\n"));
+                    }
+                    Fields::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::deserialize(&s[{i}])?"))
+                            .collect();
+                        payload_arms.push_str(&format!(
+                            "{vn:?} => {{ let s = ::serde::as_seq(payload, {n}, {vn:?})?; Ok({name}::{vn}({})) }}\n",
+                            items.join(", ")
+                        ));
+                    }
+                    Fields::Named(fs) => {
+                        let items: Vec<String> = fs
+                            .iter()
+                            .map(|f| {
+                                format!("{f}: ::serde::Deserialize::deserialize(::serde::field(m, {f:?})?)?")
+                            })
+                            .collect();
+                        payload_arms.push_str(&format!(
+                            "{vn:?} => {{ let m = ::serde::as_map(payload, {vn:?})?; Ok({name}::{vn} {{ {} }}) }}\n",
+                            items.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{
+                    fn deserialize(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{
+                        match v {{
+                            ::serde::Value::Str(s) => match s.as_str() {{
+                                {unit_arms}
+                                other => Err(::serde::Error(format!(\"unknown variant {{other:?}} of {name}\"))),
+                            }},
+                            ::serde::Value::Map(m) if m.len() == 1 => {{
+                                let (tag, payload) = (&m[0].0, &m[0].1);
+                                match tag.as_str() {{
+                                    {payload_arms}
+                                    other => Err(::serde::Error(format!(\"unknown variant {{other:?}} of {name}\"))),
+                                }}
+                            }}
+                            other => Err(::serde::Error::expected({name:?}, other)),
+                        }}
+                    }}
+                }}"
+            )
+        }
+    }
+}

@@ -2,6 +2,8 @@
 //! biased-instance migration at population scale, and execution invariants
 //! on the domain scenarios.
 
+#![allow(deprecated)] // single-op wrappers exercised deliberately
+
 use adept_core::MigrationOptions;
 use adept_engine::{EngineEvent, ProcessEngine};
 use adept_simgen::{scenarios, RandomDriver};
@@ -46,7 +48,9 @@ fn clinical_pathway_with_ad_hoc_deviation() {
     );
 
     // Run to completion (guards + loop terminate with random lab results).
-    engine.run_instance(patient, &mut driver, Some(200)).unwrap();
+    engine
+        .run_instance(patient, &mut driver, Some(200))
+        .unwrap();
     assert!(engine.is_finished(patient).unwrap());
 }
 
@@ -61,7 +65,13 @@ fn container_logistics_sync_edge_orders_work() {
 
     engine.run_instance(id, &mut DefaultDriver, None).unwrap();
     assert!(engine.is_finished(id).unwrap());
-    let hist = engine.store.get(id).unwrap().state.history.started_activities();
+    let hist = engine
+        .store
+        .get(id)
+        .unwrap()
+        .state
+        .history
+        .started_activities();
     let pos_clear = hist.iter().position(|n| *n == clear).unwrap();
     let pos_load = hist.iter().position(|n| *n == load).unwrap();
     assert!(

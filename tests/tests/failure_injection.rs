@@ -2,6 +2,8 @@
 //! error — never a panic, never silent corruption. After each rejected
 //! operation the world must still verify and execute.
 
+#![allow(deprecated)] // single-op wrappers exercised deliberately
+
 use adept_core::{ChangeError, ChangeOp, NewActivity};
 use adept_engine::{EngineError, ProcessEngine};
 use adept_model::{DataId, InstanceId, NodeId, Value};
@@ -112,9 +114,15 @@ fn rejected_changes_leave_no_trace() {
             },
         )
         .unwrap_err();
-    assert!(matches!(err, EngineError::Change(ChangeError::Precondition(_))));
+    assert!(matches!(
+        err,
+        EngineError::Change(ChangeError::Precondition(_))
+    ));
     let inst = engine.store.get(id).unwrap();
-    assert!(!inst.is_biased(), "failed change must not bias the instance");
+    assert!(
+        !inst.is_biased(),
+        "failed change must not bias the instance"
+    );
     let schema = engine.store.schema_of(&engine.repo, id).unwrap();
     assert!(schema.node_by_name("bad").is_none());
     assert!(is_correct(&schema));
@@ -127,11 +135,13 @@ fn migration_of_type_without_new_version_is_noop() {
     for _ in 0..5 {
         engine.create_instance(&name).unwrap();
     }
-    let report = engine
-        .migrate_all(&name, &Default::default(), 2)
-        .unwrap();
+    let report = engine.migrate_all(&name, &Default::default(), 2).unwrap();
     assert_eq!(report.total(), 5);
-    assert_eq!(report.migrated(), 5, "already on latest: trivially compliant");
+    assert_eq!(
+        report.migrated(),
+        5,
+        "already on latest: trivially compliant"
+    );
     assert_eq!(report.from_version, 1);
     assert_eq!(report.to_version, 1);
 }
@@ -148,12 +158,22 @@ fn evolution_with_conflicting_ops_rolls_back() {
     let err = engine.evolve_type(
         &name,
         &[
-            ChangeOp::InsertSyncEdge { from: confirm, to: compose },
-            ChangeOp::InsertSyncEdge { from: compose, to: confirm },
+            ChangeOp::InsertSyncEdge {
+                from: confirm,
+                to: compose,
+            },
+            ChangeOp::InsertSyncEdge {
+                from: compose,
+                to: confirm,
+            },
         ],
     );
     assert!(err.is_err());
-    assert_eq!(engine.repo.latest_version(&name), Some(1), "no partial version");
+    assert_eq!(
+        engine.repo.latest_version(&name),
+        Some(1),
+        "no partial version"
+    );
 }
 
 #[test]
@@ -177,7 +197,10 @@ fn completed_instances_reject_all_structural_changes() {
     ] {
         let err = engine.ad_hoc_change(id, &op).unwrap_err();
         assert!(
-            matches!(err, EngineError::Change(ChangeError::StatePrecondition { .. })),
+            matches!(
+                err,
+                EngineError::Change(ChangeError::StatePrecondition { .. })
+            ),
             "{op}: got unexpected {err}"
         );
     }

@@ -8,6 +8,8 @@
 //!   **structural conflict** (deadlock-causing cycle);
 //! * I3 — too far progressed: **state-related conflict**.
 
+#![allow(deprecated)] // single-op wrappers exercised deliberately
+
 use adept_core::{ConflictKind, MigrationOptions, Verdict};
 use adept_engine::ProcessEngine;
 use adept_simgen::scenarios;
@@ -26,7 +28,9 @@ fn fig1_full_reproduction() {
 
     // I1: completed "get order" and "collect data".
     let i1 = engine.create_instance(&name).unwrap();
-    engine.run_instance(i1, &mut DefaultDriver, Some(2)).unwrap();
+    engine
+        .run_instance(i1, &mut DefaultDriver, Some(2))
+        .unwrap();
 
     // I2: ad-hoc modified with the conflicting sync edge.
     let i2 = engine.create_instance(&name).unwrap();
@@ -109,7 +113,9 @@ fn fig1_trace_criterion_agrees() {
     let v1 = engine.repo.deployed(&name, 1).unwrap();
 
     let i1 = engine.create_instance(&name).unwrap();
-    engine.run_instance(i1, &mut DefaultDriver, Some(2)).unwrap();
+    engine
+        .run_instance(i1, &mut DefaultDriver, Some(2))
+        .unwrap();
     let i3 = engine.create_instance(&name).unwrap();
     engine.run_instance(i3, &mut DefaultDriver, None).unwrap();
 
@@ -142,6 +148,10 @@ fn migration_is_idempotent() {
     let r2 = engine
         .migrate_all(&name, &MigrationOptions::default(), 1)
         .unwrap();
-    assert_eq!(r2.migrated(), 1, "already-migrated instances stay compliant");
+    assert_eq!(
+        r2.migrated(),
+        1,
+        "already-migrated instances stay compliant"
+    );
     assert_eq!(engine.store.get(i1).unwrap().version, 2);
 }

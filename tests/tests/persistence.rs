@@ -2,6 +2,8 @@
 //! biased and finished instances), restore, and keep working — including a
 //! full migration round in the restored world.
 
+#![allow(deprecated)] // single-op wrappers exercised deliberately
+
 use adept_core::MigrationOptions;
 use adept_engine::ProcessEngine;
 use adept_simgen::scenarios;
@@ -14,7 +16,9 @@ fn snapshot_roundtrip_preserves_a_whole_world() {
     let name = engine.deploy(scenarios::order_process()).unwrap();
     let v1 = engine.repo.deployed(&name, 1).unwrap();
     let i1 = engine.create_instance(&name).unwrap();
-    engine.run_instance(i1, &mut DefaultDriver, Some(2)).unwrap();
+    engine
+        .run_instance(i1, &mut DefaultDriver, Some(2))
+        .unwrap();
     let i2 = engine.create_instance(&name).unwrap();
     engine
         .ad_hoc_change(i2, &scenarios::fig1_i2_bias_op(&v1.schema))
@@ -25,25 +29,30 @@ fn snapshot_roundtrip_preserves_a_whole_world() {
         .evolve_type(&name, &scenarios::fig1_delta_ops(&v1.schema))
         .unwrap();
 
-    let snap = snapshot(&engine.repo, &engine.store);
+    let snap = engine.snapshot();
     let json = to_json(&snap).unwrap();
     assert!(json.contains("online order"));
     let parsed = from_json(&json).unwrap();
     assert_eq!(parsed, snap);
 
-    let (repo2, store2) = restore(&parsed).unwrap();
-    assert_eq!(repo2.latest_version(&name), Some(2));
-    assert_eq!(store2.len(), 3);
-    let inst2 = store2.get(i2).unwrap();
+    let engine2 = ProcessEngine::from_snapshot(&parsed).unwrap();
+    assert_eq!(engine2.repo.latest_version(&name), Some(2));
+    assert_eq!(engine2.store.len(), 3);
+    let inst2 = engine2.store.get(i2).unwrap();
     assert!(inst2.is_biased());
     assert_eq!(inst2.state, engine.store.get(i2).unwrap().state);
 
+    // The change history survives the round-trip: the ad-hoc change and
+    // the evolution are still in the log, and new commits continue the
+    // sequence instead of reusing numbers.
+    assert_eq!(engine2.txn_log.records(), engine.txn_log.records());
+    let last_seq = engine2.txn_log.records().last().unwrap().seq;
+    assert!(last_seq >= 2);
+
     // The restored biased instance materialises correctly and the restored
     // world supports a full migration round with the Fig. 1 verdicts.
-    let overlay = store2.schema_of(&repo2, i2).unwrap();
+    let overlay = engine2.store.schema_of(&engine2.repo, i2).unwrap();
     assert_eq!(overlay.sync_edges().count(), 1);
-
-    let engine2 = ProcessEngine::from_parts(repo2, store2);
     let report = engine2
         .migrate_all(&name, &MigrationOptions::default(), 1)
         .unwrap();
@@ -58,7 +67,9 @@ fn restored_engine_accepts_new_work() {
     let engine = ProcessEngine::new();
     let name = engine.deploy(scenarios::clinical_pathway()).unwrap();
     let id = engine.create_instance(&name).unwrap();
-    engine.run_instance(id, &mut DefaultDriver, Some(1)).unwrap();
+    engine
+        .run_instance(id, &mut DefaultDriver, Some(1))
+        .unwrap();
 
     let snap = snapshot(&engine.repo, &engine.store);
     let (repo2, store2) = restore(&snap).unwrap();

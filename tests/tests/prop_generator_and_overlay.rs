@@ -43,7 +43,7 @@ proptest! {
         let mut materialized = base.clone();
         materialized.reserve_private_id_space();
         let mut delta = Delta::new();
-        let mut rng = SmallRng::seed_from_u64(seed ^ 0x5ee_d);
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0x5eed);
         for k in 0..ops {
             // Random serial inserts + sync edges as bias (the common
             // ad-hoc operations).

@@ -1,0 +1,585 @@
+//! Change-transaction semantics, end to end:
+//!
+//! * **amortisation** — committing N staged operations performs exactly
+//!   ONE full verification pass (asserted via the thread-local pass
+//!   counter in `adept-verify`), versus one per op on the deprecated
+//!   single-op path;
+//! * **atomicity** — a commit whose staged batch fails verification or
+//!   compliance leaves instance, repository, bias, state and txn log
+//!   bit-identical;
+//! * **preview purity** — a dry run mutates nothing observable;
+//! * **wrapper equivalence** — the deprecated single-op entry points
+//!   produce exactly the same world as one-op transactions;
+//! * **durability** — committed transactions land in the persisted log
+//!   and survive snapshot/restore.
+
+#![allow(deprecated)] // the single-op wrappers are compared against sessions deliberately
+
+use adept_core::{ChangeError, ChangeOp, NewActivity};
+use adept_engine::{EngineError, EngineEvent, ProcessEngine};
+use adept_model::AccessMode;
+use adept_simgen::scenarios;
+use adept_state::DefaultDriver;
+use adept_storage::{restore_with_txns, snapshot_with_txns, TxnTarget};
+use adept_verify::verification_passes;
+
+/// The Fig. 1 order process with a freshly created instance.
+fn world() -> (ProcessEngine, String, adept_model::InstanceId) {
+    let engine = ProcessEngine::new();
+    let name = engine.deploy(scenarios::order_process()).unwrap();
+    let id = engine.create_instance(&name).unwrap();
+    (engine, name, id)
+}
+
+/// Four independent serial inserts along the order process spine.
+fn four_ops(schema: &adept_model::ProcessSchema) -> Vec<ChangeOp> {
+    let pairs: [(&str, Option<&str>); 4] = [
+        ("get order", Some("collect data")),
+        ("compose order", Some("pack goods")),
+        ("pack goods", None),
+        ("deliver goods", None),
+    ];
+    let mut ops = Vec::new();
+    let mut k = 0;
+    for (pred, succ) in pairs.iter().map(|(p, s)| (*p, *s)) {
+        let p = schema.node_by_name(pred).unwrap().id;
+        let s = match succ {
+            Some(n) => schema.node_by_name(n).unwrap().id,
+            None => match schema.sole_control_successor(p) {
+                Some(s) => s,
+                None => continue,
+            },
+        };
+        k += 1;
+        ops.push(ChangeOp::SerialInsert {
+            activity: NewActivity::named(format!("staged{k}")),
+            pred: p,
+            succ: s,
+        });
+    }
+    ops
+}
+
+#[test]
+fn committing_n_ops_runs_exactly_one_verification_pass() {
+    let (engine, _name, id) = world();
+    let v1 = engine.repo.deployed(&_name, 1).unwrap();
+    let ops = four_ops(&v1.schema);
+    assert!(ops.len() >= 3, "need a real batch");
+
+    let mut session = engine.begin_change(id).unwrap();
+    let before = verification_passes();
+    for op in &ops {
+        session.stage(op).unwrap();
+    }
+    assert_eq!(verification_passes(), before, "staging never verifies");
+    let receipt = session.commit().unwrap();
+    assert_eq!(
+        verification_passes(),
+        before + 1,
+        "a commit of {} ops pays exactly one verification pass",
+        receipt.ops
+    );
+    assert_eq!(receipt.ops, ops.len());
+
+    // The deprecated per-op path pays one pass per op for the same batch.
+    let (engine2, name2, id2) = world();
+    let v1b = engine2.repo.deployed(&name2, 1).unwrap();
+    let before = verification_passes();
+    for op in four_ops(&v1b.schema) {
+        engine2.ad_hoc_change(id2, &op).unwrap();
+    }
+    assert_eq!(
+        verification_passes(),
+        before + ops.len() as u64,
+        "per-op application verifies once per op"
+    );
+}
+
+#[test]
+fn evolution_commit_runs_exactly_one_verification_pass() {
+    let (engine, name, _id) = world();
+    let v1 = engine.repo.deployed(&name, 1).unwrap();
+    let mut evolution = engine.begin_evolution(&name).unwrap();
+    let before = verification_passes();
+    for op in four_ops(&v1.schema) {
+        evolution.stage(&op).unwrap();
+    }
+    assert_eq!(verification_passes(), before);
+    let receipt = evolution.commit().unwrap();
+    assert_eq!(verification_passes(), before + 1);
+    assert_eq!(receipt.new_version, Some(2));
+    assert_eq!(engine.repo.latest_version(&name), Some(2));
+    // The recorded delta replays on migration like an evolve() delta.
+    let report = engine.migrate_all(&name, &Default::default(), 1).unwrap();
+    assert_eq!(report.migrated(), 1, "{report}");
+}
+
+/// Builds a schema where a staged batch passes every per-op structural
+/// precondition but the composed overlay fails full verification: the
+/// inserted activity mandatorily reads a data element that is only
+/// written downstream.
+fn deferred_failure_world() -> (ProcessEngine, String, adept_model::InstanceId) {
+    let mut b = adept_model::SchemaBuilder::new("deferred");
+    let d = b.data("late", adept_model::ValueType::Int);
+    b.activity("a");
+    let c = b.activity("c");
+    b.write(c, d);
+    let engine = ProcessEngine::new();
+    let name = engine.deploy(b.build().unwrap()).unwrap();
+    let id = engine.create_instance(&name).unwrap();
+    (engine, name, id)
+}
+
+#[test]
+fn failed_commit_is_observably_side_effect_free() {
+    let (engine, name, id) = deferred_failure_world();
+    let v1 = engine.repo.deployed(&name, 1).unwrap();
+    let a = v1.schema.node_by_name("a").unwrap().id;
+    let c = v1.schema.node_by_name("c").unwrap().id;
+    let d = v1.schema.data_by_name("late").unwrap().id;
+
+    let inst_before = engine.store.get(id).unwrap();
+    let schema_before = engine.store.schema_of(&engine.repo, id).unwrap();
+
+    let mut session = engine.begin_change(id).unwrap();
+    // Op 1 is fine on its own; op 2 makes the batch fail the (single,
+    // commit-time) verification pass.
+    let x = session
+        .stage(&ChangeOp::SerialInsert {
+            activity: NewActivity::named("x"),
+            pred: a,
+            succ: c,
+        })
+        .unwrap()
+        .inserted_activity()
+        .unwrap();
+    session
+        .stage(&ChangeOp::AddDataEdge {
+            node: x,
+            data: d,
+            mode: AccessMode::Read,
+            optional: false,
+        })
+        .unwrap();
+    let err = session.commit().unwrap_err();
+    assert!(
+        matches!(
+            err,
+            EngineError::Change(ChangeError::PostconditionViolated(_))
+        ),
+        "{err}"
+    );
+
+    // Bit-identical world: bias, state, version, resolved schema, log.
+    let inst_after = engine.store.get(id).unwrap();
+    assert_eq!(inst_after.bias, inst_before.bias);
+    assert_eq!(inst_after.state, inst_before.state);
+    assert_eq!(inst_after.version, inst_before.version);
+    let schema_after = engine.store.schema_of(&engine.repo, id).unwrap();
+    assert_eq!(*schema_after, *schema_before);
+    assert!(engine.txn_log.is_empty(), "failed commits are not logged");
+    assert_eq!(engine.repo.latest_version(&name), Some(1));
+
+    // The instance still executes to completion.
+    engine.run_instance(id, &mut DefaultDriver, None).unwrap();
+    assert!(engine.is_finished(id).unwrap());
+}
+
+#[test]
+fn failed_evolution_commit_leaves_repository_bit_identical() {
+    let (engine, name, _id) = deferred_failure_world();
+    let v1 = engine.repo.deployed(&name, 1).unwrap();
+    let a = v1.schema.node_by_name("a").unwrap().id;
+    let c = v1.schema.node_by_name("c").unwrap().id;
+    let d = v1.schema.data_by_name("late").unwrap().id;
+
+    let pt_before = engine.repo.process_type(&name).unwrap();
+    let mut evolution = engine.begin_evolution(&name).unwrap();
+    let x = evolution
+        .stage(&ChangeOp::SerialInsert {
+            activity: NewActivity::named("x"),
+            pred: a,
+            succ: c,
+        })
+        .unwrap()
+        .inserted_activity()
+        .unwrap();
+    evolution
+        .stage(&ChangeOp::AddDataEdge {
+            node: x,
+            data: d,
+            mode: AccessMode::Read,
+            optional: false,
+        })
+        .unwrap();
+    assert!(evolution.commit().is_err());
+    assert_eq!(
+        engine.repo.latest_version(&name),
+        Some(1),
+        "no partial version"
+    );
+    assert_eq!(engine.repo.process_type(&name).unwrap(), pt_before);
+    assert!(engine.txn_log.is_empty());
+}
+
+#[test]
+fn preview_mutates_nothing_observable() {
+    let (engine, name, id) = world();
+    let v1 = engine.repo.deployed(&name, 1).unwrap();
+    engine
+        .run_instance(id, &mut DefaultDriver, Some(1))
+        .unwrap();
+
+    let inst_before = engine.store.get(id).unwrap();
+    let events_before = engine.monitor.len();
+
+    let mut session = engine.begin_change(id).unwrap();
+    for op in four_ops(&v1.schema) {
+        session.stage(&op).unwrap();
+    }
+    let p1 = session.preview().unwrap();
+    let p2 = session.preview().unwrap();
+    assert!(p1.is_committable(), "{p1}");
+    assert_eq!(p1.per_op.len(), p2.per_op.len(), "previewing is repeatable");
+
+    // Nothing observable moved: instance, repository, monitor, txn log.
+    let inst_after = engine.store.get(id).unwrap();
+    assert_eq!(inst_after.bias, inst_before.bias);
+    assert_eq!(inst_after.state, inst_before.state);
+    assert_eq!(engine.repo.latest_version(&name), Some(1));
+    assert_eq!(
+        engine.monitor.len(),
+        events_before,
+        "preview records no events"
+    );
+    assert!(engine.txn_log.is_empty());
+
+    // Aborting after previewing is equally free (only the abort event).
+    session.abort();
+    assert_eq!(engine.monitor.len(), events_before + 1);
+    assert!(matches!(
+        engine.monitor.events().last().unwrap().1,
+        EngineEvent::TxnAborted { .. }
+    ));
+    let inst_final = engine.store.get(id).unwrap();
+    assert_eq!(inst_final.bias, inst_before.bias);
+    assert_eq!(inst_final.state, inst_before.state);
+}
+
+#[test]
+fn preview_reports_compliance_conflicts_per_op() {
+    let (engine, name, id) = world();
+    let v1 = engine.repo.deployed(&name, 1).unwrap();
+    engine.run_instance(id, &mut DefaultDriver, None).unwrap(); // finished
+    let get = v1.schema.node_by_name("get order").unwrap().id;
+    let collect = v1.schema.node_by_name("collect data").unwrap().id;
+
+    let mut session = engine.begin_change(id).unwrap();
+    session
+        .stage(&ChangeOp::SerialInsert {
+            activity: NewActivity::named("too late"),
+            pred: get,
+            succ: collect,
+        })
+        .unwrap();
+    let p = session.preview().unwrap();
+    assert!(!p.is_committable());
+    assert!(p.verification.is_correct(), "structurally fine");
+    assert!(!p.compliance.as_ref().unwrap().is_compliant());
+    assert_eq!(p.per_op.len(), 1);
+    assert!(!p.per_op[0].compliance.as_ref().unwrap().is_compliant());
+
+    // And the commit is rejected with the same conflict, side-effect free.
+    let err = session.commit().unwrap_err();
+    assert!(matches!(
+        err,
+        EngineError::Change(ChangeError::StatePrecondition { .. })
+    ));
+    assert!(!engine.store.get(id).unwrap().is_biased());
+}
+
+#[test]
+fn single_op_wrappers_are_equivalent_to_one_op_transactions() {
+    // Same deviation through both surfaces -> identical observable world.
+    let (e1, n1, i1) = world();
+    let (e2, n2, i2) = world();
+    let op = |schema: &adept_model::ProcessSchema| ChangeOp::SerialInsert {
+        activity: NewActivity::named("check customer"),
+        pred: schema.node_by_name("get order").unwrap().id,
+        succ: schema.node_by_name("collect data").unwrap().id,
+    };
+
+    let v1 = e1.repo.deployed(&n1, 1).unwrap();
+    e1.ad_hoc_change(i1, &op(&v1.schema)).unwrap();
+
+    let v2 = e2.repo.deployed(&n2, 1).unwrap();
+    let mut session = e2.begin_change(i2).unwrap();
+    session.stage(&op(&v2.schema)).unwrap();
+    session.commit().unwrap();
+
+    let a = e1.store.get(i1).unwrap();
+    let b = e2.store.get(i2).unwrap();
+    assert_eq!(a.bias, b.bias);
+    assert_eq!(a.state, b.state);
+    assert_eq!(a.version, b.version);
+    assert_eq!(
+        *e1.store.schema_of(&e1.repo, i1).unwrap(),
+        *e2.store.schema_of(&e2.repo, i2).unwrap()
+    );
+    // The wrapper goes through the txn machinery, so both worlds logged
+    // exactly one transaction.
+    assert_eq!(e1.txn_log.len(), 1);
+    assert_eq!(e2.txn_log.len(), 1);
+
+    // Evolution wrappers line up the same way.
+    let ops1 = scenarios::fig1_delta_ops(&v1.schema);
+    let (va, da) = e1.evolve_type(&n1, &ops1).unwrap();
+    let mut ev = e2.begin_evolution(&n2).unwrap();
+    for op in scenarios::fig1_delta_ops(&v2.schema) {
+        ev.stage(&op).unwrap();
+    }
+    let receipt = ev.commit().unwrap();
+    assert_eq!(Some(va), receipt.new_version);
+    assert_eq!(da, receipt.delta);
+    assert_eq!(
+        e1.repo.deployed(&n1, va).unwrap().schema,
+        e2.repo.deployed(&n2, va).unwrap().schema
+    );
+}
+
+#[test]
+fn concurrent_instance_change_is_rejected_at_commit() {
+    let (engine, name, id) = world();
+    let v1 = engine.repo.deployed(&name, 1).unwrap();
+    let get = v1.schema.node_by_name("get order").unwrap().id;
+    let collect = v1.schema.node_by_name("collect data").unwrap().id;
+
+    let mut session = engine.begin_change(id).unwrap();
+    session
+        .stage(&ChangeOp::SerialInsert {
+            activity: NewActivity::named("mine"),
+            pred: get,
+            succ: collect,
+        })
+        .unwrap();
+
+    // Another actor commits first.
+    engine
+        .ad_hoc_change(
+            id,
+            &ChangeOp::InsertSyncEdge {
+                from: v1.schema.node_by_name("confirm order").unwrap().id,
+                to: v1.schema.node_by_name("compose order").unwrap().id,
+            },
+        )
+        .unwrap();
+
+    let err = session.commit().unwrap_err();
+    assert!(
+        matches!(&err, EngineError::Change(ChangeError::Precondition(m)) if m.contains("concurrent")),
+        "{err}"
+    );
+    // Only the winner's change is visible.
+    let inst = engine.store.get(id).unwrap();
+    assert_eq!(inst.bias.len(), 1);
+    assert_eq!(engine.txn_log.len(), 1);
+}
+
+#[test]
+fn concurrent_evolution_is_rejected_at_commit() {
+    let (engine, name, _id) = world();
+    let v1 = engine.repo.deployed(&name, 1).unwrap();
+
+    let mut loser = engine.begin_evolution(&name).unwrap();
+    loser.stage(&scenarios::fig1_insert_op(&v1.schema)).unwrap();
+
+    // The winner commits a different evolution in between.
+    engine
+        .evolve_type(&name, &[scenarios::fig1_insert_op(&v1.schema)])
+        .unwrap();
+
+    let err = loser.commit().unwrap_err();
+    assert!(
+        matches!(&err, EngineError::Change(ChangeError::Precondition(m)) if m.contains("concurrent")),
+        "{err}"
+    );
+    assert_eq!(
+        engine.repo.latest_version(&name),
+        Some(2),
+        "only the winner landed"
+    );
+}
+
+#[test]
+fn unstage_last_rolls_back_staged_work() {
+    let (engine, name, id) = world();
+    let v1 = engine.repo.deployed(&name, 1).unwrap();
+    let get = v1.schema.node_by_name("get order").unwrap().id;
+    let collect = v1.schema.node_by_name("collect data").unwrap().id;
+
+    let mut session = engine.begin_change(id).unwrap();
+    session
+        .stage(&ChangeOp::SerialInsert {
+            activity: NewActivity::named("keep"),
+            pred: get,
+            succ: collect,
+        })
+        .unwrap();
+    let keep = session.staged()[0].rec.inserted_activity().unwrap();
+    session
+        .stage(&ChangeOp::SerialInsert {
+            activity: NewActivity::named("discard"),
+            pred: keep,
+            succ: collect,
+        })
+        .unwrap();
+    assert_eq!(session.len(), 2);
+    session.unstage_last().unwrap();
+    assert_eq!(session.len(), 1);
+
+    let receipt = session.commit().unwrap();
+    assert_eq!(receipt.ops, 1);
+    let schema = engine.store.schema_of(&engine.repo, id).unwrap();
+    assert!(schema.node_by_name("keep").is_some());
+    assert!(schema.node_by_name("discard").is_none());
+    engine.run_instance(id, &mut DefaultDriver, None).unwrap();
+    assert!(engine.is_finished(id).unwrap());
+}
+
+#[test]
+fn txn_log_records_commits_and_survives_persistence() {
+    let (engine, name, id) = world();
+    let v1 = engine.repo.deployed(&name, 1).unwrap();
+    let get = v1.schema.node_by_name("get order").unwrap().id;
+    let collect = v1.schema.node_by_name("collect data").unwrap().id;
+
+    let mut session = engine.begin_change(id).unwrap();
+    session
+        .stage(&ChangeOp::SerialInsert {
+            activity: NewActivity::named("audit"),
+            pred: get,
+            succ: collect,
+        })
+        .unwrap();
+    session.commit().unwrap();
+    engine
+        .evolve_type(&name, &[scenarios::fig1_insert_op(&v1.schema)])
+        .unwrap();
+
+    let records = engine.txn_log.records();
+    assert_eq!(records.len(), 2);
+    assert_eq!(records[0].seq, 1);
+    assert!(matches!(records[0].target, TxnTarget::Instance(i) if i == id));
+    assert_eq!(records[0].ops.len(), 1);
+    assert!(records[0].inverses[0].is_some(), "insert is invertible");
+    assert!(
+        matches!(&records[1].target, TxnTarget::Type { new_version: 2, .. }),
+        "{:?}",
+        records[1].target
+    );
+
+    // Snapshot + restore keeps the log (and everything else).
+    let snap = snapshot_with_txns(&engine.repo, &engine.store, &engine.txn_log);
+    let json = adept_storage::to_json(&snap).unwrap();
+    let parsed = adept_storage::from_json(&json).unwrap();
+    assert_eq!(parsed, snap);
+    let (repo2, store2, log2) = restore_with_txns(&parsed).unwrap();
+    let engine2 = ProcessEngine::from_parts_with_log(repo2, store2, log2);
+    assert_eq!(engine2.txn_log.records(), records);
+    // The restored engine keeps transacting with continuing sequence.
+    let id2 = engine2.create_instance(&name).unwrap();
+    let mut s = engine2.begin_change(id2).unwrap();
+    let v2 = engine2.repo.deployed(&name, 2).unwrap();
+    s.stage(&ChangeOp::SerialInsert {
+        activity: NewActivity::named("again"),
+        pred: v2.schema.node_by_name("get order").unwrap().id,
+        succ: v2.schema.node_by_name("collect data").unwrap().id,
+    })
+    .unwrap();
+    let receipt = s.commit().unwrap();
+    assert_eq!(receipt.seq, 3, "sequence continues after restore");
+}
+
+#[test]
+fn committed_txn_events_reach_the_monitor() {
+    let (engine, name, id) = world();
+    let v1 = engine.repo.deployed(&name, 1).unwrap();
+    let mut session = engine.begin_change(id).unwrap();
+    for op in four_ops(&v1.schema) {
+        session.stage(&op).unwrap();
+    }
+    session.commit().unwrap();
+    let events = engine.monitor.events();
+    assert!(events
+        .iter()
+        .any(|(_, e)| matches!(e, EngineEvent::TxnCommitted { ops, .. } if *ops >= 3)));
+    // The committed instance still runs to completion with all staged
+    // activities executed.
+    engine.run_instance(id, &mut DefaultDriver, None).unwrap();
+    assert!(engine.is_finished(id).unwrap());
+    let schema = engine.store.schema_of(&engine.repo, id).unwrap();
+    assert!(schema.node_by_name("staged1").is_some());
+}
+
+#[test]
+fn undo_writes_its_own_txn_record() {
+    let (engine, name, id) = world();
+    let v1 = engine.repo.deployed(&name, 1).unwrap();
+    let op = four_ops(&v1.schema).remove(0);
+    let mut session = engine.begin_change(id).unwrap();
+    session.stage(&op).unwrap();
+    session.commit().unwrap();
+    assert_eq!(engine.txn_log.len(), 1);
+
+    engine.undo_ad_hoc_change(id).unwrap();
+    let records = engine.txn_log.records();
+    assert_eq!(records.len(), 2, "the undo is a logged transaction");
+    let undo = &records[1];
+    assert_eq!(undo.seq, 2);
+    assert_eq!(undo.target, TxnTarget::Instance(id));
+    assert_eq!(undo.ops.len(), 1);
+    // Replaying the log yields the real bias: op then its inverse => empty.
+    assert_eq!(undo.inverses[0].as_ref(), Some(&op));
+    assert!(!engine.store.get(id).unwrap().is_biased());
+}
+
+#[test]
+fn preview_reports_concurrent_modification() {
+    let (engine, name, id) = world();
+    let v1 = engine.repo.deployed(&name, 1).unwrap();
+    let op = four_ops(&v1.schema).remove(0);
+
+    let stale = engine.begin_change(id).unwrap();
+    // A second session commits while the first is still open.
+    let mut racer = engine.begin_change(id).unwrap();
+    racer.stage(&op).unwrap();
+    racer.commit().unwrap();
+
+    // The stale session's dry run must surface the conflict, exactly as
+    // its commit would — not return verdicts mixing old schema with the
+    // new marking.
+    let err = stale.preview().unwrap_err();
+    assert!(
+        err.to_string().contains("concurrent change"),
+        "unexpected error: {err}"
+    );
+}
+
+#[test]
+fn evolution_preview_reports_lost_base_version_race() {
+    let (engine, name, _id) = world();
+    let v1 = engine.repo.deployed(&name, 1).unwrap();
+    let op = four_ops(&v1.schema).remove(0);
+
+    let stale = engine.begin_evolution(&name).unwrap();
+    let mut racer = engine.begin_evolution(&name).unwrap();
+    racer.stage(&op).unwrap();
+    racer.commit().unwrap();
+
+    let err = stale.preview().unwrap_err();
+    assert!(
+        err.to_string().contains("concurrent evolution"),
+        "unexpected error: {err}"
+    );
+}
