@@ -3,12 +3,9 @@
 //! verification, state compliance, state adaptation, substitution-block
 //! derivation) as experienced by a single running instance.
 
-#![allow(deprecated)] // benches the per-op path the txn API amortises
-
 use adept_core::{ChangeOp, NewActivity};
-use adept_engine::ProcessEngine;
+use adept_engine::{EngineCommand, ProcessEngine};
 use adept_simgen::scenarios;
-use adept_state::DefaultDriver;
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
@@ -66,12 +63,19 @@ fn bench_adhoc(c: &mut Criterion) {
                     let name = engine.deploy(scenarios::order_process()).unwrap();
                     let id = engine.create_instance(&name).unwrap();
                     engine
-                        .run_instance(id, &mut DefaultDriver, Some(1))
+                        .submit(EngineCommand::Drive {
+                            instance: id,
+                            max: Some(1),
+                        })
                         .unwrap();
                     let op = make(&engine.repo.deployed(&name, 1).unwrap().schema);
                     (engine, id, op)
                 },
-                |(engine, id, op)| black_box(engine.ad_hoc_change(id, &op)).unwrap(),
+                |(engine, id, op)| {
+                    let mut session = engine.begin_change(id).unwrap();
+                    session.stage(&op).unwrap();
+                    black_box(session.commit()).unwrap()
+                },
                 criterion::BatchSize::PerIteration,
             )
         });

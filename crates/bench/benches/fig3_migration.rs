@@ -4,10 +4,8 @@
 //! workers. The paper: "the concomitant migration of thousands of
 //! instances ... on-the-fly ... avoid performance penalties".
 
-#![allow(deprecated)] // single-op wrappers exercised deliberately
-
 use adept_core::MigrationOptions;
-use adept_engine::ProcessEngine;
+use adept_engine::{EngineCommand, ProcessEngine};
 use adept_simgen::{scenarios, RandomDriver};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
@@ -20,7 +18,15 @@ fn populate(n: usize) -> (ProcessEngine, String) {
         let mut driver = RandomDriver::new(k as u64);
         // Random progress: 0..=2 completed activities keeps most instances
         // compliant (the interesting hot path).
-        engine.run_instance(id, &mut driver, Some(k % 3)).unwrap();
+        engine
+            .submit_with_driver(
+                EngineCommand::Drive {
+                    instance: id,
+                    max: Some(k % 3),
+                },
+                &mut driver,
+            )
+            .unwrap();
     }
     (engine, name)
 }
@@ -38,14 +44,13 @@ fn bench_fig3(c: &mut Criterion) {
                     b.iter_batched(
                         || {
                             let (engine, name) = populate(n);
-                            engine
-                                .evolve_type(
-                                    &name,
-                                    &scenarios::fig1_delta_ops(
-                                        &engine.repo.deployed(&name, 1).unwrap().schema,
-                                    ),
-                                )
-                                .unwrap();
+                            let mut evolution = engine.begin_evolution(&name).unwrap();
+                            for op in scenarios::fig1_delta_ops(
+                                &engine.repo.deployed(&name, 1).unwrap().schema,
+                            ) {
+                                evolution.stage(&op).unwrap();
+                            }
+                            evolution.commit().unwrap();
                             (engine, name)
                         },
                         |(engine, name)| {

@@ -4,8 +4,6 @@
 //! *each*). The gap widens linearly with N — this is the hot path every
 //! multi-op repair, batch deviation and staged evolution takes.
 
-#![allow(deprecated)] // benches the per-op path the txn API amortises
-
 use adept_core::{ChangeOp, NewActivity};
 use adept_engine::ProcessEngine;
 use adept_model::ProcessSchema;
@@ -64,13 +62,16 @@ fn bench_txn_commit(c: &mut Criterion) {
             )
         });
 
-        // Per-op path: N separate changes, N verification passes.
+        // Per-op path: N separate one-op transactions, N verification
+        // passes.
         group.bench_with_input(BenchmarkId::new("per_op", n), &n, |b, &n| {
             b.iter_batched(
                 || setup(n),
                 |(engine, id, ops)| {
                     for op in &ops {
-                        engine.ad_hoc_change(id, op).unwrap();
+                        let mut session = engine.begin_change(id).unwrap();
+                        session.stage(op).unwrap();
+                        session.commit().unwrap();
                     }
                     black_box(engine.store.get(id).unwrap().bias.len())
                 },

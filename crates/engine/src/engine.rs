@@ -1,8 +1,9 @@
-//! The ADEPT2 process engine: deployment, execution, ad-hoc change,
-//! schema evolution and batch migration.
+//! The ADEPT2 process engine: deployment, command-based execution, ad-hoc
+//! change, schema evolution and batch migration.
 
+use crate::command::{EngineCommand, ExecCtx};
 use crate::monitor::{EngineEvent, Monitor};
-use crate::worklist::WorkItem;
+use crate::worklist::{items_for, WorkItem, WorklistIndex};
 use adept_core::{
     adapt_instance_state, apply_op, check_fast, compliance::check_fast_op, migrate_instance,
     ChangeError, ChangeOp, Delta, InstanceOutcome, MigrationOptions, MigrationReport, Verdict,
@@ -12,6 +13,8 @@ use adept_state::{Decision, Driver, Execution, RuntimeError};
 use adept_storage::{
     InstanceStore, MemoryBreakdown, Representation, SchemaRepository, Snapshot, TxnLog, TxnTarget,
 };
+use parking_lot::RwLock;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::sync::Arc;
 
@@ -63,6 +66,14 @@ pub struct ProcessEngine {
     pub monitor: Monitor,
     /// The persisted log of committed change transactions.
     pub txn_log: TxnLog,
+    /// Per-instance `(schema, blocks)` context cache shared by the command
+    /// path and the worklist (invalidated on change/migration/undo).
+    pub(crate) ctx_cache: RwLock<BTreeMap<InstanceId, Arc<ExecCtx>>>,
+    /// The incrementally maintained worklist index.
+    pub(crate) wl_index: WorklistIndex,
+    /// Instances already reported as unresolvable by the worklist (one
+    /// monitor event per ongoing failure, not one per poll).
+    wl_failures: RwLock<BTreeSet<InstanceId>>,
 }
 
 impl ProcessEngine {
@@ -79,6 +90,9 @@ impl ProcessEngine {
             store: InstanceStore::new(strategy),
             monitor: Monitor::new(),
             txn_log: TxnLog::new(),
+            ctx_cache: RwLock::new(BTreeMap::new()),
+            wl_index: WorklistIndex::default(),
+            wl_failures: RwLock::new(BTreeSet::new()),
         }
     }
 
@@ -120,6 +134,9 @@ impl ProcessEngine {
             store,
             monitor: Monitor::new(),
             txn_log,
+            ctx_cache: RwLock::new(BTreeMap::new()),
+            wl_index: WorklistIndex::default(),
+            wl_failures: RwLock::new(BTreeSet::new()),
         }
     }
 
@@ -136,48 +153,18 @@ impl ProcessEngine {
         Ok(name)
     }
 
-    /// Creates an instance on the newest version of a type.
+    /// Creates an instance on the newest version of a type (thin wrapper
+    /// over [`EngineCommand::CreateInstance`]).
     pub fn create_instance(&self, type_name: &str) -> Result<InstanceId, EngineError> {
-        let version = self
-            .repo
-            .latest_version(type_name)
-            .ok_or_else(|| EngineError::NotFound(format!("process type {type_name:?}")))?;
-        let dep = self
-            .repo
-            .deployed(type_name, version)
-            .ok_or_else(|| EngineError::NotFound(format!("version {version}")))?;
-        let st = dep.execution().init()?;
-        let id = self.store.create(type_name, version, st);
-        self.monitor.record(EngineEvent::InstanceCreated {
-            instance: id,
-            version,
-        });
-        Ok(id)
+        self.submit(EngineCommand::CreateInstance {
+            type_name: type_name.to_string(),
+        })
+        .map(|o| o.instance)
     }
 
     // ------------------------------------------------------------------
     // Execution
     // ------------------------------------------------------------------
-
-    /// Resolves the schema + block structure an instance currently runs on.
-    fn context_of(&self, id: InstanceId) -> Result<(Arc<ProcessSchema>, Blocks), EngineError> {
-        let inst = self
-            .store
-            .get(id)
-            .ok_or_else(|| EngineError::NotFound(format!("{id}")))?;
-        let schema = self
-            .store
-            .schema_of(&self.repo, id)
-            .ok_or_else(|| EngineError::NotFound(format!("schema of {id}")))?;
-        if inst.bias.is_empty() {
-            if let Some(dep) = self.repo.deployed(&inst.type_name, inst.version) {
-                return Ok((schema, (*dep.blocks).clone()));
-            }
-        }
-        let blocks = Blocks::analyze(&schema)
-            .map_err(|e| EngineError::Change(ChangeError::Precondition(e.to_string())))?;
-        Ok((schema, blocks))
-    }
 
     /// The owned schema + block structure a change session stages against
     /// (see [`ProcessEngine::begin_change`]).
@@ -185,37 +172,142 @@ impl ProcessEngine {
         &self,
         id: InstanceId,
     ) -> Result<(ProcessSchema, Blocks), EngineError> {
-        let (schema, blocks) = self.context_of(id)?;
-        Ok(((*schema).clone(), blocks))
+        let ctx = self.exec_context(id)?;
+        Ok(((*ctx.schema).clone(), (*ctx.blocks).clone()))
     }
 
-    /// The global worklist: every activated activity of every instance.
+    /// The global worklist: every activated activity of every instance,
+    /// answered from the incremental index (instances the index does not
+    /// cover are recomputed and installed on the way).
+    ///
+    /// The index is maintained by command outcomes and invalidated by
+    /// change commits, migrations and undos — every mutation the engine's
+    /// own API performs. Code that mutates instance state **directly
+    /// through the public `store` field** bypasses that bookkeeping and
+    /// must call [`ProcessEngine::refresh_worklist`] for the touched
+    /// instance (or use [`ProcessEngine::worklist_full`]) to see its
+    /// effect here.
+    ///
+    /// Instances whose store entry or schema context cannot be resolved are
+    /// skipped, but no longer silently: each failure is recorded as an
+    /// [`EngineEvent::WorklistResolutionFailed`] monitor event. Use
+    /// [`ProcessEngine::try_worklist`] to fail fast instead.
     pub fn worklist(&self) -> Vec<WorkItem> {
+        self.worklist_inner(false)
+            .expect("lenient worklist never errors")
+    }
+
+    /// Drops an instance's cached execution context and worklist entry so
+    /// the next read recomputes both — the escape hatch for callers that
+    /// mutate instance state directly through the public `store` field
+    /// instead of submitting commands.
+    pub fn refresh_worklist(&self, id: InstanceId) {
+        self.invalidate_instance(id);
+    }
+
+    /// [`ProcessEngine::worklist`], failing on the first instance whose
+    /// store entry or schema context cannot be resolved — the strict
+    /// variant monitoring components use to surface store corruption.
+    pub fn try_worklist(&self) -> Result<Vec<WorkItem>, EngineError> {
+        self.worklist_inner(true)
+    }
+
+    fn worklist_inner(&self, strict: bool) -> Result<Vec<WorkItem>, EngineError> {
+        let ids = self.store.ids();
         let mut items = Vec::new();
-        for id in self.all_instances() {
-            let Some(inst) = self.store.get(id) else {
-                continue;
-            };
-            let Ok((schema, blocks)) = self.context_of(id) else {
-                continue;
-            };
-            let ex = Execution::with_blocks(&schema, blocks);
-            for node in ex.enabled(&inst.state) {
-                let Ok(n) = schema.node(node) else { continue };
-                items.push(WorkItem {
-                    instance: id,
-                    node,
-                    activity: n.name.clone(),
-                    role: n.attrs.role.clone(),
-                    type_name: inst.type_name.clone(),
-                    version: inst.version,
-                });
+        let mut misses = Vec::new();
+        // Steady state: one index lock pass serves the whole population.
+        self.wl_index.collect(&ids, &mut items, &mut misses);
+        for id in misses {
+            match self.compute_items(id) {
+                Ok(list) => {
+                    self.wl_failures.write().remove(&id);
+                    items.extend(list);
+                }
+                Err(e) if strict => return Err(e),
+                Err(e) => {
+                    // Report each ongoing failure once, not once per
+                    // poll — a permanently dangling instance must not
+                    // grow the monitor log without bound. Recovery
+                    // re-arms the report (see the Ok branch).
+                    if self.wl_failures.write().insert(id) {
+                        self.monitor.record(EngineEvent::WorklistResolutionFailed {
+                            instance: id,
+                            reason: e.to_string(),
+                        });
+                    }
+                }
             }
         }
-        items
+        Ok(items)
     }
 
-    /// The worklist filtered by actor role.
+    /// Recomputes one instance's work items and installs them into the
+    /// index (stamped with the pre-read epoch, so a racing command's newer
+    /// install wins).
+    pub(crate) fn compute_items(&self, id: InstanceId) -> Result<Vec<WorkItem>, EngineError> {
+        for _ in 0..4 {
+            let epoch = self.wl_index.current();
+            let ctx = self.exec_context(id)?;
+            let computed = self
+                .store
+                .with_instance(id, |inst| {
+                    if !ctx.matches(inst) {
+                        return None;
+                    }
+                    let ex = ctx.execution();
+                    Some(items_for(
+                        &ex,
+                        id,
+                        &inst.type_name,
+                        inst.version,
+                        &inst.state,
+                    ))
+                })
+                .ok_or_else(|| EngineError::NotFound(format!("{id}")))?;
+            match computed {
+                Some(list) => {
+                    self.wl_index.install(id, epoch, list.clone());
+                    return Ok(list);
+                }
+                None => self.invalidate_instance(id),
+            }
+        }
+        // A writer raced every attempt; serve items derived from ONE
+        // cloned instance snapshot — the schema is re-materialised from
+        // that same snapshot's bias rather than fetched by a second store
+        // read, which could see a newer version and tear the pair — and
+        // do not install them.
+        let inst = self
+            .store
+            .get(id)
+            .ok_or_else(|| EngineError::NotFound(format!("{id}")))?;
+        let dep = self
+            .repo
+            .deployed(&inst.type_name, inst.version)
+            .ok_or_else(|| EngineError::NotFound(format!("schema of {id}")))?;
+        let schema = if inst.is_biased() {
+            Arc::new(
+                inst.subst
+                    .overlay(&dep.schema)
+                    .map_err(|e| EngineError::Change(ChangeError::Precondition(e.to_string())))?,
+            )
+        } else {
+            dep.schema
+        };
+        let ex = Execution::new(&schema)
+            .map_err(|e| EngineError::Change(ChangeError::Precondition(e.to_string())))?;
+        Ok(items_for(
+            &ex,
+            id,
+            &inst.type_name,
+            inst.version,
+            &inst.state,
+        ))
+    }
+
+    /// The worklist filtered by actor role (items without a role are
+    /// claimable by anyone).
     pub fn worklist_for(&self, role: &str) -> Vec<WorkItem> {
         self.worklist()
             .into_iter()
@@ -223,135 +315,134 @@ impl ProcessEngine {
             .collect()
     }
 
+    /// The worklist recomputed from scratch for every instance, bypassing
+    /// the incremental index. This is the reference implementation the
+    /// index is property-checked against (and the baseline of the
+    /// `worklist` benchmark) — prefer [`ProcessEngine::worklist`].
+    pub fn worklist_full(&self) -> Vec<WorkItem> {
+        let mut items = Vec::new();
+        for id in self.store.ids() {
+            let Ok(ctx) = self.exec_context(id) else {
+                continue;
+            };
+            let found = self.store.with_instance(id, |inst| {
+                let ex = ctx.execution();
+                items_for(&ex, id, &inst.type_name, inst.version, &inst.state)
+            });
+            items.extend(found.into_iter().flatten());
+        }
+        items
+    }
+
     /// Starts an activated activity of an instance.
+    #[deprecated(
+        since = "0.4.0",
+        note = "use submit(EngineCommand::Start { instance, node })"
+    )]
     pub fn start_activity(&self, id: InstanceId, node: NodeId) -> Result<(), EngineError> {
-        let (schema, blocks) = self.context_of(id)?;
-        let ex = Execution::with_blocks(&schema, blocks);
-        let mut inst = self
-            .store
-            .get(id)
-            .ok_or_else(|| EngineError::NotFound(format!("{id}")))?;
-        ex.start_activity(&mut inst.state, node)?;
-        self.store.update(id, |i| i.state = inst.state.clone());
-        self.monitor
-            .record(EngineEvent::ActivityStarted { instance: id, node });
-        Ok(())
+        self.submit(EngineCommand::Start { instance: id, node })
+            .map(|_| ())
     }
 
     /// Completes a running activity with its output values.
+    #[deprecated(
+        since = "0.4.0",
+        note = "use submit(EngineCommand::Complete { instance, node, writes })"
+    )]
     pub fn complete_activity(
         &self,
         id: InstanceId,
         node: NodeId,
         writes: Vec<(DataId, Value)>,
     ) -> Result<(), EngineError> {
-        let (schema, blocks) = self.context_of(id)?;
-        let ex = Execution::with_blocks(&schema, blocks);
-        let mut inst = self
-            .store
-            .get(id)
-            .ok_or_else(|| EngineError::NotFound(format!("{id}")))?;
-        ex.complete_activity(&mut inst.state, node, writes)?;
-        let finished = ex.is_finished(&inst.state);
-        self.store.update(id, |i| i.state = inst.state.clone());
-        self.monitor
-            .record(EngineEvent::ActivityCompleted { instance: id, node });
-        if finished {
-            self.monitor
-                .record(EngineEvent::InstanceFinished { instance: id });
-        }
-        Ok(())
+        self.submit(EngineCommand::Complete {
+            instance: id,
+            node,
+            writes,
+        })
+        .map(|_| ())
     }
 
     /// Pending XOR/loop decisions of an instance.
     pub fn pending_decisions(&self, id: InstanceId) -> Result<Vec<Decision>, EngineError> {
-        let (schema, blocks) = self.context_of(id)?;
-        let ex = Execution::with_blocks(&schema, blocks);
-        let inst = self
-            .store
-            .get(id)
-            .ok_or_else(|| EngineError::NotFound(format!("{id}")))?;
-        Ok(ex.pending_decisions(&inst.state))
+        let ctx = self.exec_context(id)?;
+        self.store
+            .with_instance(id, |inst| ctx.execution().pending_decisions(&inst.state))
+            .ok_or_else(|| EngineError::NotFound(format!("{id}")))
     }
 
     /// Resolves a pending XOR decision.
+    #[deprecated(
+        since = "0.4.0",
+        note = "use submit(EngineCommand::DecideXor { instance, split, branch_target })"
+    )]
     pub fn decide_xor(
         &self,
         id: InstanceId,
         split: NodeId,
         branch_target: NodeId,
     ) -> Result<(), EngineError> {
-        let (schema, blocks) = self.context_of(id)?;
-        let ex = Execution::with_blocks(&schema, blocks);
-        let mut inst = self
-            .store
-            .get(id)
-            .ok_or_else(|| EngineError::NotFound(format!("{id}")))?;
-        ex.decide_xor(&mut inst.state, split, branch_target)?;
-        self.store.update(id, |i| i.state = inst.state.clone());
-        Ok(())
+        self.submit(EngineCommand::DecideXor {
+            instance: id,
+            split,
+            branch_target,
+        })
+        .map(|_| ())
     }
 
     /// Resolves a pending loop decision.
+    #[deprecated(
+        since = "0.4.0",
+        note = "use submit(EngineCommand::DecideLoop { instance, loop_end, iterate })"
+    )]
     pub fn decide_loop(
         &self,
         id: InstanceId,
         loop_end: NodeId,
         iterate: bool,
     ) -> Result<(), EngineError> {
-        let (schema, blocks) = self.context_of(id)?;
-        let ex = Execution::with_blocks(&schema, blocks);
-        let mut inst = self
-            .store
-            .get(id)
-            .ok_or_else(|| EngineError::NotFound(format!("{id}")))?;
-        ex.decide_loop(&mut inst.state, loop_end, iterate)?;
-        self.store.update(id, |i| i.state = inst.state.clone());
-        Ok(())
+        self.submit(EngineCommand::DecideLoop {
+            instance: id,
+            loop_end,
+            iterate,
+        })
+        .map(|_| ())
     }
 
     /// Drives an instance forward with a driver (simulation), completing at
     /// most `max_activities`.
+    #[deprecated(
+        since = "0.4.0",
+        note = "use submit_with_driver(EngineCommand::Drive { instance, max }, driver)"
+    )]
     pub fn run_instance(
         &self,
         id: InstanceId,
         driver: &mut dyn Driver,
         max_activities: Option<usize>,
     ) -> Result<usize, EngineError> {
-        let (schema, blocks) = self.context_of(id)?;
-        let ex = Execution::with_blocks(&schema, blocks);
-        let mut inst = self
-            .store
-            .get(id)
-            .ok_or_else(|| EngineError::NotFound(format!("{id}")))?;
-        let n = ex.run(&mut inst.state, driver, max_activities)?;
-        let finished = ex.is_finished(&inst.state);
-        self.store.update(id, |i| i.state = inst.state.clone());
-        if finished {
-            self.monitor
-                .record(EngineEvent::InstanceFinished { instance: id });
-        }
-        Ok(n)
+        self.submit_with_driver(
+            EngineCommand::Drive {
+                instance: id,
+                max: max_activities,
+            },
+            driver,
+        )
+        .map(|o| o.completed)
     }
 
     /// Whether an instance has reached its end node.
     pub fn is_finished(&self, id: InstanceId) -> Result<bool, EngineError> {
-        let (schema, blocks) = self.context_of(id)?;
-        let ex = Execution::with_blocks(&schema, blocks);
-        let inst = self
-            .store
-            .get(id)
-            .ok_or_else(|| EngineError::NotFound(format!("{id}")))?;
-        Ok(ex.is_finished(&inst.state))
+        let ctx = self.exec_context(id)?;
+        self.store
+            .with_instance(id, |inst| ctx.execution().is_finished(&inst.state))
+            .ok_or_else(|| EngineError::NotFound(format!("{id}")))
     }
 
-    /// All instance ids across all types.
+    /// All instance ids across all types, in id order (straight from the
+    /// store, so instances with a dangling type name are included).
     pub fn all_instances(&self) -> Vec<InstanceId> {
-        self.repo
-            .type_names()
-            .into_iter()
-            .flat_map(|t| self.store.instances_of(&t))
-            .collect()
+        self.store.ids()
     }
 
     // ------------------------------------------------------------------
@@ -383,12 +474,33 @@ impl ProcessEngine {
     /// bias shrinks; if it becomes empty the instance is unbiased again
     /// and shares the deployed schema.
     pub fn undo_ad_hoc_change(&self, id: InstanceId) -> Result<(), EngineError> {
-        let (current, blocks) = self.context_of(id)?;
-        let inst = self
-            .store
-            .get(id)
-            .ok_or_else(|| EngineError::NotFound(format!("{id}")))?;
-        let mut materialized = (*current).clone();
+        // Context and instance snapshot must describe the same (version,
+        // bias) — a change committing between the two reads would pair an
+        // inverse computed against the old schema with the new bias and
+        // still pass the final CAS. Re-resolve until they agree; the CAS
+        // at install keeps the pair authoritative.
+        let (ctx, inst) = {
+            let mut attempts = 0;
+            loop {
+                let ctx = self.exec_context(id)?;
+                let inst = self
+                    .store
+                    .get(id)
+                    .ok_or_else(|| EngineError::NotFound(format!("{id}")))?;
+                if ctx.matches(&inst) {
+                    break (ctx, inst);
+                }
+                self.invalidate_instance(id);
+                attempts += 1;
+                if attempts >= 8 {
+                    return Err(EngineError::Change(ChangeError::Precondition(format!(
+                        "concurrent modification: context of {id} kept changing during undo"
+                    ))));
+                }
+            }
+        };
+        let (current, blocks) = (&ctx.schema, &ctx.blocks);
+        let mut materialized = (**current).clone();
         let mut bias = inst.bias.clone();
         let last = bias.ops.last().cloned().ok_or_else(|| {
             EngineError::Change(ChangeError::Precondition(
@@ -407,7 +519,7 @@ impl ProcessEngine {
             let mut probe = materialized.clone();
             apply_op(&mut probe, &inv)?
         };
-        let verdict = check_fast_op(&current, &blocks, &inst.state, &probe_rec);
+        let verdict = check_fast_op(current, blocks, &inst.state, &probe_rec);
         if let Verdict::NotCompliant(c) = verdict {
             return Err(EngineError::Change(ChangeError::StatePrecondition {
                 node: probe_rec
@@ -425,7 +537,7 @@ impl ProcessEngine {
             .map_err(|e| EngineError::Change(ChangeError::Precondition(e.to_string())))?;
         let mut st = inst.state.clone();
         let single: Delta = std::iter::once(rec).collect();
-        adapt_instance_state(&current, &blocks, &new_ex, &single, &mut st)?;
+        adapt_instance_state(current, blocks, &new_ex, &single, &mut st)?;
         if !self.store.set_bias_if(
             id,
             inst.version,
@@ -439,6 +551,7 @@ impl ProcessEngine {
                 "concurrent change: {id} was modified while the undo committed"
             ))));
         }
+        self.invalidate_instance(id);
         // The undo is a committed change like any other: it gets its own
         // transaction record (applied inverse + the op that would redo it)
         // so the audit trail can reconstruct the bias exactly.
@@ -587,7 +700,7 @@ impl ProcessEngine {
                     ),
                 };
             };
-            let Ok((current, blocks)) = self.context_of(id) else {
+            let Ok(ctx) = self.exec_context(id) else {
                 return InstanceOutcome {
                     instance: id,
                     biased: inst.is_biased(),
@@ -608,8 +721,8 @@ impl ProcessEngine {
                 };
             };
             let res = migrate_instance(
-                &current,
-                &blocks,
+                &ctx.schema,
+                &ctx.blocks,
                 &new_dep.schema,
                 &delta,
                 &inst.bias,
@@ -619,8 +732,20 @@ impl ProcessEngine {
             match res.verdict {
                 Verdict::Compliant => {
                     let adapted = res.adapted.expect("compliant results carry state");
-                    self.store
-                        .migrate(id, next, adapted, res.materialized.as_ref());
+                    // CAS install: a command committing between this
+                    // hop's read and its install must not be overwritten
+                    // by state adapted from the stale snapshot — on a
+                    // lost race the loop re-reads and re-checks the hop.
+                    if !self.store.migrate_if(
+                        id,
+                        Some((inst.version, &inst.state)),
+                        next,
+                        adapted,
+                        res.materialized.as_ref(),
+                    ) {
+                        continue;
+                    }
+                    self.invalidate_instance(id);
                     self.monitor.record(EngineEvent::Migrated {
                         instance: id,
                         to_version: next,
@@ -644,12 +769,12 @@ impl ProcessEngine {
     /// Re-checks compliance of an instance against a delta without applying
     /// anything (used by what-if tooling and tests).
     pub fn check_compliance(&self, id: InstanceId, delta: &Delta) -> Result<Verdict, EngineError> {
-        let (current, blocks) = self.context_of(id)?;
-        let inst = self
-            .store
-            .get(id)
-            .ok_or_else(|| EngineError::NotFound(format!("{id}")))?;
-        Ok(check_fast(&current, &blocks, &inst.state, delta))
+        let ctx = self.exec_context(id)?;
+        self.store
+            .with_instance(id, |inst| {
+                check_fast(&ctx.schema, &ctx.blocks, &inst.state, delta)
+            })
+            .ok_or_else(|| EngineError::NotFound(format!("{id}")))
     }
 
     /// Byte-level memory accounting (paper Fig. 2).
@@ -659,15 +784,12 @@ impl ProcessEngine {
 
     /// Renders an instance for the monitoring component.
     pub fn render_instance(&self, id: InstanceId) -> Result<String, EngineError> {
-        let (schema, _) = self.context_of(id)?;
-        let inst = self
-            .store
-            .get(id)
-            .ok_or_else(|| EngineError::NotFound(format!("{id}")))?;
-        Ok(crate::monitor::render_instance_summary(
-            &schema,
-            &inst.state,
-        ))
+        let ctx = self.exec_context(id)?;
+        self.store
+            .with_instance(id, |inst| {
+                crate::monitor::render_instance_summary(&ctx.schema, &inst.state)
+            })
+            .ok_or_else(|| EngineError::NotFound(format!("{id}")))
     }
 }
 
@@ -678,12 +800,37 @@ impl Default for ProcessEngine {
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // the wrapper entry points are exercised deliberately
 mod tests {
     use super::*;
     use adept_core::NewActivity;
     use adept_model::SchemaBuilder;
-    use adept_state::DefaultDriver;
+
+    /// Drives an instance through the command path.
+    fn drive(engine: &ProcessEngine, id: InstanceId, max: Option<usize>) {
+        engine
+            .submit(EngineCommand::Drive { instance: id, max })
+            .unwrap();
+    }
+
+    /// One-op ad-hoc change through a change session.
+    fn adhoc(engine: &ProcessEngine, id: InstanceId, op: &ChangeOp) -> Result<(), EngineError> {
+        let mut session = engine.begin_change(id)?;
+        session.stage(op)?;
+        session.commit().map(|_| ())
+    }
+
+    /// One-batch type evolution through a change session.
+    fn evolve(engine: &ProcessEngine, name: &str, ops: &[ChangeOp]) -> u32 {
+        let mut session = engine.begin_evolution(name).unwrap();
+        for op in ops {
+            session.stage(op).unwrap();
+        }
+        session
+            .commit()
+            .unwrap()
+            .new_version
+            .expect("evolution commits produce a version")
+    }
 
     fn order_schema() -> ProcessSchema {
         let mut b = SchemaBuilder::new("online order");
@@ -712,11 +859,23 @@ mod tests {
         assert_eq!(engine.worklist_for("sales").len(), 1);
         assert_eq!(engine.worklist_for("warehouse").len(), 0);
 
-        engine.start_activity(id, wl[0].node).unwrap();
-        engine.complete_activity(id, wl[0].node, vec![]).unwrap();
+        engine
+            .submit(EngineCommand::Start {
+                instance: id,
+                node: wl[0].node,
+            })
+            .unwrap();
+        let outcome = engine
+            .submit(EngineCommand::Complete {
+                instance: id,
+                node: wl[0].node,
+                writes: vec![],
+            })
+            .unwrap();
+        assert!(!outcome.finished);
         assert!(!engine.is_finished(id).unwrap());
 
-        engine.run_instance(id, &mut DefaultDriver, None).unwrap();
+        drive(&engine, id, None);
         assert!(engine.is_finished(id).unwrap());
         assert!(engine
             .monitor
@@ -735,16 +894,16 @@ mod tests {
         let v1 = engine.repo.deployed(&name, 1).unwrap();
         let get = v1.schema.node_by_name("get order").unwrap().id;
         let collect = v1.schema.node_by_name("collect data").unwrap().id;
-        engine
-            .ad_hoc_change(
-                i1,
-                &ChangeOp::SerialInsert {
-                    activity: NewActivity::named("check customer"),
-                    pred: get,
-                    succ: collect,
-                },
-            )
-            .unwrap();
+        adhoc(
+            &engine,
+            i1,
+            &ChangeOp::SerialInsert {
+                activity: NewActivity::named("check customer"),
+                pred: get,
+                succ: collect,
+            },
+        )
+        .unwrap();
 
         let s1 = engine.store.schema_of(&engine.repo, i1).unwrap();
         let s2 = engine.store.schema_of(&engine.repo, i2).unwrap();
@@ -754,7 +913,7 @@ mod tests {
         assert!(!engine.store.get(i2).unwrap().is_biased());
 
         // The biased instance executes the inserted step.
-        engine.run_instance(i1, &mut DefaultDriver, None).unwrap();
+        drive(&engine, i1, None);
         assert!(engine.is_finished(i1).unwrap());
     }
 
@@ -763,21 +922,21 @@ mod tests {
         let engine = ProcessEngine::new();
         let name = engine.deploy(order_schema()).unwrap();
         let id = engine.create_instance(&name).unwrap();
-        engine.run_instance(id, &mut DefaultDriver, None).unwrap();
+        drive(&engine, id, None);
 
         let v1 = engine.repo.deployed(&name, 1).unwrap();
         let get = v1.schema.node_by_name("get order").unwrap().id;
         let collect = v1.schema.node_by_name("collect data").unwrap().id;
-        let err = engine
-            .ad_hoc_change(
-                id,
-                &ChangeOp::SerialInsert {
-                    activity: NewActivity::named("too late"),
-                    pred: get,
-                    succ: collect,
-                },
-            )
-            .unwrap_err();
+        let err = adhoc(
+            &engine,
+            id,
+            &ChangeOp::SerialInsert {
+                activity: NewActivity::named("too late"),
+                pred: get,
+                succ: collect,
+            },
+        )
+        .unwrap_err();
         assert!(matches!(
             err,
             EngineError::Change(ChangeError::StatePrecondition { .. })
@@ -793,37 +952,34 @@ mod tests {
         let i1 = engine.create_instance(&name).unwrap(); // fresh: compliant
         let i2 = engine.create_instance(&name).unwrap(); // will be biased w/ conflict
         let i3 = engine.create_instance(&name).unwrap(); // runs to completion: state conflict
-        engine
-            .run_instance(i1, &mut DefaultDriver, Some(2))
-            .unwrap();
-        engine.run_instance(i3, &mut DefaultDriver, None).unwrap();
+        drive(&engine, i1, Some(2));
+        drive(&engine, i3, None);
 
         // I2's ad-hoc bias: sync(confirm order -> compose order).
         let v1 = engine.repo.deployed(&name, 1).unwrap();
         let confirm = v1.schema.node_by_name("confirm order").unwrap().id;
         let compose = v1.schema.node_by_name("compose order").unwrap().id;
         let pack = v1.schema.node_by_name("pack goods").unwrap().id;
-        engine
-            .ad_hoc_change(
-                i2,
-                &ChangeOp::InsertSyncEdge {
-                    from: confirm,
-                    to: compose,
-                },
-            )
-            .unwrap();
+        adhoc(
+            &engine,
+            i2,
+            &ChangeOp::InsertSyncEdge {
+                from: confirm,
+                to: compose,
+            },
+        )
+        .unwrap();
 
         // ΔT: insert "send questions" + sync to confirm order (Fig. 1).
-        let (v2, _) = engine
-            .evolve_type(
-                &name,
-                &[ChangeOp::SerialInsert {
-                    activity: NewActivity::named("send questions"),
-                    pred: compose,
-                    succ: pack,
-                }],
-            )
-            .unwrap();
+        let v2 = evolve(
+            &engine,
+            &name,
+            &[ChangeOp::SerialInsert {
+                activity: NewActivity::named("send questions"),
+                pred: compose,
+                succ: pack,
+            }],
+        );
         assert_eq!(v2, 2);
         let sq = engine
             .repo
@@ -833,15 +989,14 @@ mod tests {
             .node_by_name("send questions")
             .unwrap()
             .id;
-        let (v3, _) = engine
-            .evolve_type(
-                &name,
-                &[ChangeOp::InsertSyncEdge {
-                    from: sq,
-                    to: confirm,
-                }],
-            )
-            .unwrap();
+        let v3 = evolve(
+            &engine,
+            &name,
+            &[ChangeOp::InsertSyncEdge {
+                from: sq,
+                to: confirm,
+            }],
+        );
         assert_eq!(v3, 3);
 
         let report = engine
@@ -853,7 +1008,7 @@ mod tests {
         assert_eq!(report.conflicts(adept_core::ConflictKind::State), 1);
 
         // The migrated instance continues and executes the new activity.
-        engine.run_instance(i1, &mut DefaultDriver, None).unwrap();
+        drive(&engine, i1, None);
         assert!(engine.is_finished(i1).unwrap());
         let inst1 = engine.store.get(i1).unwrap();
         assert_eq!(inst1.version, 3);
@@ -866,23 +1021,20 @@ mod tests {
         let name = engine.deploy(order_schema()).unwrap();
         for _ in 0..64 {
             let id = engine.create_instance(&name).unwrap();
-            engine
-                .run_instance(id, &mut DefaultDriver, Some(2))
-                .unwrap();
+            drive(&engine, id, Some(2));
         }
         let v1 = engine.repo.deployed(&name, 1).unwrap();
         let compose = v1.schema.node_by_name("compose order").unwrap().id;
         let pack = v1.schema.node_by_name("pack goods").unwrap().id;
-        engine
-            .evolve_type(
-                &name,
-                &[ChangeOp::SerialInsert {
-                    activity: NewActivity::named("send questions"),
-                    pred: compose,
-                    succ: pack,
-                }],
-            )
-            .unwrap();
+        evolve(
+            &engine,
+            &name,
+            &[ChangeOp::SerialInsert {
+                activity: NewActivity::named("send questions"),
+                pred: compose,
+                succ: pack,
+            }],
+        );
         let report = engine
             .migrate_all(&name, &MigrationOptions::default(), 4)
             .unwrap();
@@ -898,23 +1050,23 @@ mod tests {
         let v1 = engine.repo.deployed(&name, 1).unwrap();
         let get = v1.schema.node_by_name("get order").unwrap().id;
         let collect = v1.schema.node_by_name("collect data").unwrap().id;
-        engine
-            .ad_hoc_change(
-                id,
-                &ChangeOp::SerialInsert {
-                    activity: NewActivity::named("temp step"),
-                    pred: get,
-                    succ: collect,
-                },
-            )
-            .unwrap();
+        adhoc(
+            &engine,
+            id,
+            &ChangeOp::SerialInsert {
+                activity: NewActivity::named("temp step"),
+                pred: get,
+                succ: collect,
+            },
+        )
+        .unwrap();
         assert!(engine.store.get(id).unwrap().is_biased());
         engine.undo_ad_hoc_change(id).unwrap();
         assert!(!engine.store.get(id).unwrap().is_biased());
         // Undoing again fails: nothing left.
         assert!(engine.undo_ad_hoc_change(id).is_err());
         // The instance runs to completion on the restored schema.
-        engine.run_instance(id, &mut DefaultDriver, None).unwrap();
+        drive(&engine, id, None);
         assert!(engine.is_finished(id).unwrap());
     }
 
@@ -926,20 +1078,18 @@ mod tests {
         let v1 = engine.repo.deployed(&name, 1).unwrap();
         let get = v1.schema.node_by_name("get order").unwrap().id;
         let collect = v1.schema.node_by_name("collect data").unwrap().id;
-        engine
-            .ad_hoc_change(
-                id,
-                &ChangeOp::SerialInsert {
-                    activity: NewActivity::named("ran already"),
-                    pred: get,
-                    succ: collect,
-                },
-            )
-            .unwrap();
+        adhoc(
+            &engine,
+            id,
+            &ChangeOp::SerialInsert {
+                activity: NewActivity::named("ran already"),
+                pred: get,
+                succ: collect,
+            },
+        )
+        .unwrap();
         // Execute past the inserted activity.
-        engine
-            .run_instance(id, &mut DefaultDriver, Some(2))
-            .unwrap();
+        drive(&engine, id, Some(2));
         let err = engine.undo_ad_hoc_change(id).unwrap_err();
         assert!(matches!(
             err,

@@ -3,16 +3,63 @@
 //! The runtime facade tying the reproduction together (the paper's
 //! "number of buildtime and runtime components"):
 //!
-//! * [`ProcessEngine`] — deploy templates, create and execute instances,
-//!   serve worklists, **evolve process types** and **migrate instance
-//!   populations** (optionally with parallel worker threads);
+//! * [`command`] — the **unified command/event execution API**: every
+//!   state transition is a typed [`EngineCommand`] submitted through
+//!   [`ProcessEngine::submit`] or, batched, through
+//!   [`ProcessEngine::submit_batch`], returning a [`CommandOutcome`] with
+//!   the emitted events, the enabled-set delta and a finished flag;
 //! * [`session`] — the transactional change surface: every dynamic change
 //!   — ad-hoc instance deviation or type evolution — is a **change
 //!   session** driving the stage → preview → commit lifecycle;
-//! * [`worklist`] — work items and role-based claiming;
+//! * [`worklist`] — work items, role-based claiming, and the
+//!   incrementally maintained worklist index command outcomes keep
+//!   current;
 //! * [`monitor`] — the monitoring component: an event log with logical
 //!   timestamps plus DOT/text visualisation of instance states (the demo's
-//!   Fig. 3 views).
+//!   Fig. 3 views). Decisions, starts, completions — driven or manual —
+//!   all land here, gap-free.
+//!
+//! ## Executing instances: submit / submit_batch
+//!
+//! ```
+//! use adept_engine::{EngineCommand, ProcessEngine};
+//! use adept_model::SchemaBuilder;
+//!
+//! let engine = ProcessEngine::new();
+//! let mut b = SchemaBuilder::new("expense");
+//! b.activity("submit");
+//! b.activity("payout");
+//! let name = engine.deploy(b.build().unwrap()).unwrap();
+//!
+//! // Every transition is a typed command; outcomes report what changed.
+//! let created = engine.submit(EngineCommand::CreateInstance {
+//!     type_name: name.clone(),
+//! }).unwrap();
+//! let id = created.instance;
+//! let submit = created.newly_enabled[0];
+//!
+//! // Batched submission: the instance's (schema, blocks) context is
+//! // resolved ONCE and the whole group commits under a single atomic
+//! // store update — the per-verb get → clone → update round-trips (and
+//! // their lost-update race) are gone.
+//! let outcomes = engine.submit_batch(vec![
+//!     EngineCommand::Start { instance: id, node: submit },
+//!     EngineCommand::Complete { instance: id, node: submit, writes: vec![] },
+//!     EngineCommand::Drive { instance: id, max: None },
+//! ]);
+//! assert!(outcomes.iter().all(|o| o.is_ok()));
+//! assert!(outcomes[2].as_ref().unwrap().finished);
+//!
+//! // The worklist is served from an incrementally maintained index that
+//! // command outcomes keep current (and change commits invalidate).
+//! assert!(engine.worklist().is_empty());
+//! ```
+//!
+//! The old per-verb entry points (`start_activity`, `complete_activity`,
+//! `decide_xor`, `decide_loop`, `run_instance`) remain as deprecated thin
+//! wrappers over `submit` — same transitions, same events, one code path.
+//! Use [`ProcessEngine::try_worklist`] to surface instances whose store
+//! entry or schema no longer resolves instead of skipping them.
 //!
 //! ## Changing a running instance: stage → preview → commit
 //!
@@ -57,18 +104,22 @@
 //! Type evolutions use the same lifecycle via
 //! [`ProcessEngine::begin_evolution`]; committed transactions land in the
 //! persisted [`adept_storage::TxnLog`] (`engine.txn_log`) with their
-//! recorded inverses. The single-op entry points
-//! [`ProcessEngine::ad_hoc_change`] / [`ProcessEngine::evolve_type`]
-//! remain as deprecated wrappers over one-op transactions.
+//! recorded inverses, and their commits invalidate the affected
+//! instance's cached execution context and worklist entry. The single-op
+//! entry points [`ProcessEngine::ad_hoc_change`] /
+//! [`ProcessEngine::evolve_type`] remain as deprecated wrappers over
+//! one-op transactions.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod command;
 pub mod engine;
 pub mod monitor;
 pub mod session;
 pub mod worklist;
 
+pub use command::{CommandOutcome, EngineCommand};
 pub use engine::{EngineError, ProcessEngine};
 pub use monitor::{render_instance_dot, render_instance_summary, EngineEvent, Monitor};
 pub use session::{ChangeSession, TxnReceipt};

@@ -43,6 +43,23 @@ pub enum EngineEvent {
         /// The activity node.
         node: NodeId,
     },
+    /// An XOR or loop decision was resolved (by an actor or a driver).
+    DecisionMade {
+        /// The instance.
+        instance: InstanceId,
+        /// The deciding node (XOR split or loop end).
+        node: NodeId,
+        /// The chosen outcome (`"branch N7"`, `"iterate"`, `"exit"`).
+        choice: String,
+    },
+    /// The worklist could not resolve an instance's store entry or schema
+    /// context — a corruption signal that would otherwise stay silent.
+    WorklistResolutionFailed {
+        /// The unresolvable instance.
+        instance: InstanceId,
+        /// Why resolution failed.
+        reason: String,
+    },
     /// An ad-hoc change was applied to an instance.
     AdHocChanged {
         /// The instance.
@@ -124,6 +141,14 @@ impl fmt::Display for EngineEvent {
             EngineEvent::ActivityCompleted { instance, node } => {
                 write!(f, "{instance}: completed {node}")
             }
+            EngineEvent::DecisionMade {
+                instance,
+                node,
+                choice,
+            } => write!(f, "{instance}: decided {node} ({choice})"),
+            EngineEvent::WorklistResolutionFailed { instance, reason } => {
+                write!(f, "{instance}: worklist cannot resolve: {reason}")
+            }
             EngineEvent::AdHocChanged { instance, op } => {
                 write!(f, "{instance}: ad-hoc change {op}")
             }
@@ -174,6 +199,20 @@ impl Monitor {
         let t = self.clock.fetch_add(1, Ordering::Relaxed);
         self.events.write().push((t, e));
         t
+    }
+
+    /// Records a sequence of events contiguously under one lock pass —
+    /// the batched append the command path uses, so one submitted batch
+    /// costs one monitor lock however many events it emitted.
+    pub fn record_all<I: IntoIterator<Item = EngineEvent>>(&self, events: I) -> usize {
+        let mut log = self.events.write();
+        let mut n = 0;
+        for e in events {
+            let t = self.clock.fetch_add(1, Ordering::Relaxed);
+            log.push((t, e));
+            n += 1;
+        }
+        n
     }
 
     /// A snapshot of all events in logical-time order.

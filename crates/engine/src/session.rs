@@ -340,6 +340,10 @@ impl ChangeSession<'_> {
                 "concurrent change: {id} was modified while the transaction committed"
             ))));
         }
+        // Commit → worklist hook: the instance now runs on a different
+        // schema, so its cached execution context and worklist entry are
+        // stale (core reports which nodes the transaction touched).
+        engine.note_committed_change(id, &committed);
         for rec in &committed.delta.ops {
             engine.monitor.record(EngineEvent::AdHocChanged {
                 instance: id,

@@ -1,12 +1,22 @@
-//! Work items: the user-facing side of the engine.
+//! Work items and the incremental worklist index: the user-facing side of
+//! the engine.
 //!
 //! Activated activities are offered as work items; actors claim them by
 //! role. This is the minimal faithful model of ADEPT2's worklist
 //! management (the demo system distributed these via client components).
+//!
+//! The [`WorklistIndex`] keeps a per-instance snapshot of offered items,
+//! maintained by command outcomes and invalidated by change-transaction
+//! commits, migrations and undos — so serving the global worklist is an
+//! index walk instead of an O(instances × nodes) recompute.
 
 use adept_model::{InstanceId, NodeId};
+use adept_state::{Execution, InstanceState};
+use parking_lot::RwLock;
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// One offered unit of work: an activated activity of some instance.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -47,6 +57,140 @@ impl fmt::Display for WorkItem {
     }
 }
 
+/// The work items an instance currently offers: its enabled activities,
+/// annotated with name, role and version for claiming.
+pub(crate) fn items_for(
+    ex: &Execution<'_>,
+    instance: InstanceId,
+    type_name: &str,
+    version: u32,
+    state: &InstanceState,
+) -> Vec<WorkItem> {
+    let mut items = Vec::new();
+    for node in ex.enabled(state) {
+        let Ok(n) = ex.schema.node(node) else {
+            continue;
+        };
+        items.push(WorkItem {
+            instance,
+            node,
+            activity: n.name.clone(),
+            role: n.attrs.role.clone(),
+            type_name: type_name.to_string(),
+            version,
+        });
+    }
+    items
+}
+
+/// The incrementally maintained enabled-set index.
+///
+/// One entry per instance, carrying the instance's current work items and
+/// the **epoch** of the install. Epochs for command installs are drawn
+/// while the store's write lock is held, so they order exactly like store
+/// commits; lazy recomputes (worklist reads that miss the index) use the
+/// epoch observed *before* reading, which makes a racing command's newer
+/// install always win. An absent entry means "recompute on next read" —
+/// that is the invalidation signal change commits, migrations and undos
+/// send. Invalidation leaves a **tombstone watermark** (the epoch at
+/// invalidation time), so an in-flight recompute or command that read the
+/// *pre-change* state — its epoch predates the watermark — cannot
+/// resurrect stale items afterwards.
+#[derive(Debug, Default)]
+pub(crate) struct WorklistIndex {
+    epoch: AtomicU64,
+    state: RwLock<IndexState>,
+}
+
+#[derive(Debug, Default)]
+struct IndexState {
+    entries: BTreeMap<InstanceId, IndexEntry>,
+    /// Invalidation watermarks: installs stamped with an epoch at or
+    /// below the watermark are rejected (their items predate the change
+    /// that invalidated the entry). Cleared by the next accepted install.
+    tombstones: BTreeMap<InstanceId, u64>,
+}
+
+#[derive(Debug)]
+struct IndexEntry {
+    epoch: u64,
+    items: Vec<WorkItem>,
+}
+
+impl WorklistIndex {
+    /// Draws the next install epoch. Call while holding the store's write
+    /// lock so epoch order equals commit order.
+    pub fn bump(&self) -> u64 {
+        self.epoch.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// The epoch a lazy (read-side) recompute must stamp its install with
+    /// — observed **before** reading the instance state.
+    pub fn current(&self) -> u64 {
+        self.epoch.load(Ordering::Relaxed)
+    }
+
+    /// Installs an instance's items unless a newer install already landed
+    /// or an invalidation watermark says the items were computed from
+    /// pre-invalidation state.
+    pub fn install(&self, id: InstanceId, epoch: u64, items: Vec<WorkItem>) {
+        let mut state = self.state.write();
+        // Strictly below the watermark = computed from pre-invalidation
+        // state. An epoch equal to the watermark is fine: it was observed
+        // after the invalidation bump, hence after the change installed.
+        if state.tombstones.get(&id).is_some_and(|w| *w > epoch) {
+            return;
+        }
+        match state.entries.get(&id) {
+            Some(e) if e.epoch > epoch => {}
+            _ => {
+                state.tombstones.remove(&id);
+                state.entries.insert(id, IndexEntry { epoch, items });
+            }
+        }
+    }
+
+    /// Drops an instance's entry and leaves a watermark so concurrent
+    /// installs computed from the pre-invalidation state are rejected.
+    /// The entry is recomputed on the next worklist read.
+    pub fn invalidate(&self, id: InstanceId) {
+        let watermark = self.bump();
+        let mut state = self.state.write();
+        state.entries.remove(&id);
+        state.tombstones.insert(id, watermark);
+    }
+
+    /// The indexed items of an instance, if the entry is live.
+    #[cfg(test)]
+    pub fn get(&self, id: InstanceId) -> Option<Vec<WorkItem>> {
+        self.state.read().entries.get(&id).map(|e| e.items.clone())
+    }
+
+    /// Collects the items of every indexed id into `out` and the ids
+    /// without a live entry into `misses` — one lock acquisition for the
+    /// whole population instead of one per instance.
+    pub fn collect(
+        &self,
+        ids: &[InstanceId],
+        out: &mut Vec<WorkItem>,
+        misses: &mut Vec<InstanceId>,
+    ) {
+        let state = self.state.read();
+        for id in ids {
+            match state.entries.get(id) {
+                Some(e) => out.extend(e.items.iter().cloned()),
+                None => misses.push(*id),
+            }
+        }
+    }
+
+    /// Number of live entries (diagnostics).
+    #[cfg(test)]
+    pub fn len(&self) -> usize {
+        self.state.read().entries.len()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -74,5 +218,38 @@ mod tests {
         let s = item(Some("clerk")).to_string();
         assert!(s.contains("confirm order"));
         assert!(s.contains("clerk"));
+    }
+
+    #[test]
+    fn index_orders_installs_by_epoch() {
+        let idx = WorklistIndex::default();
+        let e1 = idx.bump();
+        let e2 = idx.bump();
+        idx.install(InstanceId(1), e2, vec![item(None)]);
+        // A stale install (older epoch) must not clobber the newer entry.
+        idx.install(InstanceId(1), e1, vec![]);
+        assert_eq!(idx.get(InstanceId(1)).unwrap().len(), 1);
+        idx.invalidate(InstanceId(1));
+        assert!(idx.get(InstanceId(1)).is_none());
+        assert_eq!(idx.len(), 0);
+        // Lazy installs stamped with the pre-read epoch are accepted when
+        // nothing newer landed.
+        idx.install(InstanceId(2), idx.current(), vec![item(Some("clerk"))]);
+        assert_eq!(idx.get(InstanceId(2)).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn invalidation_tombstones_reject_stale_installs() {
+        let idx = WorklistIndex::default();
+        // A reader observes the epoch, then a change invalidates.
+        let stale_epoch = idx.current();
+        idx.invalidate(InstanceId(1));
+        // The reader's install was computed from pre-change state: dropped.
+        idx.install(InstanceId(1), stale_epoch, vec![item(None)]);
+        assert!(idx.get(InstanceId(1)).is_none());
+        // A reader that starts after the invalidation is accepted (and
+        // clears the tombstone for later, even older-epoch re-installs).
+        idx.install(InstanceId(1), idx.current(), vec![item(Some("clerk"))]);
+        assert_eq!(idx.get(InstanceId(1)).unwrap().len(), 1);
     }
 }

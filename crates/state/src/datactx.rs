@@ -40,13 +40,16 @@ impl DataContext {
         !self.value(d).is_null()
     }
 
-    /// Records a write, enforcing the declared type of the element.
-    pub fn write(
-        &mut self,
+    /// Validates a prospective write without applying it: the data
+    /// element must exist and the value must match its declared type.
+    /// [`DataContext::write`] enforces exactly this check, so callers
+    /// that need all-or-nothing write batches (the interpreter validates
+    /// a completion's full write set before mutating anything) stay in
+    /// lockstep with it by construction.
+    pub fn validate_write(
         schema: &ProcessSchema,
-        node: NodeId,
         data: DataId,
-        value: Value,
+        value: &Value,
     ) -> Result<(), ModelError> {
         let decl = schema.data_element(data)?;
         if let Some(vt) = value.value_type() {
@@ -58,6 +61,18 @@ impl DataContext {
                 });
             }
         }
+        Ok(())
+    }
+
+    /// Records a write, enforcing the declared type of the element.
+    pub fn write(
+        &mut self,
+        schema: &ProcessSchema,
+        node: NodeId,
+        data: DataId,
+        value: Value,
+    ) -> Result<(), ModelError> {
+        Self::validate_write(schema, data, &value)?;
         self.values.insert(data, value.clone());
         self.log.push(WriteRecord { node, data, value });
         Ok(())

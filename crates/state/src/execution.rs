@@ -22,6 +22,7 @@ use crate::replay::ReplayScript;
 use adept_model::blocks::BlockError;
 use adept_model::{Blocks, DataId, EdgeKind, LoopCond, NodeId, NodeKind, ProcessSchema, Value};
 use serde::{Deserialize, Serialize};
+use std::borrow::Cow;
 
 /// The complete runtime state of one process instance.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
@@ -86,6 +87,49 @@ pub trait Driver {
     fn output_value(&mut self, schema: &ProcessSchema, node: NodeId, data: DataId) -> Value;
 }
 
+/// One observable step of an automatic run ([`Execution::run_observed`]):
+/// the state transitions a driver performed, in execution order. The
+/// engine turns these into monitor events, so a driven run produces the
+/// same gap-free event stream as manually submitted commands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunEvent {
+    /// An activity was started.
+    Started(NodeId),
+    /// An activity completed.
+    Completed(NodeId),
+    /// An externally-decided XOR split was resolved to `target`.
+    XorDecided {
+        /// The split node.
+        split: NodeId,
+        /// The chosen branch target.
+        target: NodeId,
+    },
+    /// An externally-decided loop end was resolved.
+    LoopDecided {
+        /// The loop end node.
+        loop_end: NodeId,
+        /// Whether the loop iterates again.
+        iterate: bool,
+    },
+}
+
+/// The activities in `after` that are missing from `before`. Both slices
+/// must be sorted by node id, as [`Execution::enabled`] produces them —
+/// the enabled-delta a command outcome reports.
+pub fn enabled_diff(before: &[NodeId], after: &[NodeId]) -> Vec<NodeId> {
+    let mut out = Vec::new();
+    let mut b = before.iter().peekable();
+    for &n in after {
+        while b.peek().is_some_and(|&&x| x < n) {
+            b.next();
+        }
+        if b.peek() != Some(&&n) {
+            out.push(n);
+        }
+    }
+    out
+}
+
 /// A deterministic driver: first branch, never iterate externally-decided
 /// loops, writes type-default values (`0`, `false`, `""`, `0.0`).
 #[derive(Debug, Default, Clone)]
@@ -112,13 +156,16 @@ impl Driver for DefaultDriver {
 }
 
 /// The interpreter for one schema. Cheap to construct; typically cached per
-/// schema by the engine/storage layers.
+/// schema by the engine/storage layers. The block structure is either
+/// owned (computed here) or borrowed from a shared cache
+/// ([`Execution::with_blocks_ref`]), so constructing an interpreter from a
+/// deployment or the engine's context cache allocates nothing.
 #[derive(Debug, Clone)]
 pub struct Execution<'s> {
     /// The schema being executed.
     pub schema: &'s ProcessSchema,
-    /// Its block structure (owned; computed once).
-    pub blocks: Blocks,
+    /// Its block structure (computed once; possibly shared).
+    pub blocks: Cow<'s, Blocks>,
 }
 
 impl<'s> Execution<'s> {
@@ -126,13 +173,26 @@ impl<'s> Execution<'s> {
     pub fn new(schema: &'s ProcessSchema) -> Result<Self, BlockError> {
         Ok(Self {
             schema,
-            blocks: Blocks::analyze(schema)?,
+            blocks: Cow::Owned(Blocks::analyze(schema)?),
         })
     }
 
     /// Creates an interpreter from a pre-computed block analysis.
     pub fn with_blocks(schema: &'s ProcessSchema, blocks: Blocks) -> Self {
-        Self { schema, blocks }
+        Self {
+            schema,
+            blocks: Cow::Owned(blocks),
+        }
+    }
+
+    /// Creates an interpreter borrowing a cached block analysis — the
+    /// zero-copy constructor the engine's per-instance context cache and
+    /// the deployment registry use on every command.
+    pub fn with_blocks_ref(schema: &'s ProcessSchema, blocks: &'s Blocks) -> Self {
+        Self {
+            schema,
+            blocks: Cow::Borrowed(blocks),
+        }
     }
 
     /// Creates a fresh instance state: the start node completes
@@ -251,6 +311,13 @@ impl<'s> Execution<'s> {
                 return Err(RuntimeError::MissingOutput { node: n, data: *d });
             }
         }
+        // Validate every write before applying any: callers mutate instance
+        // state in place, so a mid-loop type error must not leave a
+        // half-written data context behind. Shares DataContext::write's
+        // own check, so the two cannot drift apart.
+        for (d, v) in &writes {
+            DataContext::validate_write(self.schema, *d, v)?;
+        }
         for (d, v) in &writes {
             st.data.write(self.schema, n, *d, v.clone())?;
         }
@@ -308,6 +375,21 @@ impl<'s> Execution<'s> {
         driver: &mut dyn Driver,
         max_activities: Option<usize>,
     ) -> Result<usize, RuntimeError> {
+        self.run_observed(st, driver, max_activities, &mut |_| {})
+    }
+
+    /// [`Execution::run`] reporting every state transition it performs —
+    /// activity starts/completions and externally resolved decisions — to
+    /// `observe`, in execution order. Automatic transitions (guard-driven
+    /// XOR splits, counted/guarded loops, silent nodes) stay silent; they
+    /// are schema semantics, not driver actions.
+    pub fn run_observed(
+        &self,
+        st: &mut InstanceState,
+        driver: &mut dyn Driver,
+        max_activities: Option<usize>,
+        observe: &mut dyn FnMut(RunEvent),
+    ) -> Result<usize, RuntimeError> {
         let mut completed = 0usize;
         let mut stall_guard = 0usize;
         loop {
@@ -330,6 +412,7 @@ impl<'s> Execution<'s> {
                                 target: split,
                             })?;
                             self.decide_xor(st, split, target)?;
+                            observe(RunEvent::XorDecided { split, target });
                         }
                         Decision::Loop {
                             loop_end,
@@ -337,6 +420,10 @@ impl<'s> Execution<'s> {
                         } => {
                             let it = driver.decide_loop(self.schema, loop_end, iters);
                             self.decide_loop(st, loop_end, it)?;
+                            observe(RunEvent::LoopDecided {
+                                loop_end,
+                                iterate: it,
+                            });
                         }
                     }
                 }
@@ -355,6 +442,7 @@ impl<'s> Execution<'s> {
                 for n in running {
                     let writes = self.collect_outputs(st, n, driver);
                     self.complete_activity(st, n, writes)?;
+                    observe(RunEvent::Completed(n));
                     completed += 1;
                 }
                 continue;
@@ -362,8 +450,10 @@ impl<'s> Execution<'s> {
             let idx = driver.choose_activity(self.schema, &enabled);
             let n = enabled[idx.min(enabled.len() - 1)];
             self.start_activity(st, n)?;
+            observe(RunEvent::Started(n));
             let writes = self.collect_outputs(st, n, driver);
             self.complete_activity(st, n, writes)?;
+            observe(RunEvent::Completed(n));
             completed += 1;
             stall_guard += 1;
             if stall_guard > 1_000_000 {

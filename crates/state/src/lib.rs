@@ -29,7 +29,9 @@ pub mod replay;
 
 pub use datactx::{DataContext, WriteRecord};
 pub use error::RuntimeError;
-pub use execution::{Decision, DefaultDriver, Driver, Execution, InstanceState};
+pub use execution::{
+    enabled_diff, Decision, DefaultDriver, Driver, Execution, InstanceState, RunEvent,
+};
 pub use history::{Event, ExecutionHistory};
 pub use marking::{EdgeState, Marking, NodeState};
 pub use replay::ReplayScript;

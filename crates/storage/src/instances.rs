@@ -162,6 +162,25 @@ impl InstanceStore {
         self.instances.read().get(&id).cloned()
     }
 
+    /// Reads an instance through a closure **without cloning it** — the
+    /// hot-path accessor for worklist computation and command outcomes,
+    /// where cloning the full state (marking + history + data) per access
+    /// would dominate. The read lock is held only for the closure.
+    pub fn with_instance<R>(
+        &self,
+        id: InstanceId,
+        f: impl FnOnce(&StoredInstance) -> R,
+    ) -> Option<R> {
+        self.instances.read().get(&id).map(f)
+    }
+
+    /// All stored instance ids, in id order — including instances whose
+    /// type is unknown to the repository (the worklist surfaces those as
+    /// corruption instead of hiding them).
+    pub fn ids(&self) -> Vec<InstanceId> {
+        self.instances.read().keys().copied().collect()
+    }
+
     /// All instance ids of a type, in id order.
     pub fn instances_of(&self, type_name: &str) -> Vec<InstanceId> {
         self.instances
@@ -318,10 +337,32 @@ impl InstanceStore {
         state: InstanceState,
         materialized: Option<&ProcessSchema>,
     ) -> bool {
+        self.migrate_if(id, None, new_version, state, materialized)
+    }
+
+    /// Compare-and-set variant of [`InstanceStore::migrate`]: installs
+    /// only if the instance's version and state still match the snapshot
+    /// the migration checked compliance against — a command committing
+    /// between the migration's read and its install would otherwise be
+    /// silently overwritten by state adapted from the stale snapshot.
+    /// Returns `false` on mismatch (callers re-read and retry).
+    pub fn migrate_if(
+        &self,
+        id: InstanceId,
+        expected: Option<(u32, &InstanceState)>,
+        new_version: u32,
+        state: InstanceState,
+        materialized: Option<&ProcessSchema>,
+    ) -> bool {
         let mut instances = self.instances.write();
         let Some(inst) = instances.get_mut(&id) else {
             return false;
         };
+        if let Some((version, exp_state)) = expected {
+            if inst.version != version || inst.state != *exp_state {
+                return false;
+            }
+        }
         inst.version = new_version;
         inst.state = state;
         inst.cached_overlay = None;

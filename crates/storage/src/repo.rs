@@ -28,9 +28,10 @@ impl DeployedSchema {
         })
     }
 
-    /// An interpreter borrowing this deployment.
+    /// An interpreter borrowing this deployment (schema *and* block
+    /// structure — nothing is cloned).
     pub fn execution(&self) -> Execution<'_> {
-        Execution::with_blocks(&self.schema, (*self.blocks).clone())
+        Execution::with_blocks_ref(&self.schema, &self.blocks)
     }
 }
 

@@ -7,7 +7,7 @@
 //! Run with: `cargo run -p adept-examples --bin clinical_pathway`
 
 use adept_core::{ChangeOp, MigrationOptions, NewActivity};
-use adept_engine::ProcessEngine;
+use adept_engine::{EngineCommand, ProcessEngine};
 use adept_simgen::{scenarios, RandomDriver};
 
 fn main() {
@@ -21,7 +21,13 @@ fn main() {
         let id = engine.create_instance(&name).unwrap();
         let mut driver = RandomDriver::new(k);
         engine
-            .run_instance(id, &mut driver, Some(k as usize))
+            .submit_with_driver(
+                EngineCommand::Drive {
+                    instance: id,
+                    max: Some(k as usize),
+                },
+                &mut driver,
+            )
             .unwrap();
         patients.push(id);
     }
@@ -68,7 +74,15 @@ fn main() {
     // Treat everyone to discharge.
     for (k, id) in patients.iter().enumerate() {
         let mut driver = RandomDriver::new(1000 + k as u64);
-        engine.run_instance(*id, &mut driver, Some(300)).unwrap();
+        engine
+            .submit_with_driver(
+                EngineCommand::Drive {
+                    instance: *id,
+                    max: Some(300),
+                },
+                &mut driver,
+            )
+            .unwrap();
         println!(
             "\n{} final state:\n{}",
             id,

@@ -6,9 +6,8 @@
 //! Run with: `cargo run -p adept-examples --bin container_logistics`
 
 use adept_core::{ChangeOp, NewActivity};
-use adept_engine::ProcessEngine;
+use adept_engine::{EngineCommand, ProcessEngine};
 use adept_simgen::scenarios;
-use adept_state::DefaultDriver;
 
 fn main() {
     let engine = ProcessEngine::new();
@@ -17,7 +16,10 @@ fn main() {
 
     let shipment = engine.create_instance(&name).unwrap();
     engine
-        .run_instance(shipment, &mut DefaultDriver, Some(3))
+        .submit(EngineCommand::Drive {
+            instance: shipment,
+            max: Some(3),
+        })
         .unwrap();
     println!(
         "shipment under way:\n{}",
@@ -54,9 +56,13 @@ fn main() {
         Ok(_) => unreachable!("must be rejected"),
     }
 
-    engine
-        .run_instance(shipment, &mut DefaultDriver, None)
+    let outcome = engine
+        .submit(EngineCommand::Drive {
+            instance: shipment,
+            max: None,
+        })
         .unwrap();
+    assert!(outcome.finished);
     println!(
         "\ndelivered:\n{}",
         engine.render_instance(shipment).unwrap()

@@ -6,9 +6,8 @@
 //! Run with: `cargo run -p adept-examples --bin order_fulfillment`
 
 use adept_core::MigrationOptions;
-use adept_engine::{render_instance_dot, ProcessEngine};
+use adept_engine::{render_instance_dot, EngineCommand, ProcessEngine};
 use adept_simgen::scenarios;
-use adept_state::DefaultDriver;
 
 fn main() {
     let engine = ProcessEngine::new();
@@ -19,7 +18,10 @@ fn main() {
     // I1: completed "get order" and "collect data".
     let i1 = engine.create_instance(&name).unwrap();
     engine
-        .run_instance(i1, &mut DefaultDriver, Some(2))
+        .submit(EngineCommand::Drive {
+            instance: i1,
+            max: Some(2),
+        })
         .unwrap();
 
     // I2: individually modified (sync edge confirm -> compose).
@@ -32,7 +34,12 @@ fn main() {
 
     // I3: already finished packing.
     let i3 = engine.create_instance(&name).unwrap();
-    engine.run_instance(i3, &mut DefaultDriver, None).unwrap();
+    engine
+        .submit(EngineCommand::Drive {
+            instance: i3,
+            max: None,
+        })
+        .unwrap();
 
     // ΔT of Fig. 1 as ONE transaction: addActivity(send questions,
     // compose order, pack goods) + insertSyncEdge(send questions, confirm
@@ -61,8 +68,16 @@ fn main() {
         "I1 on V2 after migration:\n{}",
         engine.render_instance(i1).unwrap()
     );
-    for id in [i1, i2, i3] {
-        engine.run_instance(id, &mut DefaultDriver, None).unwrap();
+    for res in engine.submit_batch(
+        [i1, i2, i3]
+            .into_iter()
+            .map(|id| EngineCommand::Drive {
+                instance: id,
+                max: None,
+            })
+            .collect(),
+    ) {
+        res.unwrap();
     }
     println!("event log:\n{}", engine.monitor.render_log());
 

@@ -1,14 +1,15 @@
-//! Quickstart: model a process, run an instance, and make every dynamic
-//! change through the transactional surface — stage → preview → commit —
-//! for both an ad-hoc instance deviation and a type evolution, then
-//! migrate. The whole ADEPT2 loop in ~80 lines.
+//! Quickstart: model a process, execute it through the unified command
+//! API — typed [`EngineCommand`]s submitted one by one or as a batch,
+//! each returning a [`CommandOutcome`] with the emitted events and the
+//! enabled-set delta — then deviate ad hoc and evolve the type through
+//! the transactional change surface (stage → preview → commit), and
+//! migrate. The whole ADEPT2 loop in ~100 lines.
 //!
 //! Run with: `cargo run -p adept-examples --bin quickstart`
 
 use adept_core::{ChangeOp, MigrationOptions, NewActivity};
-use adept_engine::ProcessEngine;
+use adept_engine::{CommandOutcome, EngineCommand, ProcessEngine};
 use adept_model::{SchemaBuilder, ValueType};
-use adept_state::DefaultDriver;
 
 fn main() {
     // 1. Model a template with the fluent builder.
@@ -22,23 +23,53 @@ fn main() {
     let _ = payout;
     let schema = b.build().expect("well-formed schema");
 
-    // 2. Deploy and start instances.
+    // 2. Deploy, then create two instances in ONE batch. Every command
+    //    returns an outcome carrying the new instance and what it enabled.
     let engine = ProcessEngine::new();
     let name = engine.deploy(schema).unwrap();
-    let i1 = engine.create_instance(&name).unwrap();
-    let i2 = engine.create_instance(&name).unwrap();
+    let created: Vec<CommandOutcome> = engine
+        .submit_batch(vec![
+            EngineCommand::CreateInstance {
+                type_name: name.clone(),
+            },
+            EngineCommand::CreateInstance {
+                type_name: name.clone(),
+            },
+        ])
+        .into_iter()
+        .map(|r| r.unwrap())
+        .collect();
+    let (i1, i2) = (created[0].instance, created[1].instance);
     println!("deployed \"{name}\", created {i1} and {i2}");
 
-    // 3. Execute I1 one step, then deviate ad hoc — transactionally.
-    //    Stage as many operations as the deviation needs; verification
-    //    and compliance run ONCE, at commit.
-    engine
-        .run_instance(i1, &mut DefaultDriver, Some(1))
-        .unwrap();
+    // 3. Execute I1's first step explicitly: start + complete as one
+    //    batched submission. The outcome reports the freshly enabled
+    //    follow-up work — no separate worklist poll needed.
+    let submit_id = engine.repo.deployed(&name, 1).unwrap();
+    let submit_node = submit_id.schema.node_by_name("submit expense").unwrap().id;
+    let outcomes = engine.submit_batch(vec![
+        EngineCommand::Start {
+            instance: i1,
+            node: submit_node,
+        },
+        EngineCommand::Complete {
+            instance: i1,
+            node: submit_node,
+            writes: vec![(amount, adept_model::Value::Int(420))],
+        },
+    ]);
+    let after_complete = outcomes[1].as_ref().unwrap();
+    println!(
+        "I1 completed \"submit expense\"; newly enabled: {:?} ({} events recorded)",
+        after_complete.newly_enabled,
+        after_complete.events.len()
+    );
+
+    // 4. Deviate I1 ad hoc — transactionally. Stage as many operations as
+    //    the deviation needs; verification and compliance run ONCE.
     let v1 = engine.repo.deployed(&name, 1).unwrap();
     let review_id = v1.schema.node_by_name("review").unwrap().id;
     let payout_id = v1.schema.node_by_name("payout").unwrap().id;
-
     let mut session = engine.begin_change(i1).unwrap();
     let audit = session
         .stage(&ChangeOp::SerialInsert {
@@ -57,15 +88,9 @@ fn main() {
             optional: false,
         })
         .unwrap();
-
-    // Pure dry run: per-op diagnostics + verification + compliance,
-    // without touching the instance.
     let preview = session.preview().unwrap();
     print!("\npreviewing the staged deviation:\n{preview}");
     assert!(preview.is_committable());
-
-    // Atomic commit: schema overlay, adapted state, bias and txn log all
-    // change together — or not at all.
     let receipt = session.commit().unwrap();
     println!(
         "committed txn #{} ({} ops) — I1 after the change:\n{}",
@@ -74,7 +99,7 @@ fn main() {
         engine.render_instance(i1).unwrap()
     );
 
-    // 4. Evolve the type for everyone with the same lifecycle.
+    // 5. Evolve the type for everyone with the same lifecycle, migrate.
     let end = v1.schema.end_node();
     let mut evolution = engine.begin_evolution(&name).unwrap();
     evolution
@@ -95,11 +120,26 @@ fn main() {
         .unwrap();
     println!("{report}");
 
-    // 5. Finish both instances; I1 executes audit + notify, I2 just notify.
-    for id in [i1, i2] {
-        engine.run_instance(id, &mut DefaultDriver, None).unwrap();
-        assert!(engine.is_finished(id).unwrap());
-        println!("{id} finished:\n{}", engine.render_instance(id).unwrap());
+    // 6. Drive both instances to completion in one batch; I1 executes
+    //    audit + notify, I2 just notify. Drives emit a complete event
+    //    stream — starts, completions and decisions all hit the monitor.
+    for res in engine.submit_batch(
+        [i1, i2]
+            .into_iter()
+            .map(|id| EngineCommand::Drive {
+                instance: id,
+                max: None,
+            })
+            .collect(),
+    ) {
+        let outcome = res.unwrap();
+        assert!(outcome.finished);
+        println!(
+            "{} finished ({} activities driven):\n{}",
+            outcome.instance,
+            outcome.completed,
+            engine.render_instance(outcome.instance).unwrap()
+        );
     }
 
     // The persisted transaction log remembers both commits (and their

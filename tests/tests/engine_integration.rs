@@ -2,13 +2,12 @@
 //! biased-instance migration at population scale, and execution invariants
 //! on the domain scenarios.
 
-#![allow(deprecated)] // single-op wrappers exercised deliberately
-
 use adept_core::MigrationOptions;
 use adept_engine::{EngineEvent, ProcessEngine};
 use adept_simgen::{scenarios, RandomDriver};
-use adept_state::{DefaultDriver, NodeState};
+use adept_state::NodeState;
 use adept_storage::Representation;
+use adept_tests::{adhoc, drive, drive_with, evolve};
 
 #[test]
 fn clinical_pathway_with_ad_hoc_deviation() {
@@ -24,23 +23,22 @@ fn clinical_pathway_with_ad_hoc_deviation() {
     let admit = v1.schema.node_by_name("admit patient").unwrap().id;
 
     // Insert consult between admission and anamnesis before running.
-    engine
-        .ad_hoc_change(
-            patient,
-            &adept_core::ChangeOp::SerialInsert {
-                activity: adept_core::NewActivity::named("specialist consult")
-                    .with_role("physician"),
-                pred: admit,
-                succ: anam,
-            },
-        )
-        .unwrap();
+    adhoc(
+        &engine,
+        patient,
+        &adept_core::ChangeOp::SerialInsert {
+            activity: adept_core::NewActivity::named("specialist consult").with_role("physician"),
+            pred: admit,
+            succ: anam,
+        },
+    )
+    .unwrap();
     assert!(engine.store.get(patient).unwrap().is_biased());
 
     // The consult shows up on the physician's worklist once admission is
     // done.
     let mut driver = RandomDriver::new(1);
-    engine.run_instance(patient, &mut driver, Some(1)).unwrap();
+    drive_with(&engine, patient, &mut driver, Some(1)).unwrap();
     let wl = engine.worklist_for("physician");
     assert!(
         wl.iter().any(|w| w.activity == "specialist consult"),
@@ -48,9 +46,7 @@ fn clinical_pathway_with_ad_hoc_deviation() {
     );
 
     // Run to completion (guards + loop terminate with random lab results).
-    engine
-        .run_instance(patient, &mut driver, Some(200))
-        .unwrap();
+    drive_with(&engine, patient, &mut driver, Some(200)).unwrap();
     assert!(engine.is_finished(patient).unwrap());
 }
 
@@ -63,7 +59,7 @@ fn container_logistics_sync_edge_orders_work() {
     let clear = v1.schema.node_by_name("customs clearance").unwrap().id;
     let load = v1.schema.node_by_name("load on vessel").unwrap().id;
 
-    engine.run_instance(id, &mut DefaultDriver, None).unwrap();
+    drive(&engine, id, None).unwrap();
     assert!(engine.is_finished(id).unwrap());
     let hist = engine
         .store
@@ -97,24 +93,22 @@ fn migration_works_under_all_storage_strategies() {
         for k in 0..20u64 {
             let id = engine.create_instance(&name).unwrap();
             if k % 4 == 0 {
-                engine
-                    .ad_hoc_change(
-                        id,
-                        &adept_core::ChangeOp::SerialInsert {
-                            activity: adept_core::NewActivity::named("check customer"),
-                            pred: get,
-                            succ: collect,
-                        },
-                    )
-                    .unwrap();
+                adhoc(
+                    &engine,
+                    id,
+                    &adept_core::ChangeOp::SerialInsert {
+                        activity: adept_core::NewActivity::named("check customer"),
+                        pred: get,
+                        succ: collect,
+                    },
+                )
+                .unwrap();
             }
             let mut driver = RandomDriver::new(k);
-            engine.run_instance(id, &mut driver, Some(1)).unwrap();
+            drive_with(&engine, id, &mut driver, Some(1)).unwrap();
         }
 
-        engine
-            .evolve_type(&name, &[scenarios::fig1_insert_op(&v1.schema)])
-            .unwrap();
+        evolve(&engine, &name, &[scenarios::fig1_insert_op(&v1.schema)]).unwrap();
         let report = engine
             .migrate_all(&name, &MigrationOptions::default(), 2)
             .unwrap();
@@ -128,7 +122,7 @@ fn migration_works_under_all_storage_strategies() {
         // All instances still finish after migration.
         for id in engine.store.instances_of(&name) {
             let mut driver = RandomDriver::new(id.raw() as u64);
-            engine.run_instance(id, &mut driver, Some(200)).unwrap();
+            drive_with(&engine, id, &mut driver, Some(200)).unwrap();
             assert!(engine.is_finished(id).unwrap(), "{strategy:?} {id}");
         }
     }
@@ -142,28 +136,24 @@ fn multi_hop_migration_through_versions() {
     let v1 = engine.repo.deployed(&name, 1).unwrap();
 
     // Three successive evolutions.
-    engine
-        .evolve_type(&name, &[scenarios::fig1_insert_op(&v1.schema)])
-        .unwrap();
+    evolve(&engine, &name, &[scenarios::fig1_insert_op(&v1.schema)]).unwrap();
     let s2 = engine.repo.deployed(&name, 2).unwrap();
     let sq = s2.schema.node_by_name("send questions").unwrap().id;
-    engine
-        .evolve_type(&name, &[scenarios::fig1_sync_op(&s2.schema, sq)])
-        .unwrap();
+    evolve(&engine, &name, &[scenarios::fig1_sync_op(&s2.schema, sq)]).unwrap();
     let s3 = engine.repo.deployed(&name, 3).unwrap();
     let deliver = s3.schema.node_by_name("deliver goods").unwrap().id;
     let end_pred = deliver;
     let end = s3.schema.end_node();
-    engine
-        .evolve_type(
-            &name,
-            &[adept_core::ChangeOp::SerialInsert {
-                activity: adept_core::NewActivity::named("archive order"),
-                pred: end_pred,
-                succ: end,
-            }],
-        )
-        .unwrap();
+    evolve(
+        &engine,
+        &name,
+        &[adept_core::ChangeOp::SerialInsert {
+            activity: adept_core::NewActivity::named("archive order"),
+            pred: end_pred,
+            succ: end,
+        }],
+    )
+    .unwrap();
 
     let report = engine
         .migrate_all(&name, &MigrationOptions::default(), 1)
@@ -171,7 +161,7 @@ fn multi_hop_migration_through_versions() {
     assert_eq!(report.migrated(), 1, "{report}");
     assert_eq!(engine.store.get(id).unwrap().version, 4);
 
-    engine.run_instance(id, &mut DefaultDriver, None).unwrap();
+    drive(&engine, id, None).unwrap();
     assert!(engine.is_finished(id).unwrap());
     let hist = engine.store.get(id).unwrap();
     let names: Vec<String> = {
@@ -193,12 +183,8 @@ fn monitor_captures_the_full_story() {
     let name = engine.deploy(scenarios::order_process()).unwrap();
     let id = engine.create_instance(&name).unwrap();
     let v1 = engine.repo.deployed(&name, 1).unwrap();
-    engine
-        .ad_hoc_change(id, &scenarios::fig1_i2_bias_op(&v1.schema))
-        .unwrap();
-    engine
-        .evolve_type(&name, &[scenarios::fig1_insert_op(&v1.schema)])
-        .unwrap();
+    adhoc(&engine, id, &scenarios::fig1_i2_bias_op(&v1.schema)).unwrap();
+    evolve(&engine, &name, &[scenarios::fig1_insert_op(&v1.schema)]).unwrap();
     engine
         .migrate_all(&name, &MigrationOptions::default(), 1)
         .unwrap();

@@ -2,13 +2,12 @@
 //! error — never a panic, never silent corruption. After each rejected
 //! operation the world must still verify and execute.
 
-#![allow(deprecated)] // single-op wrappers exercised deliberately
-
 use adept_core::{ChangeError, ChangeOp, NewActivity};
-use adept_engine::{EngineError, ProcessEngine};
+use adept_engine::{EngineCommand, EngineError, ProcessEngine};
 use adept_model::{DataId, InstanceId, NodeId, Value};
 use adept_simgen::scenarios;
 use adept_state::{DefaultDriver, Execution, RuntimeError};
+use adept_tests::{adhoc, drive, evolve};
 use adept_verify::is_correct;
 
 #[test]
@@ -72,25 +71,28 @@ fn engine_rejects_unknown_entities() {
     ));
     let name = engine.deploy(scenarios::order_process()).unwrap();
     assert!(matches!(
-        engine.start_activity(InstanceId(999), NodeId(0)),
+        engine.submit(EngineCommand::Start {
+            instance: InstanceId(999),
+            node: NodeId(0),
+        }),
         Err(EngineError::NotFound(_))
     ));
-    assert!(engine.evolve_type("ghost", &[]).is_err());
+    assert!(evolve(&engine, "ghost", &[]).is_err());
     let id = engine.create_instance(&name).unwrap();
     // Ad-hoc change referencing nodes that do not exist.
-    let err = engine
-        .ad_hoc_change(
-            id,
-            &ChangeOp::SerialInsert {
-                activity: NewActivity::named("x"),
-                pred: NodeId(400),
-                succ: NodeId(401),
-            },
-        )
-        .unwrap_err();
+    let err = adhoc(
+        &engine,
+        id,
+        &ChangeOp::SerialInsert {
+            activity: NewActivity::named("x"),
+            pred: NodeId(400),
+            succ: NodeId(401),
+        },
+    )
+    .unwrap_err();
     assert!(matches!(err, EngineError::Change(_)));
     // The instance still runs.
-    engine.run_instance(id, &mut DefaultDriver, None).unwrap();
+    drive(&engine, id, None).unwrap();
     assert!(engine.is_finished(id).unwrap());
 }
 
@@ -104,16 +106,16 @@ fn rejected_changes_leave_no_trace() {
     let deliver = v1.schema.node_by_name("deliver goods").unwrap().id;
 
     // Non-adjacent serial insert: precondition failure.
-    let err = engine
-        .ad_hoc_change(
-            id,
-            &ChangeOp::SerialInsert {
-                activity: NewActivity::named("bad"),
-                pred: get,
-                succ: deliver,
-            },
-        )
-        .unwrap_err();
+    let err = adhoc(
+        &engine,
+        id,
+        &ChangeOp::SerialInsert {
+            activity: NewActivity::named("bad"),
+            pred: get,
+            succ: deliver,
+        },
+    )
+    .unwrap_err();
     assert!(matches!(
         err,
         EngineError::Change(ChangeError::Precondition(_))
@@ -155,7 +157,8 @@ fn evolution_with_conflicting_ops_rolls_back() {
     let compose = v1.schema.node_by_name("compose order").unwrap().id;
     // Second op of the batch fails (opposing sync edges): no new version
     // may be created.
-    let err = engine.evolve_type(
+    let err = evolve(
+        &engine,
         &name,
         &[
             ChangeOp::InsertSyncEdge {
@@ -181,7 +184,7 @@ fn completed_instances_reject_all_structural_changes() {
     let engine = ProcessEngine::new();
     let name = engine.deploy(scenarios::order_process()).unwrap();
     let id = engine.create_instance(&name).unwrap();
-    engine.run_instance(id, &mut DefaultDriver, None).unwrap();
+    drive(&engine, id, None).unwrap();
     let v1 = engine.repo.deployed(&name, 1).unwrap();
     let pack = v1.schema.node_by_name("pack goods").unwrap().id;
     let deliver = v1.schema.node_by_name("deliver goods").unwrap().id;
@@ -195,7 +198,7 @@ fn completed_instances_reject_all_structural_changes() {
             succ: end,
         },
     ] {
-        let err = engine.ad_hoc_change(id, &op).unwrap_err();
+        let err = adhoc(&engine, id, &op).unwrap_err();
         assert!(
             matches!(
                 err,
@@ -207,18 +210,18 @@ fn completed_instances_reject_all_structural_changes() {
     // Inserting before the *end node* of a completed instance, however, is
     // trace-compliant (the end node carries no history events): it
     // re-opens the instance, which must then execute the late activity.
-    engine
-        .ad_hoc_change(
-            id,
-            &ChangeOp::SerialInsert {
-                activity: NewActivity::named("late addendum"),
-                pred: deliver,
-                succ: end,
-            },
-        )
-        .unwrap();
+    adhoc(
+        &engine,
+        id,
+        &ChangeOp::SerialInsert {
+            activity: NewActivity::named("late addendum"),
+            pred: deliver,
+            succ: end,
+        },
+    )
+    .unwrap();
     assert!(!engine.is_finished(id).unwrap(), "instance re-opened");
-    engine.run_instance(id, &mut DefaultDriver, None).unwrap();
+    drive(&engine, id, None).unwrap();
     assert!(engine.is_finished(id).unwrap());
     let schema = engine.store.schema_of(&engine.repo, id).unwrap();
     let late = schema.node_by_name("late addendum").unwrap().id;

@@ -8,12 +8,10 @@
 //!   **structural conflict** (deadlock-causing cycle);
 //! * I3 — too far progressed: **state-related conflict**.
 
-#![allow(deprecated)] // single-op wrappers exercised deliberately
-
 use adept_core::{ConflictKind, MigrationOptions, Verdict};
 use adept_engine::ProcessEngine;
 use adept_simgen::scenarios;
-use adept_state::DefaultDriver;
+use adept_tests::{adhoc, drive, evolve};
 
 fn setup_engine() -> (ProcessEngine, String) {
     let engine = ProcessEngine::new();
@@ -28,24 +26,18 @@ fn fig1_full_reproduction() {
 
     // I1: completed "get order" and "collect data".
     let i1 = engine.create_instance(&name).unwrap();
-    engine
-        .run_instance(i1, &mut DefaultDriver, Some(2))
-        .unwrap();
+    drive(&engine, i1, Some(2)).unwrap();
 
     // I2: ad-hoc modified with the conflicting sync edge.
     let i2 = engine.create_instance(&name).unwrap();
-    engine
-        .ad_hoc_change(i2, &scenarios::fig1_i2_bias_op(&v1.schema))
-        .unwrap();
+    adhoc(&engine, i2, &scenarios::fig1_i2_bias_op(&v1.schema)).unwrap();
 
     // I3: runs to completion (pack goods already done).
     let i3 = engine.create_instance(&name).unwrap();
-    engine.run_instance(i3, &mut DefaultDriver, None).unwrap();
+    drive(&engine, i3, None).unwrap();
 
     // ΔT as one composite type change (insert + sync edge), as in Fig. 1.
-    let (v2, _) = engine
-        .evolve_type(&name, &scenarios::fig1_delta_ops(&v1.schema))
-        .unwrap();
+    let v2 = evolve(&engine, &name, &scenarios::fig1_delta_ops(&v1.schema)).unwrap();
     assert_eq!(v2, 2);
     let s2 = engine.repo.deployed(&name, 2).unwrap();
     let sq = s2.schema.node_by_name("send questions").unwrap().id;
@@ -82,7 +74,7 @@ fn fig1_full_reproduction() {
 
     // I1 now runs on V2 and executes the inserted activity; the sync edge
     // forces "send questions" before "confirm order".
-    engine.run_instance(i1, &mut DefaultDriver, None).unwrap();
+    drive(&engine, i1, None).unwrap();
     assert!(engine.is_finished(i1).unwrap());
     let inst1 = engine.store.get(i1).unwrap();
     assert_eq!(inst1.version, 2);
@@ -101,7 +93,7 @@ fn fig1_full_reproduction() {
     // I2 and I3 remain on V1 and still finish on their old schema.
     assert_eq!(engine.store.get(i2).unwrap().version, 1);
     assert_eq!(engine.store.get(i3).unwrap().version, 1);
-    engine.run_instance(i2, &mut DefaultDriver, None).unwrap();
+    drive(&engine, i2, None).unwrap();
     assert!(engine.is_finished(i2).unwrap());
 }
 
@@ -113,15 +105,11 @@ fn fig1_trace_criterion_agrees() {
     let v1 = engine.repo.deployed(&name, 1).unwrap();
 
     let i1 = engine.create_instance(&name).unwrap();
-    engine
-        .run_instance(i1, &mut DefaultDriver, Some(2))
-        .unwrap();
+    drive(&engine, i1, Some(2)).unwrap();
     let i3 = engine.create_instance(&name).unwrap();
-    engine.run_instance(i3, &mut DefaultDriver, None).unwrap();
+    drive(&engine, i3, None).unwrap();
 
-    engine
-        .evolve_type(&name, &[scenarios::fig1_insert_op(&v1.schema)])
-        .unwrap();
+    evolve(&engine, &name, &[scenarios::fig1_insert_op(&v1.schema)]).unwrap();
 
     let options = MigrationOptions {
         use_trace_criterion: true,
@@ -137,9 +125,7 @@ fn migration_is_idempotent() {
     let (engine, name) = setup_engine();
     let v1 = engine.repo.deployed(&name, 1).unwrap();
     let i1 = engine.create_instance(&name).unwrap();
-    engine
-        .evolve_type(&name, &[scenarios::fig1_insert_op(&v1.schema)])
-        .unwrap();
+    evolve(&engine, &name, &[scenarios::fig1_insert_op(&v1.schema)]).unwrap();
     let r1 = engine
         .migrate_all(&name, &MigrationOptions::default(), 1)
         .unwrap();

@@ -2,13 +2,11 @@
 //! biased and finished instances), restore, and keep working — including a
 //! full migration round in the restored world.
 
-#![allow(deprecated)] // single-op wrappers exercised deliberately
-
 use adept_core::MigrationOptions;
 use adept_engine::ProcessEngine;
 use adept_simgen::scenarios;
-use adept_state::DefaultDriver;
 use adept_storage::persist::{from_json, restore, snapshot, to_json};
+use adept_tests::{adhoc, drive, drive_with, evolve};
 
 #[test]
 fn snapshot_roundtrip_preserves_a_whole_world() {
@@ -16,18 +14,12 @@ fn snapshot_roundtrip_preserves_a_whole_world() {
     let name = engine.deploy(scenarios::order_process()).unwrap();
     let v1 = engine.repo.deployed(&name, 1).unwrap();
     let i1 = engine.create_instance(&name).unwrap();
-    engine
-        .run_instance(i1, &mut DefaultDriver, Some(2))
-        .unwrap();
+    drive(&engine, i1, Some(2)).unwrap();
     let i2 = engine.create_instance(&name).unwrap();
-    engine
-        .ad_hoc_change(i2, &scenarios::fig1_i2_bias_op(&v1.schema))
-        .unwrap();
+    adhoc(&engine, i2, &scenarios::fig1_i2_bias_op(&v1.schema)).unwrap();
     let i3 = engine.create_instance(&name).unwrap();
-    engine.run_instance(i3, &mut DefaultDriver, None).unwrap();
-    engine
-        .evolve_type(&name, &scenarios::fig1_delta_ops(&v1.schema))
-        .unwrap();
+    drive(&engine, i3, None).unwrap();
+    evolve(&engine, &name, &scenarios::fig1_delta_ops(&v1.schema)).unwrap();
 
     let snap = engine.snapshot();
     let json = to_json(&snap).unwrap();
@@ -58,7 +50,7 @@ fn snapshot_roundtrip_preserves_a_whole_world() {
         .unwrap();
     assert_eq!(report.total(), 3);
     assert_eq!(report.migrated(), 1, "{report}");
-    engine2.run_instance(i1, &mut DefaultDriver, None).unwrap();
+    drive(&engine2, i1, None).unwrap();
     assert!(engine2.is_finished(i1).unwrap());
 }
 
@@ -67,9 +59,7 @@ fn restored_engine_accepts_new_work() {
     let engine = ProcessEngine::new();
     let name = engine.deploy(scenarios::clinical_pathway()).unwrap();
     let id = engine.create_instance(&name).unwrap();
-    engine
-        .run_instance(id, &mut DefaultDriver, Some(1))
-        .unwrap();
+    drive(&engine, id, Some(1)).unwrap();
 
     let snap = snapshot(&engine.repo, &engine.store);
     let (repo2, store2) = restore(&snap).unwrap();
@@ -79,8 +69,8 @@ fn restored_engine_accepts_new_work() {
     let fresh = engine2.create_instance(&name).unwrap();
     assert!(fresh.raw() > id.raw());
     let mut driver = adept_simgen::RandomDriver::new(5);
-    engine2.run_instance(id, &mut driver, Some(200)).unwrap();
-    engine2.run_instance(fresh, &mut driver, Some(200)).unwrap();
+    drive_with(&engine2, id, &mut driver, Some(200)).unwrap();
+    drive_with(&engine2, fresh, &mut driver, Some(200)).unwrap();
     assert!(engine2.is_finished(id).unwrap());
     assert!(engine2.is_finished(fresh).unwrap());
 }

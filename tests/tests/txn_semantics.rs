@@ -13,14 +13,15 @@
 //! * **durability** — committed transactions land in the persisted log
 //!   and survive snapshot/restore.
 
-#![allow(deprecated)] // the single-op wrappers are compared against sessions deliberately
+#![allow(deprecated)] // dedicated wrapper-equivalence tests compare the deprecated
+                      // single-op entry points against sessions
 
 use adept_core::{ChangeError, ChangeOp, NewActivity};
 use adept_engine::{EngineError, EngineEvent, ProcessEngine};
 use adept_model::AccessMode;
 use adept_simgen::scenarios;
-use adept_state::DefaultDriver;
 use adept_storage::{restore_with_txns, snapshot_with_txns, TxnTarget};
+use adept_tests::{adhoc, drive, evolve};
 use adept_verify::verification_passes;
 
 /// The Fig. 1 order process with a freshly created instance.
@@ -182,7 +183,7 @@ fn failed_commit_is_observably_side_effect_free() {
     assert_eq!(engine.repo.latest_version(&name), Some(1));
 
     // The instance still executes to completion.
-    engine.run_instance(id, &mut DefaultDriver, None).unwrap();
+    drive(&engine, id, None).unwrap();
     assert!(engine.is_finished(id).unwrap());
 }
 
@@ -227,9 +228,7 @@ fn failed_evolution_commit_leaves_repository_bit_identical() {
 fn preview_mutates_nothing_observable() {
     let (engine, name, id) = world();
     let v1 = engine.repo.deployed(&name, 1).unwrap();
-    engine
-        .run_instance(id, &mut DefaultDriver, Some(1))
-        .unwrap();
+    drive(&engine, id, Some(1)).unwrap();
 
     let inst_before = engine.store.get(id).unwrap();
     let events_before = engine.monitor.len();
@@ -271,7 +270,7 @@ fn preview_mutates_nothing_observable() {
 fn preview_reports_compliance_conflicts_per_op() {
     let (engine, name, id) = world();
     let v1 = engine.repo.deployed(&name, 1).unwrap();
-    engine.run_instance(id, &mut DefaultDriver, None).unwrap(); // finished
+    drive(&engine, id, None).unwrap(); // finished
     let get = v1.schema.node_by_name("get order").unwrap().id;
     let collect = v1.schema.node_by_name("collect data").unwrap().id;
 
@@ -365,15 +364,15 @@ fn concurrent_instance_change_is_rejected_at_commit() {
         .unwrap();
 
     // Another actor commits first.
-    engine
-        .ad_hoc_change(
-            id,
-            &ChangeOp::InsertSyncEdge {
-                from: v1.schema.node_by_name("confirm order").unwrap().id,
-                to: v1.schema.node_by_name("compose order").unwrap().id,
-            },
-        )
-        .unwrap();
+    adhoc(
+        &engine,
+        id,
+        &ChangeOp::InsertSyncEdge {
+            from: v1.schema.node_by_name("confirm order").unwrap().id,
+            to: v1.schema.node_by_name("compose order").unwrap().id,
+        },
+    )
+    .unwrap();
 
     let err = session.commit().unwrap_err();
     assert!(
@@ -395,9 +394,7 @@ fn concurrent_evolution_is_rejected_at_commit() {
     loser.stage(&scenarios::fig1_insert_op(&v1.schema)).unwrap();
 
     // The winner commits a different evolution in between.
-    engine
-        .evolve_type(&name, &[scenarios::fig1_insert_op(&v1.schema)])
-        .unwrap();
+    evolve(&engine, &name, &[scenarios::fig1_insert_op(&v1.schema)]).unwrap();
 
     let err = loser.commit().unwrap_err();
     assert!(
@@ -443,7 +440,7 @@ fn unstage_last_rolls_back_staged_work() {
     let schema = engine.store.schema_of(&engine.repo, id).unwrap();
     assert!(schema.node_by_name("keep").is_some());
     assert!(schema.node_by_name("discard").is_none());
-    engine.run_instance(id, &mut DefaultDriver, None).unwrap();
+    drive(&engine, id, None).unwrap();
     assert!(engine.is_finished(id).unwrap());
 }
 
@@ -463,9 +460,7 @@ fn txn_log_records_commits_and_survives_persistence() {
         })
         .unwrap();
     session.commit().unwrap();
-    engine
-        .evolve_type(&name, &[scenarios::fig1_insert_op(&v1.schema)])
-        .unwrap();
+    evolve(&engine, &name, &[scenarios::fig1_insert_op(&v1.schema)]).unwrap();
 
     let records = engine.txn_log.records();
     assert_eq!(records.len(), 2);
@@ -516,7 +511,7 @@ fn committed_txn_events_reach_the_monitor() {
         .any(|(_, e)| matches!(e, EngineEvent::TxnCommitted { ops, .. } if *ops >= 3)));
     // The committed instance still runs to completion with all staged
     // activities executed.
-    engine.run_instance(id, &mut DefaultDriver, None).unwrap();
+    drive(&engine, id, None).unwrap();
     assert!(engine.is_finished(id).unwrap());
     let schema = engine.store.schema_of(&engine.repo, id).unwrap();
     assert!(schema.node_by_name("staged1").is_some());

@@ -1,0 +1,211 @@
+//! Worklist semantics and the incremental index:
+//!
+//! * role claiming (`claimable_by`, empty role = anyone) and
+//!   `worklist_for` filtering;
+//! * index consistency — the incrementally maintained worklist equals the
+//!   full recompute after every lifecycle event (commands, ad-hoc change
+//!   commits, migration, completion), property-checked over generated
+//!   simgen scenarios;
+//! * corruption surfacing — unresolvable instances produce monitor
+//!   diagnostics from `worklist()` and an error from `try_worklist()`.
+
+use adept_core::ChangeOp;
+use adept_engine::{EngineError, EngineEvent, ProcessEngine, WorkItem};
+use adept_simgen::{scenarios, RandomDriver};
+use adept_tests::{adhoc, drive, drive_with, evolve};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Canonical, order-independent rendering of a worklist for comparison.
+fn canon(mut items: Vec<WorkItem>) -> Vec<String> {
+    items.sort_by_key(|w| (w.instance.raw(), w.node.raw()));
+    items
+        .into_iter()
+        .map(|w| {
+            format!(
+                "{}:{}:{}:{}:{}:{}",
+                w.instance,
+                w.node,
+                w.activity,
+                w.role.as_deref().unwrap_or("<anyone>"),
+                w.type_name,
+                w.version
+            )
+        })
+        .collect()
+}
+
+/// Asserts the incremental index serves exactly what a full recompute
+/// produces.
+fn assert_index_consistent(engine: &ProcessEngine, context: &str) {
+    assert_eq!(
+        canon(engine.worklist()),
+        canon(engine.worklist_full()),
+        "index diverged from full recompute {context}"
+    );
+}
+
+#[test]
+fn role_claiming_and_filtering() {
+    let engine = ProcessEngine::new();
+    let name = engine.deploy(scenarios::order_process()).unwrap();
+    let id = engine.create_instance(&name).unwrap();
+
+    // "get order" carries the sales role.
+    assert_eq!(engine.worklist_for("sales").len(), 1);
+    assert_eq!(engine.worklist_for("warehouse").len(), 0);
+
+    // One step later, "collect data" has no role: claimable by anyone.
+    drive(&engine, id, Some(1)).unwrap();
+    let wl = engine.worklist();
+    assert_eq!(wl.len(), 1);
+    assert!(wl[0].role.is_none());
+    assert!(wl[0].claimable_by("sales"));
+    assert!(wl[0].claimable_by("anyone else"));
+    assert_eq!(engine.worklist_for("sales").len(), 1);
+    assert_eq!(engine.worklist_for("intern").len(), 1);
+
+    // Two steps later the AND block offers role-split parallel work.
+    drive(&engine, id, Some(1)).unwrap();
+    assert_eq!(engine.worklist_for("sales").len(), 1, "confirm order");
+    assert_eq!(engine.worklist_for("warehouse").len(), 1, "compose order");
+    assert_index_consistent(&engine, "mid-execution");
+}
+
+#[test]
+fn index_consistent_through_change_migration_and_completion() {
+    let engine = ProcessEngine::new();
+    let name = engine.deploy(scenarios::order_process()).unwrap();
+    let v1 = engine.repo.deployed(&name, 1).unwrap();
+    let ids: Vec<_> = (0..8)
+        .map(|_| engine.create_instance(&name).unwrap())
+        .collect();
+    assert_index_consistent(&engine, "after creation");
+
+    // Commands at different progress points.
+    for (k, id) in ids.iter().enumerate() {
+        drive(&engine, *id, Some(k % 4)).unwrap();
+    }
+    assert_index_consistent(&engine, "after partial drives");
+
+    // Ad-hoc change commit: the inserted activity appears on the worklist
+    // of the biased instance only.
+    let get = v1.schema.node_by_name("get order").unwrap().id;
+    let collect = v1.schema.node_by_name("collect data").unwrap().id;
+    adhoc(
+        &engine,
+        ids[0],
+        &ChangeOp::SerialInsert {
+            activity: adept_core::NewActivity::named("vet customer").with_role("compliance"),
+            pred: get,
+            succ: collect,
+        },
+    )
+    .unwrap();
+    assert_index_consistent(&engine, "after ad-hoc commit");
+
+    // Undo: back to the deployed shape.
+    engine.undo_ad_hoc_change(ids[0]).unwrap();
+    assert_index_consistent(&engine, "after undo");
+
+    // Evolution + migration rebase compliant instances.
+    evolve(&engine, &name, &[scenarios::fig1_insert_op(&v1.schema)]).unwrap();
+    engine.migrate_all(&name, &Default::default(), 2).unwrap();
+    assert_index_consistent(&engine, "after migration");
+
+    // Completion empties the affected entries.
+    for id in &ids {
+        drive(&engine, *id, None).unwrap();
+    }
+    assert_index_consistent(&engine, "after completion");
+    assert!(engine.worklist().is_empty());
+}
+
+#[test]
+fn unresolvable_instances_are_surfaced_not_hidden() {
+    let engine = ProcessEngine::new();
+    let name = engine.deploy(scenarios::order_process()).unwrap();
+    engine.create_instance(&name).unwrap();
+
+    // Corrupt entry: an instance of a type the repository does not know.
+    let dep = engine.repo.deployed(&name, 1).unwrap();
+    let ghost_state = dep.execution().init().unwrap();
+    let ghost = engine.store.create("ghost type", 1, ghost_state);
+
+    // Lenient worklist still serves the healthy instance, but records a
+    // diagnostic instead of silently skipping.
+    let before = engine.monitor.len();
+    let wl = engine.worklist();
+    assert_eq!(wl.len(), 1, "healthy instance still offered");
+    let logged = engine.monitor.events()[before..]
+        .iter()
+        .any(|(_, e)| matches!(e, EngineEvent::WorklistResolutionFailed { instance, .. } if *instance == ghost));
+    assert!(logged, "corruption must reach the monitor");
+
+    // The strict variant fails fast.
+    let err = engine.try_worklist().unwrap_err();
+    assert!(matches!(err, EngineError::NotFound(_)), "{err}");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24,
+        ..ProptestConfig::default()
+    })]
+
+    /// Index == full recompute across randomized lifecycles on generated
+    /// schemas: random drives through the command path, random staged
+    /// ad-hoc changes, an evolution + migration round, and completion.
+    #[test]
+    fn index_matches_recompute_on_generated_scenarios(seed in 0u64..10_000) {
+        let schema = adept_simgen::generate_schema(&adept_simgen::GenParams::sized(12), seed);
+        let engine = ProcessEngine::new();
+        let name = engine.deploy(schema).unwrap();
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0x5eed_1157);
+
+        let ids: Vec<_> = (0..6).map(|_| engine.create_instance(&name).unwrap()).collect();
+        prop_assert_eq!(canon(engine.worklist()), canon(engine.worklist_full()));
+
+        // Random partial drives (commands maintain the index).
+        for id in &ids {
+            let mut driver = RandomDriver::new(seed ^ id.raw() as u64);
+            let steps = rng.gen_range(0..6);
+            drive_with(&engine, *id, &mut driver, Some(steps)).unwrap();
+        }
+        prop_assert_eq!(canon(engine.worklist()), canon(engine.worklist_full()));
+
+        // A random staged change on one instance (commit invalidates).
+        let target = ids[rng.gen_range(0..ids.len())];
+        let current = engine.store.schema_of(&engine.repo, target).unwrap();
+        for kind in adept_simgen::ALL_OP_KINDS {
+            if let Some(op) = adept_simgen::changegen::propose(&current, kind, &mut rng, "p") {
+                let _ = adhoc(&engine, target, &op); // state conflicts are fine
+                break;
+            }
+        }
+        prop_assert_eq!(canon(engine.worklist()), canon(engine.worklist_full()));
+
+        // Evolution + migration (migration invalidates migrated entries).
+        let latest = engine.repo.deployed(&name, 1).unwrap();
+        let mut erng = SmallRng::seed_from_u64(seed ^ 0xeee);
+        if let Some(op) = adept_simgen::changegen::propose(
+            &latest.schema,
+            adept_simgen::OpKind::SerialInsert,
+            &mut erng,
+            "evo",
+        ) {
+            if evolve(&engine, &name, &[op]).is_ok() {
+                engine.migrate_all(&name, &Default::default(), 1).unwrap();
+            }
+        }
+        prop_assert_eq!(canon(engine.worklist()), canon(engine.worklist_full()));
+
+        // Drive everything home; finished instances offer nothing.
+        for id in &ids {
+            let mut driver = RandomDriver::new(seed ^ (id.raw() as u64) << 8);
+            let _ = drive_with(&engine, *id, &mut driver, Some(400));
+        }
+        prop_assert_eq!(canon(engine.worklist()), canon(engine.worklist_full()));
+    }
+}
