@@ -37,6 +37,18 @@ pub enum ConflictKind {
     /// The correspondence between the trace and the changed schema is
     /// ambiguous (removed branches, changed activity signatures).
     Semantic,
+    /// The instance disappeared while the migration was in flight
+    /// (cancelled or archived concurrently). Not part of the paper's
+    /// conflict taxonomy: nothing is wrong with the instance or the
+    /// change — there is simply no instance left to migrate, so reports
+    /// must not count it as a structural failure.
+    Vanished,
+    /// The migration machinery itself failed (a worker thread panicked)
+    /// or gave up after bounded retries against concurrent traffic. Not
+    /// part of the paper's taxonomy either; it marks outcomes fabricated
+    /// so one poisoned or contested instance cannot sink (or hang) a
+    /// whole batch migration.
+    Internal,
 }
 
 impl fmt::Display for ConflictKind {
@@ -45,6 +57,8 @@ impl fmt::Display for ConflictKind {
             ConflictKind::State => "state-related conflict",
             ConflictKind::Structural => "structural conflict",
             ConflictKind::Semantic => "semantical conflict",
+            ConflictKind::Vanished => "instance vanished",
+            ConflictKind::Internal => "internal failure",
         })
     }
 }

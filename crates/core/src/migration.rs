@@ -333,6 +333,25 @@ impl MigrationReport {
             .count()
     }
 
+    /// Number of instances that disappeared mid-migration (cancelled or
+    /// archived concurrently). These are not failures of the change —
+    /// there was nothing left to migrate — so they are reported separately
+    /// from the paper's conflict taxonomy.
+    pub fn vanished(&self) -> usize {
+        self.conflicts(ConflictKind::Vanished)
+    }
+
+    /// Number of real migration conflicts: outcomes that are neither
+    /// compliant nor merely [`ConflictKind::Vanished`].
+    pub fn failed(&self) -> usize {
+        self.outcomes
+            .iter()
+            .filter(
+                |o| matches!(&o.verdict, Verdict::NotCompliant(c) if c.kind != ConflictKind::Vanished),
+            )
+            .count()
+    }
+
     /// Total instances checked.
     pub fn total(&self) -> usize {
         self.outcomes.len()
@@ -346,15 +365,26 @@ impl fmt::Display for MigrationReport {
             "migration report: \"{}\" V{} -> V{}",
             self.type_name, self.from_version, self.to_version
         )?;
-        writeln!(
+        write!(
             f,
-            "  {} of {} instances migrated ({} state conflicts, {} structural conflicts, {} semantical conflicts)",
+            "  {} of {} instances migrated ({} state conflicts, {} structural conflicts, {} semantical conflicts",
             self.migrated(),
             self.total(),
             self.conflicts(ConflictKind::State),
             self.conflicts(ConflictKind::Structural),
             self.conflicts(ConflictKind::Semantic),
         )?;
+        if self.vanished() > 0 {
+            write!(f, ", {} vanished", self.vanished())?;
+        }
+        if self.conflicts(ConflictKind::Internal) > 0 {
+            write!(
+                f,
+                ", {} internal failures",
+                self.conflicts(ConflictKind::Internal)
+            )?;
+        }
+        writeln!(f, ")")?;
         for o in &self.outcomes {
             let bias = if o.biased { " (ad-hoc modified)" } else { "" };
             match &o.verdict {
@@ -633,10 +663,55 @@ mod tests {
         assert_eq!(report.migrated(), 1);
         assert_eq!(report.conflicts(ConflictKind::Structural), 1);
         assert_eq!(report.conflicts(ConflictKind::State), 1);
+        assert_eq!(report.failed(), 2);
         let text = report.to_string();
         assert!(text.contains("V1 -> V2"));
         assert!(text.contains("I1: migrated to V2"));
         assert!(text.contains("I2 (ad-hoc modified): stays on V1"));
         assert!(text.contains("I3: stays on V1"));
+        assert!(
+            !text.contains("vanished") && !text.contains("internal"),
+            "engine-level outcome kinds only appear when present: {text}"
+        );
+    }
+
+    #[test]
+    fn vanished_instances_are_not_structural_failures() {
+        let mut report = MigrationReport {
+            type_name: "online order".into(),
+            from_version: 1,
+            to_version: 2,
+            outcomes: vec![],
+        };
+        report.push(InstanceOutcome {
+            instance: InstanceId(1),
+            biased: false,
+            verdict: Verdict::Compliant,
+        });
+        report.push(InstanceOutcome {
+            instance: InstanceId(2),
+            biased: false,
+            verdict: Verdict::conflict(
+                ConflictKind::Vanished,
+                "instance disappeared during migration",
+            ),
+        });
+        report.push(InstanceOutcome {
+            instance: InstanceId(3),
+            biased: false,
+            verdict: Verdict::conflict(ConflictKind::Internal, "migration worker panicked"),
+        });
+        assert_eq!(report.migrated(), 1);
+        assert_eq!(report.vanished(), 1);
+        assert_eq!(report.conflicts(ConflictKind::Internal), 1);
+        assert_eq!(
+            report.conflicts(ConflictKind::Structural),
+            0,
+            "not structural"
+        );
+        assert_eq!(report.failed(), 1, "vanished is not a failure, a panic is");
+        let text = report.to_string();
+        assert!(text.contains("1 vanished"), "{text}");
+        assert!(text.contains("1 internal failures"), "{text}");
     }
 }

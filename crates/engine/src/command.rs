@@ -584,7 +584,7 @@ impl ProcessEngine {
 
     /// Resolves (or returns the cached) execution context of an instance.
     pub(crate) fn exec_context(&self, id: InstanceId) -> Result<Arc<ExecCtx>, EngineError> {
-        if let Some(ctx) = self.ctx_cache.read().get(&id).cloned() {
+        if let Some(ctx) = self.ctx_cache.get_cloned(id) {
             let live = self
                 .store
                 .with_instance(id, |inst| ctx.matches(inst))
@@ -630,7 +630,17 @@ impl ProcessEngine {
             version,
             bias,
         });
-        self.ctx_cache.write().insert(id, ctx.clone());
+        self.ctx_cache.insert(id, ctx.clone());
+        // Closes the remove race: if `remove_instance` cleared the cache
+        // between our store read and this insert, the entry would be
+        // unreachable garbage forever (the id never reappears in
+        // `store.ids()`, so nothing would evict it). Removal deletes the
+        // store entry *before* clearing the cache, so re-checking the
+        // store after inserting catches every interleaving.
+        if self.store.with_instance(id, |_| ()).is_none() {
+            self.ctx_cache.remove(id);
+            return Err(EngineError::NotFound(format!("{id}")));
+        }
         Ok(ctx)
     }
 
@@ -638,7 +648,7 @@ impl ProcessEngine {
     /// invalidation hook change-transaction commits, migrations and undos
     /// call after rebasing an instance onto a different schema.
     pub(crate) fn invalidate_instance(&self, id: InstanceId) {
-        self.ctx_cache.write().remove(&id);
+        self.ctx_cache.remove(id);
         self.wl_index.invalidate(id);
     }
 

@@ -3,19 +3,21 @@
 
 use crate::command::{EngineCommand, ExecCtx};
 use crate::monitor::{EngineEvent, Monitor};
+use crate::shard::ShardedMap;
 use crate::worklist::{items_for, WorkItem, WorklistIndex};
 use adept_core::{
     adapt_instance_state, apply_op, check_fast, compliance::check_fast_op, migrate_instance,
-    ChangeError, ChangeOp, Delta, InstanceOutcome, MigrationOptions, MigrationReport, Verdict,
+    ChangeError, ChangeOp, ConflictKind, Delta, InstanceOutcome, MigrationOptions, MigrationReport,
+    Verdict,
 };
 use adept_model::{Blocks, DataId, InstanceId, NodeId, ProcessSchema, Value};
 use adept_state::{Decision, Driver, Execution, RuntimeError};
 use adept_storage::{
-    InstanceStore, MemoryBreakdown, Representation, SchemaRepository, Snapshot, TxnLog, TxnTarget,
+    InstanceStore, MemoryBreakdown, Representation, SchemaRepository, Snapshot, StoredInstance,
+    TxnLog, TxnTarget,
 };
-use parking_lot::RwLock;
-use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 
 /// Engine-level error.
@@ -55,12 +57,15 @@ impl From<RuntimeError> for EngineError {
 
 /// The process-aware information system runtime. All state lives behind
 /// interior locks, so `&ProcessEngine` is freely shared across threads
-/// (parallel batch migration uses this).
+/// (parallel batch migration and concurrent command submission use this).
+/// The instance store and every per-instance side table (context cache,
+/// worklist index, failure dedupe) are sharded by `InstanceId::hash64`,
+/// so commands on different instances contend on nothing but atomics.
 #[derive(Debug)]
 pub struct ProcessEngine {
     /// Deployed process types.
     pub repo: SchemaRepository,
-    /// Running and finished instances.
+    /// Running and finished instances (sharded; see [`InstanceStore`]).
     pub store: InstanceStore,
     /// The monitoring component.
     pub monitor: Monitor,
@@ -68,12 +73,12 @@ pub struct ProcessEngine {
     pub txn_log: TxnLog,
     /// Per-instance `(schema, blocks)` context cache shared by the command
     /// path and the worklist (invalidated on change/migration/undo).
-    pub(crate) ctx_cache: RwLock<BTreeMap<InstanceId, Arc<ExecCtx>>>,
+    pub(crate) ctx_cache: ShardedMap<Arc<ExecCtx>>,
     /// The incrementally maintained worklist index.
     pub(crate) wl_index: WorklistIndex,
     /// Instances already reported as unresolvable by the worklist (one
     /// monitor event per ongoing failure, not one per poll).
-    wl_failures: RwLock<BTreeSet<InstanceId>>,
+    wl_failures: ShardedMap<()>,
 }
 
 impl ProcessEngine {
@@ -90,9 +95,9 @@ impl ProcessEngine {
             store: InstanceStore::new(strategy),
             monitor: Monitor::new(),
             txn_log: TxnLog::new(),
-            ctx_cache: RwLock::new(BTreeMap::new()),
+            ctx_cache: ShardedMap::default(),
             wl_index: WorklistIndex::default(),
-            wl_failures: RwLock::new(BTreeSet::new()),
+            wl_failures: ShardedMap::default(),
         }
     }
 
@@ -134,9 +139,9 @@ impl ProcessEngine {
             store,
             monitor: Monitor::new(),
             txn_log,
-            ctx_cache: RwLock::new(BTreeMap::new()),
+            ctx_cache: ShardedMap::default(),
             wl_index: WorklistIndex::default(),
-            wl_failures: RwLock::new(BTreeSet::new()),
+            wl_failures: ShardedMap::default(),
         }
     }
 
@@ -221,20 +226,35 @@ impl ProcessEngine {
         for id in misses {
             match self.compute_items(id) {
                 Ok(list) => {
-                    self.wl_failures.write().remove(&id);
+                    self.wl_failures.remove(id);
                     items.extend(list);
                 }
                 Err(e) if strict => return Err(e),
                 Err(e) => {
+                    // An instance that vanished between the ids()
+                    // snapshot and the recompute was *removed*, not
+                    // corrupted: no report, and no dedupe entry may stay
+                    // behind (the id never reappears, so nothing else
+                    // would clear it).
+                    if self.store.with_instance(id, |_| ()).is_none() {
+                        self.wl_failures.remove(id);
+                        continue;
+                    }
                     // Report each ongoing failure once, not once per
                     // poll — a permanently dangling instance must not
                     // grow the monitor log without bound. Recovery
                     // re-arms the report (see the Ok branch).
-                    if self.wl_failures.write().insert(id) {
+                    if self.wl_failures.insert(id, ()).is_none() {
                         self.monitor.record(EngineEvent::WorklistResolutionFailed {
                             instance: id,
                             reason: e.to_string(),
                         });
+                    }
+                    // Post-insert re-check: a removal racing in between
+                    // the check above and the insert must not leak the
+                    // entry (removal clears the set before we re-read).
+                    if self.store.with_instance(id, |_| ()).is_none() {
+                        self.wl_failures.remove(id);
                     }
                 }
             }
@@ -445,6 +465,27 @@ impl ProcessEngine {
         self.store.ids()
     }
 
+    /// Removes an instance from the engine (cancellation / archival),
+    /// returning its final stored form. The cached execution context and
+    /// every worklist trace are dropped with it; an in-flight migration
+    /// that loses the instance to this call reports it as
+    /// [`ConflictKind::Vanished`], not as a conflict.
+    pub fn remove_instance(&self, id: InstanceId) -> Result<StoredInstance, EngineError> {
+        let inst = self
+            .store
+            .remove(id)
+            .ok_or_else(|| EngineError::NotFound(format!("{id}")))?;
+        self.ctx_cache.remove(id);
+        // invalidate (not a bare entry drop): the tombstone watermark
+        // blocks an in-flight recompute from resurrecting an entry no
+        // later pass would ever clear.
+        self.wl_index.invalidate(id);
+        self.wl_failures.remove(id);
+        self.monitor
+            .record(EngineEvent::InstanceRemoved { instance: id });
+        Ok(inst)
+    }
+
     // ------------------------------------------------------------------
     // Ad-hoc change (instance level)
     // ------------------------------------------------------------------
@@ -629,7 +670,7 @@ impl ProcessEngine {
 
         let outcomes: Vec<InstanceOutcome> = if threads <= 1 || ids.len() < 2 {
             ids.iter()
-                .map(|id| self.migrate_one(type_name, *id, to_version, options))
+                .map(|id| self.migrate_one_isolated(type_name, *id, to_version, options))
                 .collect()
         } else {
             let chunk = ids.len().div_ceil(threads);
@@ -638,15 +679,27 @@ impl ProcessEngine {
                 let handles: Vec<_> = ids
                     .chunks(chunk)
                     .map(|part| {
-                        scope.spawn(move |_| {
+                        let h = scope.spawn(move |_| {
                             part.iter()
-                                .map(|id| self.migrate_one(type_name, *id, to_version, options))
+                                .map(|id| {
+                                    self.migrate_one_isolated(type_name, *id, to_version, options)
+                                })
                                 .collect::<Vec<_>>()
-                        })
+                        });
+                        (part, h)
                     })
                     .collect();
-                for h in handles {
-                    results.push(h.join().expect("migration worker panicked"));
+                for (part, h) in handles {
+                    // Per-instance panics are already caught inside the
+                    // worker; a panic that still reaches the join (e.g.
+                    // in the collection machinery itself) downgrades the
+                    // chunk to per-instance failure outcomes instead of
+                    // aborting the whole batch — one poisoned instance
+                    // must not sink a 10k-instance migration.
+                    results.push(
+                        h.join()
+                            .unwrap_or_else(|payload| panic_outcomes(part, &payload)),
+                    );
                 }
             })
             .expect("crossbeam scope");
@@ -662,6 +715,24 @@ impl ProcessEngine {
         Ok(report)
     }
 
+    /// [`ProcessEngine::migrate_one`] behind a panic boundary: a panic in
+    /// the migration of one instance (a poisoned state, a bug in a check)
+    /// becomes that instance's failure outcome instead of unwinding into
+    /// the batch. The store's locks recover from poisoning, so the rest
+    /// of the population stays migratable.
+    fn migrate_one_isolated(
+        &self,
+        type_name: &str,
+        id: InstanceId,
+        to_version: u32,
+        options: &MigrationOptions,
+    ) -> InstanceOutcome {
+        catch_unwind(AssertUnwindSafe(|| {
+            self.migrate_one(type_name, id, to_version, options)
+        }))
+        .unwrap_or_else(|payload| panic_outcome(id, &payload))
+    }
+
     /// Migrates one instance hop by hop up to `to_version`. Returns its
     /// final outcome (the first conflict stops the chain).
     fn migrate_one(
@@ -671,13 +742,24 @@ impl ProcessEngine {
         to_version: u32,
         options: &MigrationOptions,
     ) -> InstanceOutcome {
+        // Bounded contention retries, mirroring the command path's
+        // MAX_GROUP_RETRIES: a hot instance whose commands keep beating
+        // the migration's read-check-install window must not spin a
+        // migration worker forever. Successful hops reset the budget.
+        const MAX_MIGRATE_RETRIES: usize = 8;
+        let mut contested = 0usize;
         loop {
             let Some(inst) = self.store.get(id) else {
+                // The instance was removed (cancelled/archived) while the
+                // migration was in flight. That is not a structural
+                // failure of the change — there is nothing left to
+                // migrate — so it gets its own outcome kind and reports
+                // stop counting it against the migration.
                 return InstanceOutcome {
                     instance: id,
                     biased: false,
                     verdict: Verdict::conflict(
-                        adept_core::ConflictKind::Structural,
+                        ConflictKind::Vanished,
                         "instance disappeared during migration",
                     ),
                 };
@@ -701,6 +783,19 @@ impl ProcessEngine {
                 };
             };
             let Ok(ctx) = self.exec_context(id) else {
+                // Distinguish "the instance was removed under us" (a
+                // vanished outcome, like the initial read) from a genuine
+                // materialisation failure.
+                if self.store.with_instance(id, |_| ()).is_none() {
+                    return InstanceOutcome {
+                        instance: id,
+                        biased: false,
+                        verdict: Verdict::conflict(
+                            ConflictKind::Vanished,
+                            "instance disappeared during migration",
+                        ),
+                    };
+                }
                 return InstanceOutcome {
                     instance: id,
                     biased: inst.is_biased(),
@@ -710,6 +805,19 @@ impl ProcessEngine {
                     ),
                 };
             };
+            // The context must describe the same (version, bias) as the
+            // instance snapshot read above — a change or another
+            // migration hop committing between the two reads would pair
+            // a stale snapshot with a fresher schema and mis-report a
+            // consistent instance as conflicting. Re-read and re-check
+            // (the Compliant path below is additionally CAS-guarded).
+            if !ctx.matches(&inst) {
+                contested += 1;
+                if contested >= MAX_MIGRATE_RETRIES {
+                    return contested_outcome(id, contested);
+                }
+                continue;
+            }
             let Some(new_dep) = self.repo.deployed(type_name, next) else {
                 return InstanceOutcome {
                     instance: id,
@@ -743,8 +851,13 @@ impl ProcessEngine {
                         adapted,
                         res.materialized.as_ref(),
                     ) {
+                        contested += 1;
+                        if contested >= MAX_MIGRATE_RETRIES {
+                            return contested_outcome(id, contested);
+                        }
                         continue;
                     }
+                    contested = 0;
                     self.invalidate_instance(id);
                     self.monitor.record(EngineEvent::Migrated {
                         instance: id,
@@ -797,6 +910,57 @@ impl Default for ProcessEngine {
     fn default() -> Self {
         Self::new()
     }
+}
+
+/// Best-effort rendering of a panic payload (`panic!` with a literal or a
+/// formatted string covers practically every real panic).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        s
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s
+    } else {
+        "non-string panic payload"
+    }
+}
+
+/// One [`ConflictKind::Internal`] failure outcome for an instance whose
+/// migration panicked.
+fn panic_outcome(id: InstanceId, payload: &(dyn std::any::Any + Send)) -> InstanceOutcome {
+    InstanceOutcome {
+        instance: id,
+        biased: false,
+        verdict: Verdict::conflict(
+            ConflictKind::Internal,
+            format!("migration worker panicked: {}", panic_message(payload)),
+        ),
+    }
+}
+
+/// The outcome of a migration that lost the read-check-install race to
+/// concurrent commands on every attempt: the instance is fine, the
+/// migration just could not be committed — the caller re-runs
+/// `migrate_all` once traffic allows.
+fn contested_outcome(id: InstanceId, attempts: usize) -> InstanceOutcome {
+    InstanceOutcome {
+        instance: id,
+        biased: false,
+        verdict: Verdict::conflict(
+            ConflictKind::Internal,
+            format!(
+                "concurrent commands outpaced the migration ({attempts} contested attempts); re-run migrate_all"
+            ),
+        ),
+    }
+}
+
+/// Failure outcomes for a whole chunk whose worker died before reporting —
+/// the join-side backstop behind the per-instance `catch_unwind`.
+fn panic_outcomes(
+    ids: &[InstanceId],
+    payload: &(dyn std::any::Any + Send),
+) -> Vec<InstanceOutcome> {
+    ids.iter().map(|id| panic_outcome(*id, payload)).collect()
 }
 
 #[cfg(test)]

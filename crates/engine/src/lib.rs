@@ -117,6 +117,7 @@ pub mod command;
 pub mod engine;
 pub mod monitor;
 pub mod session;
+pub(crate) mod shard;
 pub mod worklist;
 
 pub use command::{CommandOutcome, EngineCommand};

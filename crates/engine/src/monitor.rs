@@ -110,6 +110,13 @@ pub enum EngineEvent {
         /// The instance.
         instance: InstanceId,
     },
+    /// An instance was removed from the store (cancelled or archived). A
+    /// migration that loses its instance to a concurrent removal reports
+    /// it as vanished, not as a conflict.
+    InstanceRemoved {
+        /// The removed instance.
+        instance: InstanceId,
+    },
     /// A change transaction committed atomically.
     TxnCommitted {
         /// Rendered target (instance id or new type version).
@@ -171,6 +178,7 @@ impl fmt::Display for EngineEvent {
                 write!(f, "{instance} stays: {reason}")
             }
             EngineEvent::InstanceFinished { instance } => write!(f, "{instance} finished"),
+            EngineEvent::InstanceRemoved { instance } => write!(f, "{instance} removed"),
             EngineEvent::TxnCommitted { target, ops, seq } => {
                 write!(f, "txn #{seq} committed on {target} ({ops} ops)")
             }

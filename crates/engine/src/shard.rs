@@ -1,0 +1,74 @@
+//! Sharded per-instance side tables.
+//!
+//! The engine keeps several maps keyed by [`InstanceId`] next to the
+//! (itself sharded) instance store: the execution-context cache, the
+//! worklist index and the worklist-failure dedupe set. Guarding each with
+//! one global `RwLock` would reintroduce exactly the contention the
+//! sharded store removes — every command touches the context cache and
+//! the worklist index — so they all build on the same
+//! [`adept_storage::Shards`] primitive the store uses: one shard-selection
+//! recipe, one hash, and an instance maps to the same shard *index* in
+//! every table.
+//!
+//! Lock order: a thread holds at most one shard lock per table, and the
+//! engine never takes a store shard lock while holding a side-table lock
+//! (side tables are consulted before or after store access, not inside
+//! it) — except [`crate::worklist::WorklistIndex::bump`], which is an
+//! atomic and takes no lock at all.
+
+use adept_model::InstanceId;
+use adept_storage::{Shards, DEFAULT_SHARD_COUNT};
+use std::collections::BTreeMap;
+
+/// A sharded `InstanceId → V` map. All operations take one shard lock.
+#[derive(Debug)]
+pub(crate) struct ShardedMap<V> {
+    shards: Shards<BTreeMap<InstanceId, V>>,
+}
+
+impl<V> Default for ShardedMap<V> {
+    fn default() -> Self {
+        Self {
+            shards: Shards::new(DEFAULT_SHARD_COUNT),
+        }
+    }
+}
+
+impl<V> ShardedMap<V> {
+    /// Clone of the value under `id`, if present (shard read lock).
+    pub fn get_cloned(&self, id: InstanceId) -> Option<V>
+    where
+        V: Clone,
+    {
+        self.shards.for_id(id).read().get(&id).cloned()
+    }
+
+    /// Inserts, returning the previous value (shard write lock).
+    pub fn insert(&self, id: InstanceId, value: V) -> Option<V> {
+        self.shards.for_id(id).write().insert(id, value)
+    }
+
+    /// Removes, returning the previous value (shard write lock).
+    pub fn remove(&self, id: InstanceId) -> Option<V> {
+        self.shards.for_id(id).write().remove(&id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let map: ShardedMap<u32> = ShardedMap::default();
+        assert_eq!(map.shards.count(), DEFAULT_SHARD_COUNT);
+        for i in 1..=100u64 {
+            assert!(map.insert(InstanceId(i), i as u32).is_none());
+        }
+        assert_eq!(map.get_cloned(InstanceId(42)), Some(42));
+        assert_eq!(map.insert(InstanceId(42), 7), Some(42), "returns previous");
+        assert_eq!(map.remove(InstanceId(42)), Some(7));
+        assert_eq!(map.get_cloned(InstanceId(42)), None);
+        assert_eq!(map.remove(InstanceId(42)), None);
+    }
+}

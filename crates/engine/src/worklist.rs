@@ -87,19 +87,37 @@ pub(crate) fn items_for(
 ///
 /// One entry per instance, carrying the instance's current work items and
 /// the **epoch** of the install. Epochs for command installs are drawn
-/// while the store's write lock is held, so they order exactly like store
-/// commits; lazy recomputes (worklist reads that miss the index) use the
-/// epoch observed *before* reading, which makes a racing command's newer
-/// install always win. An absent entry means "recompute on next read" —
-/// that is the invalidation signal change commits, migrations and undos
-/// send. Invalidation leaves a **tombstone watermark** (the epoch at
-/// invalidation time), so an in-flight recompute or command that read the
-/// *pre-change* state — its epoch predates the watermark — cannot
-/// resurrect stale items afterwards.
-#[derive(Debug, Default)]
+/// while the instance's store shard lock is held, so they order exactly
+/// like store commits; lazy recomputes (worklist reads that miss the
+/// index) use the epoch observed *before* reading, which makes a racing
+/// command's newer install always win. An absent entry means "recompute
+/// on next read" — that is the invalidation signal change commits,
+/// migrations and undos send. Invalidation leaves a **tombstone
+/// watermark** (the epoch at invalidation time), so an in-flight
+/// recompute or command that read the *pre-change* state — its epoch
+/// predates the watermark — cannot resurrect stale items afterwards.
+///
+/// Like the store, the index is sharded by [`InstanceId::hash64`]: every
+/// command installs into the index, so one global entry lock would
+/// re-serialise the sharded store's write path. The epoch counter is a
+/// single atomic (cheap, contention-free); only the entry/tombstone maps
+/// are sharded. [`WorklistIndex::collect`] briefly holds **all** shard
+/// read locks at once to serve one coherent pass over the population —
+/// readers don't block each other, and writers (one shard write each)
+/// never hold a second index shard, so the order is acyclic.
+#[derive(Debug)]
 pub(crate) struct WorklistIndex {
     epoch: AtomicU64,
-    state: RwLock<IndexState>,
+    shards: adept_storage::Shards<IndexState>,
+}
+
+impl Default for WorklistIndex {
+    fn default() -> Self {
+        Self {
+            epoch: AtomicU64::new(0),
+            shards: adept_storage::Shards::new(adept_storage::DEFAULT_SHARD_COUNT),
+        }
+    }
 }
 
 #[derive(Debug, Default)]
@@ -118,8 +136,13 @@ struct IndexEntry {
 }
 
 impl WorklistIndex {
-    /// Draws the next install epoch. Call while holding the store's write
-    /// lock so epoch order equals commit order.
+    #[inline]
+    fn shard(&self, id: InstanceId) -> &RwLock<IndexState> {
+        self.shards.for_id(id)
+    }
+
+    /// Draws the next install epoch. Call while holding the instance's
+    /// store shard write lock so epoch order equals commit order.
     pub fn bump(&self) -> u64 {
         self.epoch.fetch_add(1, Ordering::Relaxed) + 1
     }
@@ -134,7 +157,7 @@ impl WorklistIndex {
     /// or an invalidation watermark says the items were computed from
     /// pre-invalidation state.
     pub fn install(&self, id: InstanceId, epoch: u64, items: Vec<WorkItem>) {
-        let mut state = self.state.write();
+        let mut state = self.shard(id).write();
         // Strictly below the watermark = computed from pre-invalidation
         // state. An epoch equal to the watermark is fine: it was observed
         // after the invalidation bump, hence after the change installed.
@@ -153,9 +176,16 @@ impl WorklistIndex {
     /// Drops an instance's entry and leaves a watermark so concurrent
     /// installs computed from the pre-invalidation state are rejected.
     /// The entry is recomputed on the next worklist read.
+    ///
+    /// This is also the **removal** path: a removed instance's watermark
+    /// must stay behind, or an in-flight recompute that read the instance
+    /// before the removal could re-install an entry that nothing would
+    /// ever clear again (the id no longer appears in `store.ids()`, so no
+    /// later invalidation fires). The watermark is a few bytes per
+    /// removed id; a resurrected entry would hold a whole item vector.
     pub fn invalidate(&self, id: InstanceId) {
         let watermark = self.bump();
-        let mut state = self.state.write();
+        let mut state = self.shard(id).write();
         state.entries.remove(&id);
         state.tombstones.insert(id, watermark);
     }
@@ -163,21 +193,26 @@ impl WorklistIndex {
     /// The indexed items of an instance, if the entry is live.
     #[cfg(test)]
     pub fn get(&self, id: InstanceId) -> Option<Vec<WorkItem>> {
-        self.state.read().entries.get(&id).map(|e| e.items.clone())
+        self.shard(id)
+            .read()
+            .entries
+            .get(&id)
+            .map(|e| e.items.clone())
     }
 
     /// Collects the items of every indexed id into `out` and the ids
-    /// without a live entry into `misses` — one lock acquisition for the
-    /// whole population instead of one per instance.
+    /// without a live entry into `misses` — one lock acquisition **per
+    /// shard** for the whole population instead of one per instance. All
+    /// shard read guards are held together so the pass is coherent.
     pub fn collect(
         &self,
         ids: &[InstanceId],
         out: &mut Vec<WorkItem>,
         misses: &mut Vec<InstanceId>,
     ) {
-        let state = self.state.read();
+        let guards: Vec<_> = self.shards.iter().map(|s| s.read()).collect();
         for id in ids {
-            match state.entries.get(id) {
+            match guards[self.shards.index_of(*id)].entries.get(id) {
                 Some(e) => out.extend(e.items.iter().cloned()),
                 None => misses.push(*id),
             }
@@ -187,7 +222,7 @@ impl WorklistIndex {
     /// Number of live entries (diagnostics).
     #[cfg(test)]
     pub fn len(&self) -> usize {
-        self.state.read().entries.len()
+        self.shards.iter().map(|s| s.read().entries.len()).sum()
     }
 }
 

@@ -64,11 +64,60 @@ id_type!(
     SchemaId,
     "S"
 );
-id_type!(
-    /// Identifier of a process instance.
-    InstanceId,
-    "I"
-);
+
+/// Identifier of a process instance.
+///
+/// Unlike the schema-local ids above, instance ids are allocated for the
+/// lifetime of a whole engine — a production deployment serving millions
+/// of users burns through them continuously — so they are 64-bit: the id
+/// space cannot realistically wrap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct InstanceId(pub u64);
+
+impl InstanceId {
+    /// Returns the raw numeric value of this identifier.
+    #[inline]
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the identifier as a `usize`, e.g. for indexing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// A well-mixed 64-bit hash of this id (splitmix64 finaliser).
+    /// Sharded containers (the instance store, the worklist index) use
+    /// this to spread sequentially allocated ids uniformly across shards;
+    /// sharing one function keeps an instance on the "same" shard index
+    /// everywhere, which makes lock behaviour easy to reason about.
+    #[inline]
+    pub fn hash64(self) -> u64 {
+        let mut z = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+impl fmt::Display for InstanceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "I{}", self.0)
+    }
+}
+
+impl From<u32> for InstanceId {
+    fn from(v: u32) -> Self {
+        Self(v as u64)
+    }
+}
+
+impl From<u64> for InstanceId {
+    fn from(v: u64) -> Self {
+        Self(v)
+    }
+}
 
 /// A monotonically increasing id allocator used by containers that own ids.
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -139,5 +188,31 @@ mod tests {
         let n: NodeId = 9u32.into();
         assert_eq!(n.raw(), 9);
         assert_eq!(n.index(), 9usize);
+    }
+
+    #[test]
+    fn instance_ids_are_64_bit() {
+        let wide = InstanceId(u32::MAX as u64 + 1);
+        assert_eq!(wide.raw(), 4_294_967_296);
+        assert_eq!(wide.to_string(), "I4294967296");
+        let from_small: InstanceId = 7u32.into();
+        let from_wide: InstanceId = 7u64.into();
+        assert_eq!(from_small, from_wide);
+    }
+
+    #[test]
+    fn instance_id_hash_spreads_sequential_ids() {
+        // Sequential allocation must not pile onto one shard: check the
+        // low bits of the mixed hash distribute over a 16-way split.
+        let mut buckets = [0usize; 16];
+        for i in 1..=1600u64 {
+            buckets[(InstanceId(i).hash64() & 15) as usize] += 1;
+        }
+        for (shard, count) in buckets.iter().enumerate() {
+            assert!(
+                (50..=200).contains(count),
+                "shard {shard} got {count} of 1600 sequential ids"
+            );
+        }
     }
 }

@@ -1,5 +1,5 @@
-//! The instance store and the three representation strategies of paper
-//! Fig. 2.
+//! The sharded instance store and the three representation strategies of
+//! paper Fig. 2.
 //!
 //! * [`Representation::RedundantFree`] — unbiased instances reference their
 //!   schema; biased instances re-materialise their schema **on every
@@ -11,15 +11,48 @@
 //! * [`Representation::Hybrid`] — ADEPT2's approach: biased instances keep
 //!   a *minimal substitution block* which overlays the original schema on
 //!   access, with the materialisation cached until the next change.
+//!
+//! # Sharding
+//!
+//! The store is split into `N` shards (a power of two, default
+//! [`DEFAULT_SHARD_COUNT`]), each holding an independent
+//! `RwLock<BTreeMap<InstanceId, StoredInstance>>` plus a per-shard
+//! secondary index from type name to the instance ids living on that
+//! shard. An instance's shard is `InstanceId::hash64() & (N - 1)` —
+//! sequentially allocated ids spread uniformly, so concurrent commands on
+//! different instances almost never contend on the same lock. Id
+//! allocation is a single `AtomicU64` (no lock at all), and the
+//! [`AccessStats`] counters are atomics, so **the schema read path takes
+//! no write lock anywhere** — cache-hit reads are one shard read lock plus
+//! one relaxed atomic increment.
+//!
+//! ## Lock order
+//!
+//! * A thread holds **at most one shard lock at a time**. Cross-shard
+//!   operations ([`InstanceStore::ids`], [`InstanceStore::len`],
+//!   [`InstanceStore::memory`], [`InstanceStore::all`],
+//!   [`InstanceStore::instances_of`]) visit shards sequentially,
+//!   releasing each lock before taking the next — they compose per-shard
+//!   snapshots instead of stopping the world, so they are cheap but not
+//!   linearisable against concurrent writers (the same was true of the
+//!   old single-lock store across *calls*).
+//! * [`InstanceStore::schema_of`] resolves deployed schemas while holding
+//!   a shard lock, so the global lock order is *shard lock → repository
+//!   lock*. The repository never calls back into the store, which makes
+//!   that order acyclic.
+//! * The stats counters and the id allocator are atomics and participate
+//!   in no lock order.
 
 use crate::repo::SchemaRepository;
+use crate::shards::Shards;
 use crate::subst::SubstitutionBlock;
 use adept_core::Delta;
 use adept_model::{InstanceId, ProcessSchema};
 use adept_state::InstanceState;
 use parking_lot::RwLock;
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Storage strategy for instance-specific schemas.
@@ -62,6 +95,7 @@ impl StoredInstance {
 }
 
 /// Access statistics of the store (cache behaviour of the Fig. 2 bench).
+/// A point-in-time snapshot of the store's atomic counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct AccessStats {
     /// Schema accesses answered from a shared deployed schema.
@@ -70,6 +104,29 @@ pub struct AccessStats {
     pub cache_hits: u64,
     /// Schema accesses that had to materialise (overlay or replay).
     pub materializations: u64,
+}
+
+/// The live counters behind [`AccessStats`]: plain atomics, so the schema
+/// **read** path (shared hits, cache hits) increments without taking any
+/// lock — the old store took `stats.write()` on every cache-hit read,
+/// *while holding the instances read lock*, which both serialised readers
+/// and created a nested lock order. Relaxed ordering is sufficient:
+/// the counters are monotonic tallies, not synchronisation.
+#[derive(Debug, Default)]
+struct StatCounters {
+    shared_hits: AtomicU64,
+    cache_hits: AtomicU64,
+    materializations: AtomicU64,
+}
+
+impl StatCounters {
+    fn snapshot(&self) -> AccessStats {
+        AccessStats {
+            shared_hits: self.shared_hits.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            materializations: self.materializations.load(Ordering::Relaxed),
+        }
+    }
 }
 
 /// Byte-level breakdown of the store's memory usage.
@@ -98,23 +155,72 @@ impl MemoryBreakdown {
     }
 }
 
-/// The instance store.
+/// Default shard count: enough to make contention between a handful of
+/// worker threads statistically rare, small enough that cross-shard
+/// operations stay cheap.
+pub const DEFAULT_SHARD_COUNT: usize = 16;
+
+/// One shard: the instance map plus the per-type secondary index over the
+/// ids living on this shard. Both live under **one** lock so they can
+/// never be observed out of sync.
+#[derive(Debug, Default)]
+struct ShardState {
+    instances: BTreeMap<InstanceId, StoredInstance>,
+    by_type: BTreeMap<String, BTreeSet<InstanceId>>,
+}
+
+impl ShardState {
+    fn insert(&mut self, inst: StoredInstance) {
+        self.by_type
+            .entry(inst.type_name.clone())
+            .or_default()
+            .insert(inst.id);
+        self.instances.insert(inst.id, inst);
+    }
+
+    fn remove(&mut self, id: InstanceId) -> Option<StoredInstance> {
+        let inst = self.instances.remove(&id)?;
+        if let Some(set) = self.by_type.get_mut(&inst.type_name) {
+            set.remove(&id);
+            if set.is_empty() {
+                self.by_type.remove(&inst.type_name);
+            }
+        }
+        Some(inst)
+    }
+}
+
+/// The sharded instance store. All methods take `&self`; sharing across
+/// threads is the point.
 #[derive(Debug)]
 pub struct InstanceStore {
     strategy: Representation,
-    instances: RwLock<BTreeMap<InstanceId, StoredInstance>>,
-    next_id: RwLock<u32>,
-    stats: RwLock<AccessStats>,
+    shards: Shards<ShardState>,
+    /// Lock-free id allocator: the **raw value of the most recently
+    /// allocated id** (0 = nothing allocated yet). 64-bit, so the id
+    /// space outlives any realistic deployment instead of silently
+    /// wrapping like the old `RwLock<u32>` did at `u32::MAX`.
+    next_id: AtomicU64,
+    stats: StatCounters,
 }
 
 impl InstanceStore {
-    /// Creates a store with the given representation strategy.
+    /// Creates a store with the given representation strategy and
+    /// [`DEFAULT_SHARD_COUNT`] shards.
     pub fn new(strategy: Representation) -> Self {
+        Self::with_shards(strategy, DEFAULT_SHARD_COUNT)
+    }
+
+    /// Creates a store with an explicit shard count (rounded up to the
+    /// next power of two, minimum 1). `with_shards(strategy, 1)` is the
+    /// old single-map store — benchmarks use it as the contention
+    /// baseline.
+    pub fn with_shards(strategy: Representation, shards: usize) -> Self {
         Self {
             strategy,
-            instances: RwLock::new(BTreeMap::new()),
-            next_id: RwLock::new(0),
-            stats: RwLock::new(AccessStats::default()),
+            shards: Shards::new(shards),
+            next_id: AtomicU64::new(0),
+            stats: StatCounters::default(),
         }
     }
 
@@ -123,25 +229,34 @@ impl InstanceStore {
         self.strategy
     }
 
+    /// Number of shards (a power of two).
+    pub fn shard_count(&self) -> usize {
+        self.shards.count()
+    }
+
+    #[inline]
+    fn shard(&self, id: InstanceId) -> &RwLock<ShardState> {
+        self.shards.for_id(id)
+    }
+
     /// Creates a new (unbiased) instance of a type version.
     pub fn create(&self, type_name: &str, version: u32, state: InstanceState) -> InstanceId {
-        let mut ids = self.next_id.write();
-        *ids += 1;
-        let id = InstanceId(*ids);
-        drop(ids);
-        self.instances.write().insert(
-            id,
-            StoredInstance {
-                id,
-                type_name: type_name.to_string(),
-                version,
-                bias: Delta::new(),
-                subst: SubstitutionBlock::default(),
-                state,
-                full_copy: None,
-                cached_overlay: None,
-            },
+        let prev = self.next_id.fetch_add(1, Ordering::Relaxed);
+        assert!(
+            prev < u64::MAX,
+            "instance id space exhausted (u64::MAX allocations)"
         );
+        let id = InstanceId(prev + 1);
+        self.shard(id).write().insert(StoredInstance {
+            id,
+            type_name: type_name.to_string(),
+            version,
+            bias: Delta::new(),
+            subst: SubstitutionBlock::default(),
+            state,
+            full_copy: None,
+            cached_overlay: None,
+        });
         id
     }
 
@@ -149,98 +264,131 @@ impl InstanceStore {
     /// id allocator is advanced past the restored id so future instances
     /// never collide.
     pub fn insert_restored(&self, inst: StoredInstance) {
-        let mut ids = self.next_id.write();
-        if inst.id.raw() > *ids {
-            *ids = inst.id.raw();
-        }
-        drop(ids);
-        self.instances.write().insert(inst.id, inst);
+        self.next_id.fetch_max(inst.id.raw(), Ordering::Relaxed);
+        self.shard(inst.id).write().insert(inst);
+    }
+
+    /// Removes an instance (cancellation / archival), returning it. The
+    /// id is **not** reused. Migration treats an instance that disappears
+    /// mid-flight as [`adept_core::ConflictKind::Vanished`], not as a
+    /// structural failure.
+    pub fn remove(&self, id: InstanceId) -> Option<StoredInstance> {
+        self.shard(id).write().remove(id)
     }
 
     /// Reads an instance (cloned snapshot).
     pub fn get(&self, id: InstanceId) -> Option<StoredInstance> {
-        self.instances.read().get(&id).cloned()
+        self.shard(id).read().instances.get(&id).cloned()
     }
 
     /// Reads an instance through a closure **without cloning it** — the
     /// hot-path accessor for worklist computation and command outcomes,
     /// where cloning the full state (marking + history + data) per access
-    /// would dominate. The read lock is held only for the closure.
+    /// would dominate. The shard read lock is held only for the closure.
     pub fn with_instance<R>(
         &self,
         id: InstanceId,
         f: impl FnOnce(&StoredInstance) -> R,
     ) -> Option<R> {
-        self.instances.read().get(&id).map(f)
+        self.shard(id).read().instances.get(&id).map(f)
     }
 
     /// All stored instance ids, in id order — including instances whose
     /// type is unknown to the repository (the worklist surfaces those as
-    /// corruption instead of hiding them).
+    /// corruption instead of hiding them). Composed from per-shard
+    /// snapshots (one shard lock at a time, no global barrier).
     pub fn ids(&self) -> Vec<InstanceId> {
-        self.instances.read().keys().copied().collect()
+        // No len() pre-sizing: that would sweep every shard lock a second
+        // time on the hottest read path (and the count is stale under
+        // concurrent writers anyway).
+        let mut ids = Vec::new();
+        for shard in self.shards.iter() {
+            ids.extend(shard.read().instances.keys().copied());
+        }
+        ids.sort_unstable();
+        ids
     }
 
-    /// All instance ids of a type, in id order.
+    /// All instance ids of a type, in id order. Served from the per-shard
+    /// secondary indexes — O(matching instances), not O(all instances)
+    /// like the old full-map filter scan.
     pub fn instances_of(&self, type_name: &str) -> Vec<InstanceId> {
-        self.instances
-            .read()
-            .values()
-            .filter(|i| i.type_name == type_name)
-            .map(|i| i.id)
-            .collect()
+        let mut ids = Vec::new();
+        for shard in self.shards.iter() {
+            if let Some(set) = shard.read().by_type.get(type_name) {
+                ids.extend(set.iter().copied());
+            }
+        }
+        ids.sort_unstable();
+        ids
     }
 
     /// Number of stored instances.
     pub fn len(&self) -> usize {
-        self.instances.read().len()
+        self.shards.iter().map(|s| s.read().instances.len()).sum()
     }
 
     /// Whether the store is empty.
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        self.shards.iter().all(|s| s.read().instances.is_empty())
+    }
+
+    /// Cloned snapshots of all instances, in id order — the persistence
+    /// path. Composed per shard; each shard's lock is released before the
+    /// next is taken.
+    pub fn all(&self) -> Vec<StoredInstance> {
+        let mut out = Vec::new();
+        for shard in self.shards.iter() {
+            out.extend(shard.read().instances.values().cloned());
+        }
+        out.sort_unstable_by_key(|i| i.id);
+        out
     }
 
     /// Mutates an instance in place via the supplied closure.
     pub fn update<R>(&self, id: InstanceId, f: impl FnOnce(&mut StoredInstance) -> R) -> Option<R> {
-        self.instances.write().get_mut(&id).map(f)
+        self.shard(id).write().instances.get_mut(&id).map(f)
     }
 
     /// Resolves the schema an instance currently executes on, following the
     /// store's representation strategy. `repo` provides the shared
     /// deployed versions.
+    ///
+    /// The fast path (unbiased instance, full copy, cached overlay) holds
+    /// only the shard **read** lock; the stats tally is an atomic
+    /// increment, not a write lock.
     pub fn schema_of(&self, repo: &SchemaRepository, id: InstanceId) -> Option<Arc<ProcessSchema>> {
         // Fast path: unbiased or cached.
         {
-            let instances = self.instances.read();
-            let inst = instances.get(&id)?;
+            let shard = self.shard(id).read();
+            let inst = shard.instances.get(&id)?;
             if !inst.is_biased() {
                 let dep = repo.deployed(&inst.type_name, inst.version)?;
-                self.stats.write().shared_hits += 1;
+                self.stats.shared_hits.fetch_add(1, Ordering::Relaxed);
                 return Some(dep.schema);
             }
             match self.strategy {
                 Representation::FullCopy => {
                     if let Some(fc) = &inst.full_copy {
-                        self.stats.write().shared_hits += 1;
+                        self.stats.shared_hits.fetch_add(1, Ordering::Relaxed);
                         return Some(fc.clone());
                     }
                 }
                 Representation::Hybrid => {
                     if let Some(c) = &inst.cached_overlay {
-                        self.stats.write().cache_hits += 1;
+                        self.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
                         return Some(c.clone());
                     }
                 }
                 Representation::RedundantFree => {}
             }
         }
-        // Slow path: materialise.
-        let mut instances = self.instances.write();
-        let inst = instances.get_mut(&id)?;
+        // Slow path: materialise under the shard write lock.
+        let mut shard = self.shard(id).write();
+        let inst = shard.instances.get_mut(&id)?;
         let dep = repo.deployed(&inst.type_name, inst.version)?;
         let overlay = inst.subst.overlay(&dep.schema).ok()?;
-        self.stats.write().materializations += 1;
+        self.stats.materializations.fetch_add(1, Ordering::Relaxed);
         let arc = Arc::new(overlay);
         match self.strategy {
             Representation::Hybrid => inst.cached_overlay = Some(arc.clone()),
@@ -266,7 +414,7 @@ impl InstanceStore {
     /// Compare-and-set variant of [`InstanceStore::set_bias`]: the new
     /// bias/state is installed only if the instance's version, bias and
     /// state still match the snapshot the caller validated against —
-    /// check and install happen under one write lock, so a change
+    /// check and install happen under one shard write lock, so a change
     /// committed from a stale snapshot (racing commit, migration or
     /// execution step in between) is rejected instead of clobbering the
     /// concurrent update. Returns `false` on mismatch or unknown id.
@@ -298,8 +446,8 @@ impl InstanceStore {
         materialized: &ProcessSchema,
         state: InstanceState,
     ) -> bool {
-        let mut instances = self.instances.write();
-        let Some(inst) = instances.get_mut(&id) else {
+        let mut shard = self.shard(id).write();
+        let Some(inst) = shard.instances.get_mut(&id) else {
             return false;
         };
         if let Some((version, exp_bias, exp_state)) = expected {
@@ -354,8 +502,8 @@ impl InstanceStore {
         state: InstanceState,
         materialized: Option<&ProcessSchema>,
     ) -> bool {
-        let mut instances = self.instances.write();
-        let Some(inst) = instances.get_mut(&id) else {
+        let mut shard = self.shard(id).write();
+        let Some(inst) = shard.instances.get_mut(&id) else {
             return false;
         };
         if let Some((version, exp_state)) = expected {
@@ -378,26 +526,30 @@ impl InstanceStore {
         true
     }
 
-    /// Current access statistics.
+    /// Current access statistics (a relaxed snapshot of the atomic
+    /// counters).
     pub fn stats(&self) -> AccessStats {
-        *self.stats.read()
+        self.stats.snapshot()
     }
 
-    /// Byte-level memory accounting across all instances (Fig. 2).
+    /// Byte-level memory accounting across all instances (Fig. 2),
+    /// composed shard by shard.
     pub fn memory(&self, repo: &SchemaRepository) -> MemoryBreakdown {
-        let instances = self.instances.read();
         let mut mb = MemoryBreakdown {
             schema_bytes: repo.schema_bytes(),
             ..Default::default()
         };
-        for inst in instances.values() {
-            mb.state_bytes += inst.state.approx_size();
-            mb.bias_bytes += inst.bias.approx_size() + inst.subst.approx_size();
-            if let Some(fc) = &inst.full_copy {
-                mb.full_copy_bytes += fc.approx_size();
-            }
-            if let Some(c) = &inst.cached_overlay {
-                mb.cache_bytes += c.approx_size();
+        for shard in self.shards.iter() {
+            let shard = shard.read();
+            for inst in shard.instances.values() {
+                mb.state_bytes += inst.state.approx_size();
+                mb.bias_bytes += inst.bias.approx_size() + inst.subst.approx_size();
+                if let Some(fc) = &inst.full_copy {
+                    mb.full_copy_bytes += fc.approx_size();
+                }
+                if let Some(c) = &inst.cached_overlay {
+                    mb.cache_bytes += c.approx_size();
+                }
             }
         }
         mb
@@ -543,5 +695,138 @@ mod tests {
         assert!(store.get(InstanceId(999)).is_none());
         let ex = Execution::with_blocks(&dep.schema, (*dep.blocks).clone());
         let _ = ex;
+    }
+
+    #[test]
+    fn ids_and_instances_of_are_sorted_across_shards() {
+        let (repo, store, name) = setup(Representation::Hybrid);
+        assert_eq!(store.shard_count(), DEFAULT_SHARD_COUNT);
+        let dep = repo.deployed(&name, 1).unwrap();
+        let st = dep.execution().init().unwrap();
+        let created: Vec<InstanceId> = (0..100)
+            .map(|_| store.create(&name, 1, st.clone()))
+            .collect();
+        assert_eq!(store.len(), 100);
+        assert_eq!(store.ids(), created, "ids() must be in id order");
+        assert_eq!(store.instances_of(&name), created);
+        let all = store.all();
+        assert_eq!(all.len(), 100);
+        assert!(all.windows(2).all(|w| w[0].id < w[1].id));
+    }
+
+    #[test]
+    fn per_type_index_partitions_types() {
+        let repo = SchemaRepository::new();
+        let mut names = Vec::new();
+        for t in ["alpha", "beta"] {
+            let mut b = SchemaBuilder::new(t);
+            b.activity("a");
+            names.push(repo.deploy(b.build().unwrap()).unwrap());
+        }
+        let store = InstanceStore::new(Representation::Hybrid);
+        let mut per_type: BTreeMap<String, Vec<InstanceId>> = BTreeMap::new();
+        for k in 0..40 {
+            let name = &names[k % 2];
+            let dep = repo.deployed(name, 1).unwrap();
+            let id = store.create(name, 1, dep.execution().init().unwrap());
+            per_type.entry(name.clone()).or_default().push(id);
+        }
+        for (name, expected) in per_type {
+            assert_eq!(store.instances_of(&name), expected);
+        }
+        assert!(store.instances_of("no such type").is_empty());
+    }
+
+    #[test]
+    fn remove_drops_instance_and_index_entry() {
+        let (repo, store, name) = setup(Representation::Hybrid);
+        let dep = repo.deployed(&name, 1).unwrap();
+        let st = dep.execution().init().unwrap();
+        let i1 = store.create(&name, 1, st.clone());
+        let i2 = store.create(&name, 1, st);
+        let removed = store.remove(i1).expect("instance existed");
+        assert_eq!(removed.id, i1);
+        assert!(store.get(i1).is_none());
+        assert!(store.remove(i1).is_none(), "double remove is None");
+        assert_eq!(store.instances_of(&name), vec![i2]);
+        assert_eq!(store.ids(), vec![i2]);
+        // The id is not reused.
+        let dep = repo.deployed(&name, 1).unwrap();
+        let i3 = store.create(&name, 1, dep.execution().init().unwrap());
+        assert!(i3.raw() > i2.raw());
+    }
+
+    #[test]
+    fn allocator_is_atomic_and_monotonic_across_threads() {
+        let (repo, store, name) = setup(Representation::Hybrid);
+        let dep = repo.deployed(&name, 1).unwrap();
+        let st = dep.execution().init().unwrap();
+        let ids: Vec<Vec<InstanceId>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let st = st.clone();
+                    let store = &store;
+                    let name = &name;
+                    scope.spawn(move || {
+                        (0..100)
+                            .map(|_| store.create(name, 1, st.clone()))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let mut flat: Vec<u64> = ids.into_iter().flatten().map(|i| i.raw()).collect();
+        flat.sort_unstable();
+        flat.dedup();
+        assert_eq!(flat.len(), 400, "no id handed out twice");
+        assert_eq!(store.len(), 400);
+        assert_eq!(store.ids().len(), 400);
+    }
+
+    #[test]
+    fn restored_ids_advance_the_atomic_allocator() {
+        let (repo, store, name) = setup(Representation::Hybrid);
+        let dep = repo.deployed(&name, 1).unwrap();
+        let st = dep.execution().init().unwrap();
+        store.insert_restored(StoredInstance {
+            id: InstanceId(u32::MAX as u64 + 5),
+            type_name: name.clone(),
+            version: 1,
+            bias: Delta::new(),
+            subst: SubstitutionBlock::default(),
+            state: st.clone(),
+            full_copy: None,
+            cached_overlay: None,
+        });
+        let fresh = store.create(&name, 1, st);
+        assert!(
+            fresh.raw() > u32::MAX as u64 + 5,
+            "allocator must jump past restored 64-bit ids, got {fresh}"
+        );
+    }
+
+    #[test]
+    fn single_shard_store_behaves_identically() {
+        let mut b = SchemaBuilder::new("t");
+        b.activity("a");
+        b.activity("b");
+        b.activity("c");
+        let repo = SchemaRepository::new();
+        let name = repo.deploy(b.build().unwrap()).unwrap();
+        let store = InstanceStore::with_shards(Representation::Hybrid, 1);
+        assert_eq!(store.shard_count(), 1);
+        let (id, _) = make_biased(&repo, &store, &name);
+        assert!(store.schema_of(&repo, id).is_some());
+        assert_eq!(store.stats().materializations, 1);
+        assert_eq!(store.ids(), vec![id]);
+    }
+
+    #[test]
+    fn shard_count_rounds_up_to_power_of_two() {
+        for (requested, expected) in [(0, 1), (1, 1), (3, 4), (16, 16), (17, 32)] {
+            let store = InstanceStore::with_shards(Representation::Hybrid, requested);
+            assert_eq!(store.shard_count(), expected, "requested {requested}");
+        }
     }
 }

@@ -19,6 +19,39 @@
 //!   accounting for the Fig. 2 experiments.
 //! * [`TxnLog`] — the append-only log of committed change transactions
 //!   (ops + recorded inverses), embedded in persistence snapshots.
+//!
+//! # Concurrency: the sharded instance store
+//!
+//! The paper's core promise is executing and migrating **thousands of
+//! concurrent instances** on the fly, so the instance store is built for
+//! multi-threaded traffic rather than wrapped in one global lock:
+//!
+//! * **N-way sharding** — instances are spread over
+//!   [`instances::DEFAULT_SHARD_COUNT`] independent `RwLock`-protected
+//!   maps, keyed by `InstanceId::hash64()`. Per-instance operations
+//!   (get, update, the compare-and-set installs `set_bias_if` /
+//!   `migrate_if`) touch exactly one shard; commands on different
+//!   instances proceed in parallel.
+//! * **Lock-free id allocation** — a single `AtomicU64`. The old
+//!   allocator was a `RwLock<u32>` that silently wrapped at `u32::MAX`;
+//!   the 64-bit space cannot realistically be exhausted.
+//! * **Atomic access stats** — [`AccessStats`] is a snapshot of relaxed
+//!   atomic counters. Cache-hit schema reads no longer take a stats
+//!   *write* lock (let alone one nested inside the instances read lock).
+//! * **Per-shard type index** — [`InstanceStore::instances_of`] is served
+//!   from a per-shard `type name → ids` index instead of scanning every
+//!   instance in the store.
+//! * **Cross-shard composition** — `ids()`, `len()`, `memory()`, `all()`
+//!   and snapshotting visit shards one at a time (release before next
+//!   acquire), so whole-store reads never block the write hot path behind
+//!   a global barrier.
+//!
+//! Lock order: at most one shard lock per thread, and shard lock →
+//! repository lock when `schema_of` resolves a deployed version (the
+//! repository never calls back into the store). See
+//! [`instances`] for the full discipline. `InstanceStore::with_shards(_, 1)`
+//! reproduces the old single-map behaviour and serves as the contention
+//! baseline in the `store_throughput` benchmark.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -26,13 +59,18 @@
 pub mod instances;
 pub mod persist;
 pub mod repo;
+pub mod shards;
 pub mod subst;
 pub mod txnlog;
 
-pub use instances::{AccessStats, InstanceStore, MemoryBreakdown, Representation, StoredInstance};
+pub use instances::{
+    AccessStats, InstanceStore, MemoryBreakdown, Representation, StoredInstance,
+    DEFAULT_SHARD_COUNT,
+};
 pub use persist::{
     from_json, restore, restore_with_txns, snapshot, snapshot_with_txns, to_json, Snapshot,
 };
 pub use repo::{DeployedSchema, SchemaRepository};
+pub use shards::Shards;
 pub use subst::SubstitutionBlock;
 pub use txnlog::{TxnLog, TxnRecord, TxnTarget};

@@ -91,6 +91,12 @@ pub fn snapshot_with_txns(
 
 /// Captures a snapshot of a repository + store pair (with an empty txn
 /// log; see [`snapshot_with_txns`]).
+///
+/// Instances are collected per shard via [`InstanceStore::all`] — one
+/// shard lock at a time, no global barrier — and recorded in id order.
+/// Instances whose type is unknown to the repository are skipped (they
+/// could not be restored; the worklist surfaces them as corruption at
+/// run time).
 pub fn snapshot(repo: &SchemaRepository, store: &InstanceStore) -> Snapshot {
     let mut types = Vec::new();
     for name in repo.type_names() {
@@ -98,21 +104,20 @@ pub fn snapshot(repo: &SchemaRepository, store: &InstanceStore) -> Snapshot {
             types.push(pt);
         }
     }
-    let mut instances = Vec::new();
-    for name in repo.type_names() {
-        for id in store.instances_of(&name) {
-            if let Some(inst) = store.get(id) {
-                instances.push(InstanceRecord {
-                    id: inst.id,
-                    type_name: inst.type_name,
-                    version: inst.version,
-                    bias: inst.bias,
-                    subst: inst.subst,
-                    state: inst.state,
-                });
-            }
-        }
-    }
+    let known: std::collections::BTreeSet<String> = repo.type_names().into_iter().collect();
+    let instances = store
+        .all()
+        .into_iter()
+        .filter(|inst| known.contains(&inst.type_name))
+        .map(|inst| InstanceRecord {
+            id: inst.id,
+            type_name: inst.type_name,
+            version: inst.version,
+            bias: inst.bias,
+            subst: inst.subst,
+            state: inst.state,
+        })
+        .collect();
     Snapshot {
         format: SNAPSHOT_FORMAT,
         strategy: store.strategy(),

@@ -1,0 +1,83 @@
+//! The shared sharding primitive: a power-of-two array of `RwLock`-wrapped
+//! states indexed by [`InstanceId::hash64`].
+//!
+//! Every per-instance table in the system — the instance store's shard
+//! maps, the engine's context cache and the worklist index — selects its
+//! shard through this one type, so the shard-selection invariant (power-
+//! of-two count, `hash64 & mask` indexing) lives in exactly one place and
+//! an instance maps to the same shard *index* in every table of equal
+//! shard count.
+
+use adept_model::InstanceId;
+use parking_lot::RwLock;
+
+/// A fixed, power-of-two array of independently locked shard states.
+#[derive(Debug)]
+pub struct Shards<T> {
+    inner: Box<[RwLock<T>]>,
+    mask: u64,
+}
+
+impl<T: Default> Shards<T> {
+    /// `n` shards (rounded up to the next power of two, minimum 1), each
+    /// initialised with `T::default()`.
+    pub fn new(n: usize) -> Self {
+        let n = n.max(1).next_power_of_two();
+        Self {
+            inner: (0..n).map(|_| RwLock::new(T::default())).collect(),
+            mask: (n - 1) as u64,
+        }
+    }
+}
+
+impl<T> Shards<T> {
+    /// Number of shards (a power of two).
+    pub fn count(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// The shard index an instance maps to.
+    #[inline]
+    pub fn index_of(&self, id: InstanceId) -> usize {
+        (id.hash64() & self.mask) as usize
+    }
+
+    /// The shard an instance maps to.
+    #[inline]
+    pub fn for_id(&self, id: InstanceId) -> &RwLock<T> {
+        &self.inner[self.index_of(id)]
+    }
+
+    /// All shards, in index order (cross-shard sweeps and coherent
+    /// all-guards passes).
+    pub fn iter(&self) -> std::slice::Iter<'_, RwLock<T>> {
+        self.inner.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rounds_to_power_of_two() {
+        for (requested, expected) in [(0usize, 1usize), (1, 1), (3, 4), (16, 16), (17, 32)] {
+            assert_eq!(Shards::<u32>::new(requested).count(), expected);
+        }
+    }
+
+    #[test]
+    fn same_id_same_shard() {
+        let a = Shards::<u32>::new(16);
+        let b = Shards::<Vec<u8>>::new(16);
+        for i in 1..=100u64 {
+            let id = InstanceId(i);
+            assert_eq!(
+                a.index_of(id),
+                b.index_of(id),
+                "tables of equal count agree"
+            );
+            assert!(a.index_of(id) < 16);
+        }
+    }
+}

@@ -121,7 +121,7 @@ fn migration_works_under_all_storage_strategies() {
 
         // All instances still finish after migration.
         for id in engine.store.instances_of(&name) {
-            let mut driver = RandomDriver::new(id.raw() as u64);
+            let mut driver = RandomDriver::new(id.raw());
             drive_with(&engine, id, &mut driver, Some(200)).unwrap();
             assert!(engine.is_finished(id).unwrap(), "{strategy:?} {id}");
         }

@@ -169,7 +169,7 @@ proptest! {
 
         // Random partial drives (commands maintain the index).
         for id in &ids {
-            let mut driver = RandomDriver::new(seed ^ id.raw() as u64);
+            let mut driver = RandomDriver::new(seed ^ id.raw());
             let steps = rng.gen_range(0..6);
             drive_with(&engine, *id, &mut driver, Some(steps)).unwrap();
         }
@@ -203,7 +203,7 @@ proptest! {
 
         // Drive everything home; finished instances offer nothing.
         for id in &ids {
-            let mut driver = RandomDriver::new(seed ^ (id.raw() as u64) << 8);
+            let mut driver = RandomDriver::new(seed ^ (id.raw() << 8));
             let _ = drive_with(&engine, *id, &mut driver, Some(400));
         }
         prop_assert_eq!(canon(engine.worklist()), canon(engine.worklist_full()));
