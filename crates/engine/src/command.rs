@@ -27,7 +27,7 @@ use crate::worklist::items_for;
 use adept_core::{ChangeError, Delta};
 use adept_model::{Blocks, DataId, InstanceId, NodeId, ProcessSchema, Value};
 use adept_state::{enabled_diff, DefaultDriver, Driver, Execution, RunEvent};
-use adept_storage::StoredInstance;
+use adept_storage::{StorageError, StoredInstance, WalRecord};
 use std::fmt;
 use std::sync::Arc;
 
@@ -232,6 +232,9 @@ impl ExecCtx {
 enum GroupApply {
     /// The context no longer matches the instance; rebuild and retry.
     Stale,
+    /// The group mutated state but its post-image could not be journaled;
+    /// the mutation was rolled back and nothing is visible.
+    Journal(StorageError),
     /// The group was applied; per-command results plus the post-group
     /// worklist snapshot (install epoch drawn under the lock).
     Applied {
@@ -354,24 +357,25 @@ impl ProcessEngine {
         let st = ex.init()?;
         let enabled = ex.enabled(&st);
         let finished = ex.is_finished(&st);
-        let items = items_for(&ex, InstanceId(0), type_name, version, &st);
+        // The id is allocated and journaled BEFORE the instance becomes
+        // visible (write-ahead); a crash between journal and insert
+        // replays as a fresh, untouched instance — indistinguishable from
+        // a crash just after the insert.
+        let id = self.store.allocate_id();
+        self.journal(|| WalRecord::Created {
+            id,
+            type_name: type_name.to_string(),
+            version,
+            state: st.clone(),
+        })?;
+        let items = items_for(&ex, id, type_name, version, &st);
         // The epoch is drawn BEFORE the instance becomes visible: any
         // concurrent command on the new id necessarily runs after
-        // store.create and therefore bumps to a larger epoch — its
+        // insert_new and therefore bumps to a larger epoch — its
         // fresher install beats this initial one, never the reverse.
         let epoch = self.wl_index.bump();
-        let id = self.store.create(type_name, version, st);
-        self.wl_index.install(
-            id,
-            epoch,
-            items
-                .into_iter()
-                .map(|mut w| {
-                    w.instance = id;
-                    w
-                })
-                .collect(),
-        );
+        self.store.insert_new(id, type_name, version, st);
+        self.wl_index.install(id, epoch, items);
         let events = vec![EngineEvent::InstanceCreated {
             instance: id,
             version,
@@ -432,16 +436,21 @@ impl ProcessEngine {
                 Ok(ctx) => ctx,
                 Err(e) => return cmds.iter().map(|_| Err(e.clone())).collect(),
             };
+            let wal = self.txn_log.wal();
             let applied = self.store.update(id, |inst| {
                 if !ctx.matches(inst) {
                     return GroupApply::Stale;
                 }
                 let ex = ctx.execution();
                 let mut was_finished = ex.is_finished(&inst.state);
+                // The pre-image is kept only when the journal can actually
+                // fail — the rollback that keeps an unjournaled mutation
+                // from ever becoming visible.
+                let pre = wal.fallible().then(|| inst.state.clone());
                 // The post-command enabled set of command k is the
                 // pre-command set of k+1 — scanned once, not twice.
                 let mut carry_enabled = None;
-                let results = cmds
+                let results: Vec<Result<CommandOutcome, EngineError>> = cmds
                     .iter()
                     .map(|cmd| {
                         apply_cmd(
@@ -454,6 +463,19 @@ impl ProcessEngine {
                         )
                     })
                     .collect();
+                // One post-image per mutating group, appended while the
+                // shard lock is held so WAL order equals visibility order.
+                if wal.enabled() && results.iter().any(|r| r.is_ok()) {
+                    if let Err(e) = wal.append(WalRecord::StateChanged {
+                        id,
+                        state: inst.state.clone(),
+                    }) {
+                        if let Some(pre) = pre {
+                            inst.state = pre;
+                        }
+                        return GroupApply::Journal(e);
+                    }
+                }
                 // The install epoch is drawn while the store lock is held,
                 // so index installs order exactly like store commits.
                 GroupApply::Applied {
@@ -470,6 +492,10 @@ impl ProcessEngine {
                 Some(GroupApply::Stale) => {
                     self.invalidate_instance(id);
                     continue;
+                }
+                Some(GroupApply::Journal(e)) => {
+                    let e = EngineError::Storage(e);
+                    return cmds.iter().map(|_| Err(e.clone())).collect();
                 }
                 Some(GroupApply::Applied {
                     results,
@@ -550,20 +576,33 @@ impl ProcessEngine {
             if finished && !was_finished {
                 events.push(EngineEvent::InstanceFinished { instance: id });
             }
+            let wal = self.txn_log.wal();
             let installed = self.store.update(id, |inst| {
                 if !ctx.matches(inst) || inst.state != pre {
                     return None;
                 }
+                // Write-ahead: the driven post-image is journaled before
+                // it replaces the visible state, so a journal failure
+                // leaves the instance exactly at `pre` — no rollback.
+                if wal.enabled() && st != pre {
+                    if let Err(e) = wal.append(WalRecord::StateChanged {
+                        id,
+                        state: st.clone(),
+                    }) {
+                        return Some(Err(e));
+                    }
+                }
                 inst.state = st;
-                Some((
+                Some(Ok((
                     self.wl_index.bump(),
                     items_for(&ex, id, &inst.type_name, inst.version, &inst.state),
-                ))
+                )))
             });
             match installed {
                 None => return Err(EngineError::NotFound(format!("{id}"))),
                 Some(None) => continue, // lost the CAS; re-drive from fresh state
-                Some(Some((epoch, items))) => {
+                Some(Some(Err(e))) => return Err(EngineError::Storage(e)),
+                Some(Some(Ok((epoch, items)))) => {
                     self.wl_index.install(id, epoch, items);
                     self.monitor.record_all(events.iter().cloned());
                     return Ok(CommandOutcome {

@@ -13,8 +13,9 @@ use adept_core::{
 use adept_model::{Blocks, DataId, InstanceId, NodeId, ProcessSchema, Value};
 use adept_state::{Decision, Driver, Execution, RuntimeError};
 use adept_storage::{
-    InstanceStore, MemoryBreakdown, Representation, SchemaRepository, Snapshot, StoredInstance,
-    TxnLog, TxnTarget,
+    InstanceRecord, InstanceStore, JournaledError, MemoryBreakdown, Representation,
+    SchemaRepository, Snapshot, StorageBackend, StorageError, StoredInstance, TxnLog, TxnRecord,
+    TxnTarget, WalRecord, WriteAheadLog,
 };
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -29,6 +30,9 @@ pub enum EngineError {
     Runtime(RuntimeError),
     /// A named entity does not exist.
     NotFound(String),
+    /// The durability subsystem failed (journaling, snapshot codec,
+    /// recovery). A commit that reports this was **not** applied.
+    Storage(StorageError),
 }
 
 impl fmt::Display for EngineError {
@@ -37,6 +41,7 @@ impl fmt::Display for EngineError {
             EngineError::Change(e) => write!(f, "change error: {e}"),
             EngineError::Runtime(e) => write!(f, "runtime error: {e}"),
             EngineError::NotFound(what) => write!(f, "not found: {what}"),
+            EngineError::Storage(e) => write!(f, "storage error: {e}"),
         }
     }
 }
@@ -52,6 +57,21 @@ impl From<ChangeError> for EngineError {
 impl From<RuntimeError> for EngineError {
     fn from(e: RuntimeError) -> Self {
         EngineError::Runtime(e)
+    }
+}
+
+impl From<StorageError> for EngineError {
+    fn from(e: StorageError) -> Self {
+        EngineError::Storage(e)
+    }
+}
+
+impl From<JournaledError> for EngineError {
+    fn from(e: JournaledError) -> Self {
+        match e {
+            JournaledError::Change(e) => EngineError::Change(e),
+            JournaledError::Storage(e) => EngineError::Storage(e),
+        }
     }
 }
 
@@ -101,6 +121,44 @@ impl ProcessEngine {
         }
     }
 
+    /// Creates a **durable** engine (hybrid strategy): every committed
+    /// mutation is journaled to `backend` before it becomes visible, and
+    /// [`crate::recovery::recover`] can rebuild the exact engine from the
+    /// log (plus an optional snapshot) after a crash. The backend must be
+    /// empty — recovering an existing log is `recover`'s job.
+    pub fn with_wal(backend: Box<dyn StorageBackend>) -> Result<Self, EngineError> {
+        Self::with_strategy_and_wal(Representation::Hybrid, backend)
+    }
+
+    /// [`ProcessEngine::with_wal`] with an explicit storage strategy.
+    pub fn with_strategy_and_wal(
+        strategy: Representation,
+        backend: Box<dyn StorageBackend>,
+    ) -> Result<Self, EngineError> {
+        let wal = WriteAheadLog::create(backend)?;
+        let mut engine = Self::with_strategy(strategy);
+        engine.txn_log = TxnLog::over(Arc::new(wal));
+        Ok(engine)
+    }
+
+    /// The engine's write-ahead log (disabled unless constructed with
+    /// [`ProcessEngine::with_wal`] or recovered onto a backend).
+    pub fn wal(&self) -> &Arc<WriteAheadLog> {
+        self.txn_log.wal()
+    }
+
+    /// Appends one record to the write-ahead log; a cheap no-op when the
+    /// engine is not durable (the record is only *built* when a backend
+    /// is attached).
+    pub(crate) fn journal(&self, build: impl FnOnce() -> WalRecord) -> Result<(), StorageError> {
+        let wal = self.txn_log.wal();
+        if wal.enabled() {
+            wal.append(build()).map(|_| ())
+        } else {
+            Ok(())
+        }
+    }
+
     /// Assembles an engine around an existing repository and store (the
     /// persistence restore path: `adept_storage::persist::restore`).
     ///
@@ -114,9 +172,38 @@ impl ProcessEngine {
     }
 
     /// Captures a persistence snapshot of the whole engine: repository,
-    /// instance store *and* the committed change-transaction log.
+    /// instance store, the committed change-transaction log, and the WAL
+    /// watermark the snapshot covers.
+    ///
+    /// The watermark is read **before** the store state is composed:
+    /// replaying WAL entries past the watermark is idempotent (they carry
+    /// full post-images), so a mutation landing between the two reads is
+    /// covered either by the snapshot or by replay — never lost. As with
+    /// the store scan itself, a point-in-time snapshot of a live engine
+    /// requires quiescence; snapshot-under-traffic is best-effort.
     pub fn snapshot(&self) -> Snapshot {
-        adept_storage::snapshot_with_txns(&self.repo, &self.store, &self.txn_log)
+        let pos = self.txn_log.wal().position();
+        let mut s = adept_storage::snapshot_with_txns(&self.repo, &self.store, &self.txn_log);
+        s.wal_seq = pos;
+        s
+    }
+
+    /// Checkpoints a durable engine: captures a snapshot, hands it to
+    /// `persist` (write it somewhere durable), and truncates the WAL only
+    /// if persisting succeeded — the log is never dropped before its
+    /// replacement is safe. Returns the snapshot. On a non-durable engine
+    /// this is just [`ProcessEngine::snapshot`] + `persist`.
+    pub fn checkpoint_with(
+        &self,
+        persist: impl FnOnce(&Snapshot) -> Result<(), StorageError>,
+    ) -> Result<Snapshot, EngineError> {
+        let snap = self.snapshot();
+        persist(&snap)?;
+        self.txn_log.wal().truncate()?;
+        self.monitor.record(EngineEvent::CheckpointTaken {
+            wal_seq: snap.wal_seq,
+        });
+        Ok(snap)
     }
 
     /// Restores an engine from a snapshot, including the transaction log
@@ -149,9 +236,19 @@ impl ProcessEngine {
     // Deployment and instance creation
     // ------------------------------------------------------------------
 
-    /// Deploys a process template as a new type (version 1).
+    /// Deploys a process template as a new type (version 1). On a durable
+    /// engine the deployment is journaled after it verifies and before it
+    /// becomes visible; a journaling failure installs nothing.
     pub fn deploy(&self, schema: ProcessSchema) -> Result<String, EngineError> {
-        let name = self.repo.deploy(schema)?;
+        let wal = self.txn_log.wal();
+        let name = if wal.enabled() {
+            self.repo.deploy_journaled(schema, |s| {
+                wal.append(WalRecord::Deployed { schema: s.clone() })
+                    .map(|_| ())
+            })?
+        } else {
+            self.repo.deploy(schema)?
+        };
         self.monitor.record(EngineEvent::Deployed {
             type_name: name.clone(),
         });
@@ -471,6 +568,13 @@ impl ProcessEngine {
     /// that loses the instance to this call reports it as
     /// [`ConflictKind::Vanished`], not as a conflict.
     pub fn remove_instance(&self, id: InstanceId) -> Result<StoredInstance, EngineError> {
+        // Write-ahead: journal the removal before it happens. A racing
+        // second removal can leave a duplicate or dangling Removed record
+        // in the log; replay treats Removed leniently, so that is
+        // harmless — the losing caller still gets NotFound below.
+        if self.store.with_instance(id, |_| ()).is_some() {
+            self.journal(|| WalRecord::Removed { id })?;
+        }
         let inst = self
             .store
             .remove(id)
@@ -579,7 +683,15 @@ impl ProcessEngine {
         let mut st = inst.state.clone();
         let single: Delta = std::iter::once(rec).collect();
         adapt_instance_state(current, blocks, &new_ex, &single, &mut st)?;
-        if !self.store.set_bias_if(
+        // The undo is a committed change like any other: it gets its own
+        // transaction record (applied inverse + the op that would redo it)
+        // so the audit trail can reconstruct the bias exactly. On a
+        // durable engine the instance post-image and that record are
+        // journaled in one WAL line before the install becomes visible —
+        // a journaling failure aborts the undo.
+        let wal = self.txn_log.wal();
+        let mut seq = 0u64;
+        let installed = self.store.set_bias_if_journaled(
             id,
             inst.version,
             &inst.bias,
@@ -587,20 +699,31 @@ impl ProcessEngine {
             bias,
             &materialized,
             st,
-        ) {
+            |candidate| {
+                wal.append_txn(|txn_seq| {
+                    let txn = TxnRecord {
+                        seq: txn_seq,
+                        target: TxnTarget::Instance(id),
+                        ops: vec![applied_inverse.clone()],
+                        inverses: vec![Some(last.op.clone())],
+                    };
+                    (
+                        WalRecord::ChangeCommitted {
+                            record: InstanceRecord::of(candidate),
+                            txn: txn.clone(),
+                        },
+                        txn,
+                    )
+                })
+                .map(|s| seq = s)
+            },
+        )?;
+        if !installed {
             return Err(EngineError::Change(ChangeError::Precondition(format!(
                 "concurrent change: {id} was modified while the undo committed"
             ))));
         }
         self.invalidate_instance(id);
-        // The undo is a committed change like any other: it gets its own
-        // transaction record (applied inverse + the op that would redo it)
-        // so the audit trail can reconstruct the bias exactly.
-        let seq = self.txn_log.append(
-            TxnTarget::Instance(id),
-            vec![applied_inverse],
-            vec![Some(last.op.clone())],
-        );
         self.monitor.record(EngineEvent::AdHocChanged {
             instance: id,
             op: format!("undo {}", last.op.name()),
@@ -844,18 +967,46 @@ impl ProcessEngine {
                     // hop's read and its install must not be overwritten
                     // by state adapted from the stale snapshot — on a
                     // lost race the loop re-reads and re-checks the hop.
-                    if !self.store.migrate_if(
+                    // On a durable engine the hop's post-image is
+                    // journaled inside the CAS (before visibility); a
+                    // journaling failure aborts the hop.
+                    let wal = self.txn_log.wal();
+                    let installed = self.store.migrate_if_journaled(
                         id,
                         Some((inst.version, &inst.state)),
                         next,
                         adapted,
                         res.materialized.as_ref(),
-                    ) {
-                        contested += 1;
-                        if contested >= MAX_MIGRATE_RETRIES {
-                            return contested_outcome(id, contested);
+                        |candidate| {
+                            if wal.enabled() {
+                                wal.append(WalRecord::Migrated {
+                                    record: InstanceRecord::of(candidate),
+                                })
+                                .map(|_| ())
+                            } else {
+                                Ok(())
+                            }
+                        },
+                    );
+                    match installed {
+                        Err(e) => {
+                            return InstanceOutcome {
+                                instance: id,
+                                biased: inst.is_biased(),
+                                verdict: Verdict::conflict(
+                                    ConflictKind::Internal,
+                                    format!("migration hop could not be journaled: {e}"),
+                                ),
+                            };
                         }
-                        continue;
+                        Ok(false) => {
+                            contested += 1;
+                            if contested >= MAX_MIGRATE_RETRIES {
+                                return contested_outcome(id, contested);
+                            }
+                            continue;
+                        }
+                        Ok(true) => {}
                     }
                     contested = 0;
                     self.invalidate_instance(id);

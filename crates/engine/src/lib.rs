@@ -109,6 +109,38 @@
 //! entry points [`ProcessEngine::ad_hoc_change`] /
 //! [`ProcessEngine::evolve_type`] remain as deprecated wrappers over
 //! one-op transactions.
+//!
+//! ## Durability: write-ahead log + crash recovery
+//!
+//! A durable engine ([`ProcessEngine::with_wal`]) journals every
+//! committed mutation to an [`adept_storage::StorageBackend`] *before*
+//! it becomes visible; [`recovery::recover_from`] rebuilds the exact
+//! engine from the latest snapshot plus the log tail after a crash.
+//! [`ProcessEngine::checkpoint_with`] persists a snapshot and truncates
+//! the log only once the snapshot is safe.
+//!
+//! ```
+//! use adept_engine::{recovery, ProcessEngine};
+//! use adept_model::SchemaBuilder;
+//! use adept_storage::MemoryBackend;
+//!
+//! // `MemoryBackend` clones share one medium — the in-memory stand-in
+//! // for a log file that survives the process. Production code uses
+//! // `FileBackend::new(path)`.
+//! let medium = MemoryBackend::new();
+//! let engine = ProcessEngine::with_wal(Box::new(medium.clone())).unwrap();
+//! let mut b = SchemaBuilder::new("expense");
+//! b.activity("submit");
+//! let name = engine.deploy(b.build().unwrap()).unwrap();
+//! let id = engine.create_instance(&name).unwrap();
+//! drop(engine); // crash: only the journaled log survives
+//!
+//! // Restart: replay the log (no snapshot here) into a fresh engine.
+//! let (engine, report) = recovery::recover(Box::new(medium)).unwrap();
+//! assert_eq!(report.replayed, 2); // deploy + create
+//! assert!(report.divergent.is_empty());
+//! assert!(engine.store.get(id).is_some());
+//! ```
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -116,6 +148,7 @@
 pub mod command;
 pub mod engine;
 pub mod monitor;
+pub mod recovery;
 pub mod session;
 pub(crate) mod shard;
 pub mod worklist;
@@ -123,5 +156,6 @@ pub mod worklist;
 pub use command::{CommandOutcome, EngineCommand};
 pub use engine::{EngineError, ProcessEngine};
 pub use monitor::{render_instance_dot, render_instance_summary, EngineEvent, Monitor};
+pub use recovery::{recover, recover_from, RecoveryReport};
 pub use session::{ChangeSession, TxnReceipt};
 pub use worklist::WorkItem;

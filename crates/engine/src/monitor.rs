@@ -133,6 +133,20 @@ pub enum EngineEvent {
         /// Number of operations that were staged when aborted.
         staged: usize,
     },
+    /// The engine was rebuilt from snapshot + write-ahead-log replay.
+    Recovered {
+        /// WAL entries replayed on top of the snapshot.
+        replayed: usize,
+        /// Entries skipped as already covered by the snapshot.
+        skipped: usize,
+        /// Bytes of a torn final record dropped by the crash repair.
+        torn_tail_bytes: usize,
+    },
+    /// A checkpoint persisted a snapshot and truncated the WAL.
+    CheckpointTaken {
+        /// The WAL watermark the snapshot covers.
+        wal_seq: u64,
+    },
 }
 
 impl fmt::Display for EngineEvent {
@@ -184,6 +198,18 @@ impl fmt::Display for EngineEvent {
             }
             EngineEvent::TxnAborted { target, staged } => {
                 write!(f, "txn on {target} aborted ({staged} ops staged)")
+            }
+            EngineEvent::Recovered {
+                replayed,
+                skipped,
+                torn_tail_bytes,
+            } => write!(
+                f,
+                "recovered: {replayed} wal record(s) replayed, {skipped} skipped, \
+                 {torn_tail_bytes} torn byte(s) dropped"
+            ),
+            EngineEvent::CheckpointTaken { wal_seq } => {
+                write!(f, "checkpoint at wal #{wal_seq}")
             }
         }
     }

@@ -31,7 +31,7 @@ use adept_core::{
 };
 use adept_model::{Blocks, InstanceId, NodeId};
 use adept_state::Execution;
-use adept_storage::TxnTarget;
+use adept_storage::{InstanceRecord, TxnRecord, TxnTarget, WalRecord};
 
 /// What a session changes.
 #[derive(Debug, Clone)]
@@ -327,7 +327,13 @@ impl ChangeSession<'_> {
             bias.push(rec.clone());
         }
         bias.purge();
-        if !engine.store.set_bias_if(
+        // Write-ahead: the candidate post-image plus the transaction
+        // record are journaled while the shard lock is held, *before* the
+        // candidate replaces the visible instance — a commit the WAL
+        // could not record never becomes visible.
+        let wal = engine.txn_log.wal();
+        let mut seq = 0u64;
+        let installed = engine.store.set_bias_if_journaled(
             id,
             inst.version,
             &inst.bias,
@@ -335,7 +341,26 @@ impl ChangeSession<'_> {
             bias,
             &committed.schema,
             st,
-        ) {
+            |candidate| {
+                wal.append_txn(|txn_seq| {
+                    let txn = TxnRecord {
+                        seq: txn_seq,
+                        target: TxnTarget::Instance(id),
+                        ops: ops.clone(),
+                        inverses: committed.inverses.clone(),
+                    };
+                    (
+                        WalRecord::ChangeCommitted {
+                            record: InstanceRecord::of(candidate),
+                            txn: txn.clone(),
+                        },
+                        txn,
+                    )
+                })
+                .map(|s| seq = s)
+            },
+        )?;
+        if !installed {
             return Err(EngineError::Change(ChangeError::Precondition(format!(
                 "concurrent change: {id} was modified while the transaction committed"
             ))));
@@ -350,10 +375,6 @@ impl ChangeSession<'_> {
                 op: rec.op.to_string(),
             });
         }
-
-        let seq = engine
-            .txn_log
-            .append(TxnTarget::Instance(id), ops, committed.inverses);
         engine.monitor.record(EngineEvent::TxnCommitted {
             target: id.to_string(),
             ops: n,
@@ -386,13 +407,39 @@ impl ChangeSession<'_> {
         };
         let ops: Vec<ChangeOp> = committed.delta.ops.iter().map(|r| r.op.clone()).collect();
         let n = committed.delta.len();
-        // Atomic install: the repository re-checks the base version, so a
-        // racing evolution cannot interleave.
-        let v = match engine.repo.install_evolution(
+        // Atomic install: the repository re-checks the base version under
+        // its types lock, so a racing evolution cannot interleave — and
+        // the WAL record plus transaction record are journaled inside that
+        // critical section, *before* the new version becomes visible.
+        let wal = engine.txn_log.wal();
+        let mut seq = 0u64;
+        let v = match engine.repo.install_evolution_journaled(
             &name,
             base_version,
             committed.schema,
             committed.delta.clone(),
+            |v| {
+                wal.append_txn(|txn_seq| {
+                    let txn = TxnRecord {
+                        seq: txn_seq,
+                        target: TxnTarget::Type {
+                            name: name.clone(),
+                            new_version: v,
+                        },
+                        ops: ops.clone(),
+                        inverses: committed.inverses.clone(),
+                    };
+                    (
+                        WalRecord::Evolved {
+                            name: name.clone(),
+                            base_version,
+                            txn: txn.clone(),
+                        },
+                        txn,
+                    )
+                })
+                .map(|s| seq = s)
+            },
         ) {
             Ok(v) => v,
             Err(e) => {
@@ -404,17 +451,9 @@ impl ChangeSession<'_> {
             }
         };
         engine.monitor.record(EngineEvent::TypeEvolved {
-            type_name: name.clone(),
+            type_name: name,
             version: v,
         });
-        let seq = engine.txn_log.append(
-            TxnTarget::Type {
-                name,
-                new_version: v,
-            },
-            ops,
-            committed.inverses,
-        );
         engine.monitor.record(EngineEvent::TxnCommitted {
             target: format!("V{v}"),
             ops: n,

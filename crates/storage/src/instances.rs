@@ -241,12 +241,26 @@ impl InstanceStore {
 
     /// Creates a new (unbiased) instance of a type version.
     pub fn create(&self, type_name: &str, version: u32, state: InstanceState) -> InstanceId {
+        let id = self.allocate_id();
+        self.insert_new(id, type_name, version, state);
+        id
+    }
+
+    /// Allocates the next instance id without inserting anything — the
+    /// journaled creation path reserves the id first so the WAL record
+    /// can carry it *before* the instance becomes visible.
+    pub fn allocate_id(&self) -> InstanceId {
         let prev = self.next_id.fetch_add(1, Ordering::Relaxed);
         assert!(
             prev < u64::MAX,
             "instance id space exhausted (u64::MAX allocations)"
         );
-        let id = InstanceId(prev + 1);
+        InstanceId(prev + 1)
+    }
+
+    /// Inserts a fresh unbiased instance under a previously
+    /// [allocated](InstanceStore::allocate_id) id.
+    pub fn insert_new(&self, id: InstanceId, type_name: &str, version: u32, state: InstanceState) {
         self.shard(id).write().insert(StoredInstance {
             id,
             type_name: type_name.to_string(),
@@ -257,7 +271,6 @@ impl InstanceStore {
             full_copy: None,
             cached_overlay: None,
         });
-        id
     }
 
     /// Inserts a fully-specified instance (persistence restore path). The
@@ -476,6 +489,54 @@ impl InstanceStore {
         true
     }
 
+    /// [`InstanceStore::set_bias_if`] with a write-ahead journaling hook:
+    /// once the compare-and-set check passes, the fully-built candidate
+    /// instance is handed to `journal` **before** it is installed — still
+    /// under the shard write lock, so the WAL records installs in their
+    /// visibility order. If journaling fails nothing is installed and the
+    /// error surfaces (`Ok(false)` = CAS mismatch, as before).
+    #[allow(clippy::too_many_arguments)]
+    pub fn set_bias_if_journaled<E>(
+        &self,
+        id: InstanceId,
+        expected_version: u32,
+        expected_bias: &Delta,
+        expected_state: &InstanceState,
+        bias: Delta,
+        materialized: &ProcessSchema,
+        state: InstanceState,
+        journal: impl FnOnce(&StoredInstance) -> Result<(), E>,
+    ) -> Result<bool, E> {
+        let mut shard = self.shard(id).write();
+        let Some(inst) = shard.instances.get_mut(&id) else {
+            return Ok(false);
+        };
+        if inst.version != expected_version
+            || inst.bias != *expected_bias
+            || inst.state != *expected_state
+        {
+            return Ok(false);
+        }
+        let (full_copy, cached_overlay) = match self.strategy {
+            Representation::FullCopy => (Some(Arc::new(materialized.clone())), None),
+            // Hybrid: cache invalidated, next access re-overlays.
+            Representation::Hybrid | Representation::RedundantFree => (None, None),
+        };
+        let candidate = StoredInstance {
+            id: inst.id,
+            type_name: inst.type_name.clone(),
+            version: inst.version,
+            subst: SubstitutionBlock::from_delta(&bias, materialized),
+            bias,
+            state,
+            full_copy,
+            cached_overlay,
+        };
+        journal(&candidate)?;
+        *inst = candidate;
+        Ok(true)
+    }
+
     /// Re-homes an instance after migration: new version, possibly rebased
     /// bias artefacts, adapted state.
     pub fn migrate(
@@ -524,6 +585,51 @@ impl InstanceStore {
             }
         }
         true
+    }
+
+    /// [`InstanceStore::migrate_if`] with a write-ahead journaling hook —
+    /// same contract as [`InstanceStore::set_bias_if_journaled`]: the
+    /// candidate is journaled under the shard write lock after the CAS
+    /// check passes and installed only if journaling succeeds.
+    pub fn migrate_if_journaled<E>(
+        &self,
+        id: InstanceId,
+        expected: Option<(u32, &InstanceState)>,
+        new_version: u32,
+        state: InstanceState,
+        materialized: Option<&ProcessSchema>,
+        journal: impl FnOnce(&StoredInstance) -> Result<(), E>,
+    ) -> Result<bool, E> {
+        let mut shard = self.shard(id).write();
+        let Some(inst) = shard.instances.get_mut(&id) else {
+            return Ok(false);
+        };
+        if let Some((version, exp_state)) = expected {
+            if inst.version != version || inst.state != *exp_state {
+                return Ok(false);
+            }
+        }
+        let mut candidate = StoredInstance {
+            id: inst.id,
+            type_name: inst.type_name.clone(),
+            version: new_version,
+            bias: inst.bias.clone(),
+            subst: inst.subst.clone(),
+            state,
+            full_copy: None,
+            cached_overlay: None,
+        };
+        if let Some(m) = materialized {
+            candidate.subst = SubstitutionBlock::from_delta(&candidate.bias, m);
+            match self.strategy {
+                Representation::FullCopy => candidate.full_copy = Some(Arc::new(m.clone())),
+                Representation::Hybrid => candidate.cached_overlay = Some(Arc::new(m.clone())),
+                Representation::RedundantFree => {}
+            }
+        }
+        journal(&candidate)?;
+        *inst = candidate;
+        Ok(true)
     }
 
     /// Current access statistics (a relaxed snapshot of the atomic

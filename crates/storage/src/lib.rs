@@ -52,25 +52,69 @@
 //! [`instances`] for the full discipline. `InstanceStore::with_shards(_, 1)`
 //! reproduces the old single-map behaviour and serves as the contention
 //! baseline in the `store_throughput` benchmark.
+//!
+//! # Durability & recovery
+//!
+//! ADEPT2 is a *production-grade* engine: instance state, change
+//! transactions and migration outcomes must survive an engine crash, not
+//! just a polite shutdown. The durability subsystem provides exactly
+//! that, in three layers:
+//!
+//! * **[`StorageBackend`]** ([`backend`]) — the pluggable medium: an
+//!   append-only line store with `append_line` / `sync` / `read_log` /
+//!   `reset`. Two implementations ship: [`MemoryBackend`] (shared
+//!   in-memory buffer with fault-injection hooks, for tests and benches)
+//!   and [`FileBackend`] (an embedded durable file with a configurable
+//!   [`SyncPolicy`] — fsync every append, every N appends, or never).
+//! * **[`WriteAheadLog`]** ([`wal`]) — every committed change transaction
+//!   and every state-mutating command outcome is appended as one compact
+//!   JSON line ([`WalEntry`]) **before** it becomes visible engine state.
+//!   Records carry physical post-images, so replay is a sequence of
+//!   idempotent upserts. The WAL *is* the transaction log: [`TxnLog`] is
+//!   a view over its transaction projection.
+//! * **Snapshots + replay** ([`persist`]) — format-3 snapshots record the
+//!   WAL watermark (`wal_seq`) they cover. Recovery loads the latest
+//!   snapshot, replays the WAL tail (`seq > wal_seq`) onto it, and ends
+//!   at the exact pre-crash engine — byte-for-byte equal to an
+//!   uninterrupted run's snapshot. Format-2 and format-1 documents still
+//!   restore.
+//!
+//! Crash semantics: a record is appended with a single write of
+//! `line + '\n'`, so a crash mid-append leaves a *torn tail* — bytes
+//! after the last newline. [`StorageBackend::read_log`] truncates the
+//! torn tail (on the medium) and recovery proceeds from the last complete
+//! record. A *complete* line that does not decode cannot be produced by a
+//! crash; it means the medium was damaged, and recovery refuses to start
+//! ([`StorageError::Corrupt`]). All failures on the persistence path are
+//! typed ([`error`]): backend I/O, corrupt streams, and encode failures
+//! are distinguishable, and a journaling failure during a commit aborts
+//! the commit instead of silently diverging from the log.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod backend;
+pub mod error;
 pub mod instances;
 pub mod persist;
 pub mod repo;
 pub mod shards;
 pub mod subst;
 pub mod txnlog;
+pub mod wal;
 
+pub use backend::{FileBackend, MemoryBackend, RawLog, StorageBackend, SyncPolicy};
+pub use error::{JournaledError, StorageError};
 pub use instances::{
     AccessStats, InstanceStore, MemoryBreakdown, Representation, StoredInstance,
     DEFAULT_SHARD_COUNT,
 };
 pub use persist::{
-    from_json, restore, restore_with_txns, snapshot, snapshot_with_txns, to_json, Snapshot,
+    from_json, restore, restore_with_txns, snapshot, snapshot_with_txns, to_json, InstanceRecord,
+    Snapshot,
 };
 pub use repo::{DeployedSchema, SchemaRepository};
 pub use shards::Shards;
 pub use subst::SubstitutionBlock;
 pub use txnlog::{TxnLog, TxnRecord, TxnTarget};
+pub use wal::{WalEntry, WalRecord, WriteAheadLog};

@@ -9,16 +9,19 @@
 //! repository + store, re-deriving the caches (block structures,
 //! overlays) that are deliberately not persisted.
 
+use crate::error::StorageError;
 use crate::instances::{InstanceStore, Representation, StoredInstance};
 use crate::repo::SchemaRepository;
 use crate::subst::SubstitutionBlock;
 use crate::txnlog::{TxnLog, TxnRecord};
-use adept_core::{ChangeError, Delta, ProcessType};
+use adept_core::{Delta, ProcessType};
 use adept_model::InstanceId;
 use adept_state::InstanceState;
 use serde::{Deserialize, Serialize};
 
-/// Serialised form of one stored instance.
+/// Serialised form of one stored instance — also the post-image payload
+/// of write-ahead-log records ([`crate::WalRecord::ChangeCommitted`],
+/// [`crate::WalRecord::Migrated`]).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct InstanceRecord {
     /// Instance id.
@@ -35,6 +38,35 @@ pub struct InstanceRecord {
     pub state: InstanceState,
 }
 
+impl InstanceRecord {
+    /// The serialised form of a stored instance (caches dropped — they
+    /// are re-derived on restore).
+    pub fn of(inst: &StoredInstance) -> Self {
+        InstanceRecord {
+            id: inst.id,
+            type_name: inst.type_name.clone(),
+            version: inst.version,
+            bias: inst.bias.clone(),
+            subst: inst.subst.clone(),
+            state: inst.state.clone(),
+        }
+    }
+
+    /// Rebuilds the stored instance (caches empty, to be re-derived).
+    pub fn into_stored(self) -> StoredInstance {
+        StoredInstance {
+            id: self.id,
+            type_name: self.type_name,
+            version: self.version,
+            bias: self.bias,
+            subst: self.subst,
+            state: self.state,
+            full_copy: None,
+            cached_overlay: None,
+        }
+    }
+}
+
 /// A complete engine snapshot.
 #[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct Snapshot {
@@ -49,13 +81,18 @@ pub struct Snapshot {
     /// The committed change-transaction log. Defaults to empty so
     /// format-1 snapshots (written before the log existed) still parse.
     pub txns: Vec<TxnRecord>,
+    /// The write-ahead-log watermark this snapshot covers: recovery
+    /// replays WAL entries with `seq > wal_seq` on top of it. 0 for
+    /// snapshots taken without a durable WAL (nothing to replay).
+    pub wal_seq: u64,
 }
 
-// Hand-written so the `txns` field can default: format-1 snapshots were
-// written before the transaction log existed and must stay restorable.
-// The default is gated on the format — a format-2 document *missing* the
-// field is corrupt (truncated write), not historic, and must not be
-// silently restored with an empty audit log.
+// Hand-written so historic fields can default: format-1 snapshots were
+// written before the transaction log existed, format-2 snapshots before
+// the write-ahead log, and both must stay restorable. Each default is
+// gated on the format — a format-2 document *missing* `txns` (or a
+// format-3 document missing `wal_seq`) is corrupt (truncated write), not
+// historic, and must not be silently restored with defaults.
 impl serde::Deserialize for Snapshot {
     fn deserialize(v: &serde::Value) -> Result<Self, serde::Error> {
         let m = serde::as_map(v, "Snapshot")?;
@@ -70,13 +107,18 @@ impl serde::Deserialize for Snapshot {
                 Err(_) if format <= 1 => Vec::new(),
                 Err(e) => return Err(e),
             },
+            wal_seq: match serde::field(m, "wal_seq") {
+                Ok(v) => serde::Deserialize::deserialize(v)?,
+                Err(_) if format <= 2 => 0,
+                Err(e) => return Err(e),
+            },
         })
     }
 }
 
 /// Current snapshot format version. Version 2 added the change-transaction
-/// log (`txns`).
-pub const SNAPSHOT_FORMAT: u32 = 2;
+/// log (`txns`); version 3 the write-ahead-log watermark (`wal_seq`).
+pub const SNAPSHOT_FORMAT: u32 = 3;
 
 /// Captures a snapshot including the change-transaction log.
 pub fn snapshot_with_txns(
@@ -109,14 +151,7 @@ pub fn snapshot(repo: &SchemaRepository, store: &InstanceStore) -> Snapshot {
         .all()
         .into_iter()
         .filter(|inst| known.contains(&inst.type_name))
-        .map(|inst| InstanceRecord {
-            id: inst.id,
-            type_name: inst.type_name,
-            version: inst.version,
-            bias: inst.bias,
-            subst: inst.subst,
-            state: inst.state,
-        })
+        .map(|inst| InstanceRecord::of(&inst))
         .collect();
     Snapshot {
         format: SNAPSHOT_FORMAT,
@@ -124,21 +159,24 @@ pub fn snapshot(repo: &SchemaRepository, store: &InstanceStore) -> Snapshot {
         types,
         instances,
         txns: Vec::new(),
+        wal_seq: 0,
     }
 }
 
-/// Serialises a snapshot to pretty JSON.
-pub fn to_json(s: &Snapshot) -> Result<String, ChangeError> {
-    serde_json::to_string_pretty(s)
-        .map_err(|e| ChangeError::Precondition(format!("snapshot serialisation failed: {e}")))
+/// Serialises a snapshot to compact JSON — the same codec the WAL uses,
+/// so every persisted artefact of the engine reads identically.
+pub fn to_json(s: &Snapshot) -> Result<String, StorageError> {
+    serde_json::to_string(s).map_err(|e| StorageError::Encode {
+        detail: format!("snapshot: {e}"),
+    })
 }
 
 /// Deserialises a snapshot from JSON.
-pub fn from_json(json: &str) -> Result<Snapshot, ChangeError> {
+pub fn from_json(json: &str) -> Result<Snapshot, StorageError> {
     let s: Snapshot = serde_json::from_str(json)
-        .map_err(|e| ChangeError::Precondition(format!("snapshot parse failed: {e}")))?;
+        .map_err(|e| StorageError::corrupt(format!("snapshot parse failed: {e}")))?;
     if s.format == 0 || s.format > SNAPSHOT_FORMAT {
-        return Err(ChangeError::Precondition(format!(
+        return Err(StorageError::corrupt(format!(
             "unsupported snapshot format {} (expected 1..={SNAPSHOT_FORMAT})",
             s.format
         )));
@@ -149,26 +187,30 @@ pub fn from_json(json: &str) -> Result<Snapshot, ChangeError> {
 /// Restores repository, store *and* transaction log from a snapshot.
 pub fn restore_with_txns(
     s: &Snapshot,
-) -> Result<(SchemaRepository, InstanceStore, TxnLog), ChangeError> {
+) -> Result<(SchemaRepository, InstanceStore, TxnLog), StorageError> {
     let (repo, store) = restore(s)?;
     Ok((repo, store, TxnLog::from_records(s.txns.clone())))
 }
 
 /// Restores a repository + store pair from a snapshot. Caches (deployed
 /// block structures, overlay materialisations) are re-derived; instance
-/// ids are preserved.
-pub fn restore(s: &Snapshot) -> Result<(SchemaRepository, InstanceStore), ChangeError> {
+/// ids are preserved. Every failure — an empty version chain, a delta
+/// that no longer applies, a replay that diverges from the recorded
+/// schema — surfaces as a [`StorageError::Corrupt`]; nothing on this
+/// path unwraps or swallows.
+pub fn restore(s: &Snapshot) -> Result<(SchemaRepository, InstanceStore), StorageError> {
     let repo = SchemaRepository::new();
     for pt in &s.types {
-        // Re-deploy version 1, then re-play the recorded deltas so the
-        // repository rebuilds its deployment caches and keeps the exact
-        // version chain (ids included, since application is id-stable
-        // relative to the same base schema).
+        // Re-deploy version 1 (keeping the recorded schema id), then
+        // re-play the recorded deltas so the repository rebuilds its
+        // deployment caches and keeps the exact version chain (ids
+        // included, since application is id-stable relative to the same
+        // base schema).
         let base = pt
             .versions
             .first()
-            .ok_or_else(|| ChangeError::Precondition("type without versions".into()))?;
-        let name = repo.deploy(base.clone())?;
+            .ok_or_else(|| StorageError::corrupt("type without versions"))?;
+        let name = repo.deploy_recorded(base.clone())?;
         for (i, _delta) in pt.deltas.iter().enumerate() {
             // Prefer exactness: push the recorded evolved schema directly
             // by applying the recorded ops; equality is asserted below.
@@ -177,12 +219,12 @@ pub fn restore(s: &Snapshot) -> Result<(SchemaRepository, InstanceStore), Change
             let (v, _) = repo.evolve(&name, &ops)?;
             let rebuilt = repo
                 .deployed(&name, v)
-                .ok_or_else(|| ChangeError::Precondition("evolve lost version".into()))?;
+                .ok_or_else(|| StorageError::corrupt("evolve lost version"))?;
             let recorded = &pt.versions[i + 1];
             if rebuilt.schema.node_count() != recorded.node_count()
                 || rebuilt.schema.edge_count() != recorded.edge_count()
             {
-                return Err(ChangeError::Precondition(format!(
+                return Err(StorageError::corrupt(format!(
                     "snapshot replay diverged for {name} V{v}"
                 )));
             }
@@ -190,16 +232,7 @@ pub fn restore(s: &Snapshot) -> Result<(SchemaRepository, InstanceStore), Change
     }
     let store = InstanceStore::new(s.strategy);
     for rec in &s.instances {
-        store.insert_restored(StoredInstance {
-            id: rec.id,
-            type_name: rec.type_name.clone(),
-            version: rec.version,
-            bias: rec.bias.clone(),
-            subst: rec.subst.clone(),
-            state: rec.state.clone(),
-            full_copy: None,
-            cached_overlay: None,
-        });
+        store.insert_restored(rec.clone().into_stored());
     }
     Ok((repo, store))
 }
@@ -280,14 +313,32 @@ mod tests {
         let (repo, store, _) = world();
         let mut snap = snapshot(&repo, &store);
         snap.format = 1;
-        // A format-1 writer never emitted the `txns` field.
+        // A format-1 writer emitted neither `txns` nor `wal_seq`.
         let json = serde_json::to_string(&snap)
             .unwrap()
-            .replace(",\"txns\":[]", "");
+            .replace(",\"txns\":[]", "")
+            .replace(",\"wal_seq\":0", "");
         assert!(!json.contains("txns"), "field must be absent: {json}");
         let parsed = from_json(&json).unwrap();
         assert_eq!(parsed.format, 1);
         assert!(parsed.txns.is_empty());
+        assert_eq!(parsed.wal_seq, 0);
+        assert!(restore_with_txns(&parsed).is_ok());
+    }
+
+    #[test]
+    fn format_2_snapshot_without_wal_seq_still_parses() {
+        let (repo, store, _) = world();
+        let mut snap = snapshot(&repo, &store);
+        snap.format = 2;
+        // A format-2 writer emitted `txns` but never `wal_seq`.
+        let json = serde_json::to_string(&snap)
+            .unwrap()
+            .replace(",\"wal_seq\":0", "");
+        assert!(!json.contains("wal_seq"), "field must be absent: {json}");
+        let parsed = from_json(&json).unwrap();
+        assert_eq!(parsed.format, 2);
+        assert_eq!(parsed.wal_seq, 0);
         assert!(restore_with_txns(&parsed).is_ok());
     }
 
@@ -303,14 +354,39 @@ mod tests {
     #[test]
     fn format_2_snapshot_missing_txns_is_corrupt() {
         let (repo, store, _) = world();
-        let snap = snapshot(&repo, &store);
+        let mut snap = snapshot(&repo, &store);
+        snap.format = 2;
         // Same truncation as the format-1 test, but claiming format 2:
         // the field is mandatory there, so the document must be rejected
         // rather than restored with a silently empty audit log.
         let json = serde_json::to_string(&snap)
             .unwrap()
-            .replace(",\"txns\":[]", "");
+            .replace(",\"txns\":[]", "")
+            .replace(",\"wal_seq\":0", "");
         assert!(from_json(&json).is_err());
+    }
+
+    #[test]
+    fn format_3_snapshot_missing_wal_seq_is_corrupt() {
+        let (repo, store, _) = world();
+        let snap = snapshot(&repo, &store);
+        assert_eq!(snap.format, 3);
+        // A format-3 document without the watermark is a truncated write:
+        // restoring it with wal_seq = 0 would re-replay the whole WAL on
+        // top of a newer snapshot. Refuse instead.
+        let json = serde_json::to_string(&snap)
+            .unwrap()
+            .replace(",\"wal_seq\":0", "");
+        let err = from_json(&json).unwrap_err();
+        assert!(matches!(err, StorageError::Corrupt { .. }), "{err}");
+    }
+
+    #[test]
+    fn snapshot_json_is_compact() {
+        let (repo, store, _) = world();
+        let snap = snapshot(&repo, &store);
+        let json = to_json(&snap).unwrap();
+        assert_eq!(json.lines().count(), 1, "compact: one document, one line");
     }
 
     #[test]

@@ -1,5 +1,7 @@
 //! The schema repository: process types and their version chains.
 
+use crate::error::JournaledError;
+use crate::error::StorageError;
 use adept_core::{ChangeError, ChangeOp, Delta, ProcessType};
 use adept_model::{Blocks, ProcessSchema, SchemaId};
 use adept_state::Execution;
@@ -56,9 +58,46 @@ impl SchemaRepository {
         *ids += 1;
         schema.id = SchemaId(*ids);
         drop(ids);
+        self.deploy_assigned(schema)
+    }
+
+    /// Deploys a schema **keeping its embedded id** — the restore/replay
+    /// path: a recovered world must end up with the exact schema ids of
+    /// the pre-crash one (post-images in the WAL reference them), so the
+    /// id counter advances past the recorded id instead of reassigning.
+    pub fn deploy_recorded(&self, schema: ProcessSchema) -> Result<String, ChangeError> {
+        let mut ids = self.next_schema_id.write();
+        *ids = (*ids).max(schema.id.0);
+        drop(ids);
+        self.deploy_assigned(schema)
+    }
+
+    fn deploy_assigned(&self, schema: ProcessSchema) -> Result<String, ChangeError> {
         let name = schema.name.clone();
         let pt = ProcessType::new(schema)?;
         let dep = DeployedSchema::new(pt.latest().clone())?;
+        self.deployed.write().insert((name.clone(), 1), dep);
+        self.types.write().insert(name.clone(), pt);
+        Ok(name)
+    }
+
+    /// Deploys a new type with a write-ahead journaling hook: `journal`
+    /// runs after the schema has verified and analysed, **before** the
+    /// deployment becomes visible. If journaling fails nothing is
+    /// installed.
+    pub fn deploy_journaled(
+        &self,
+        mut schema: ProcessSchema,
+        journal: impl FnOnce(&ProcessSchema) -> Result<(), StorageError>,
+    ) -> Result<String, JournaledError> {
+        let mut ids = self.next_schema_id.write();
+        *ids += 1;
+        schema.id = SchemaId(*ids);
+        drop(ids);
+        let name = schema.name.clone();
+        let pt = ProcessType::new(schema)?;
+        let dep = DeployedSchema::new(pt.latest().clone())?;
+        journal(&dep.schema)?;
         self.deployed.write().insert((name.clone(), 1), dep);
         self.types.write().insert(name.clone(), pt);
         Ok(name)
@@ -112,6 +151,48 @@ impl SchemaRepository {
                 Err(e)
             }
         }
+    }
+
+    /// [`SchemaRepository::install_evolution`] with a write-ahead
+    /// journaling hook. `journal` receives the new version number and
+    /// runs after the evolution has fully validated (version pushed,
+    /// block structure analysed) but while the types lock is still held —
+    /// i.e. **before** any reader can observe the new version, so the WAL
+    /// records evolutions in their visibility order. If journaling fails
+    /// the pushed version is rolled back and nothing is installed.
+    pub fn install_evolution_journaled(
+        &self,
+        name: &str,
+        expected_base: u32,
+        schema: ProcessSchema,
+        delta: Delta,
+        journal: impl FnOnce(u32) -> Result<(), StorageError>,
+    ) -> Result<u32, JournaledError> {
+        let mut types = self.types.write();
+        let pt = types
+            .get_mut(name)
+            .ok_or_else(|| ChangeError::Precondition(format!("unknown process type {name:?}")))?;
+        if pt.version_count() != expected_base {
+            return Err(ChangeError::Precondition(format!(
+                "concurrent evolution: \"{name}\" is at V{}, transaction began on V{expected_base}",
+                pt.version_count()
+            ))
+            .into());
+        }
+        let v = pt.push_prepared(schema, delta)?;
+        let dep = match DeployedSchema::new(pt.latest().clone()) {
+            Ok(dep) => dep,
+            Err(e) => {
+                pt.pop_prepared();
+                return Err(e.into());
+            }
+        };
+        if let Err(e) = journal(v) {
+            pt.pop_prepared();
+            return Err(e.into());
+        }
+        self.deployed.write().insert((name.to_string(), v), dep);
+        Ok(v)
     }
 
     /// The deployed schema of a specific version.

@@ -1,17 +1,26 @@
-//! The persisted change-transaction log.
+//! The change-transaction log — an audit *view* over the write-ahead log.
 //!
 //! Every committed change transaction — ad-hoc instance deviation or type
-//! evolution — leaves one [`TxnRecord`] here: what was changed, in which
+//! evolution — leaves one [`TxnRecord`]: what was changed, in which
 //! order, and the recorded inverse of each operation (the rollback
 //! material). The log is the durable audit trail the engine's monitoring
 //! component summarises, and it rides along in persistence snapshots so a
 //! restored system keeps its change history.
+//!
+//! Since the durability subsystem landed, the records themselves live in
+//! the [`WriteAheadLog`]: commit paths append one WAL record that carries
+//! both the state post-image and the embedded `TxnRecord`, and `TxnLog`
+//! is a cheap handle exposing the transaction projection of that log.
+//! The old standalone locked `Vec` with its own global sequence is gone —
+//! there is one log, and this is a view of it.
 
+use crate::error::StorageError;
+use crate::wal::{WalRecord, WriteAheadLog};
 use adept_core::{ChangeError, ChangeOp};
 use adept_model::InstanceId;
-use parking_lot::RwLock;
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::sync::Arc;
 
 /// What a transaction changed.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -62,54 +71,91 @@ impl fmt::Display for TxnRecord {
     }
 }
 
-/// The append-only transaction log. Thread-safe; commit order is the
-/// sequence order.
-#[derive(Debug, Default)]
+/// The transaction-log view. Clone-cheap (an `Arc` over the WAL); commit
+/// order is the sequence order.
+#[derive(Debug, Clone)]
 pub struct TxnLog {
-    entries: RwLock<Vec<TxnRecord>>,
+    wal: Arc<WriteAheadLog>,
+}
+
+impl Default for TxnLog {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl TxnLog {
-    /// An empty log.
+    /// An empty log over a disabled (in-memory view only) WAL.
     pub fn new() -> Self {
-        Self::default()
+        Self {
+            wal: Arc::new(WriteAheadLog::disabled()),
+        }
     }
 
-    /// Rebuilds a log from persisted records (ordered by `seq`).
-    pub fn from_records(mut records: Vec<TxnRecord>) -> Self {
-        records.sort_by_key(|r| r.seq);
-        Self {
-            entries: RwLock::new(records),
-        }
+    /// The transaction view of an existing write-ahead log.
+    pub fn over(wal: Arc<WriteAheadLog>) -> Self {
+        Self { wal }
+    }
+
+    /// The underlying write-ahead log.
+    pub fn wal(&self) -> &Arc<WriteAheadLog> {
+        &self.wal
+    }
+
+    /// Rebuilds a log from persisted records (ordered by `seq`) over a
+    /// disabled WAL.
+    pub fn from_records(records: Vec<TxnRecord>) -> Self {
+        let log = Self::new();
+        log.wal.seed_txns(records);
+        log
     }
 
     /// Appends a committed transaction, assigning the next sequence
     /// number. Returns the assigned number.
+    ///
+    /// This is the audit-only compatibility path: the record is journaled
+    /// as a [`WalRecord::Txn`] with no state side effect. Commit paths
+    /// that also produce a post-image append through
+    /// [`WriteAheadLog::append_txn`] directly, atomically pairing image
+    /// and audit record in one line.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a fallible durable backend rejects the append — callers
+    /// of this legacy signature have no error channel. Engine commit
+    /// paths use the fallible WAL API instead.
     pub fn append(
         &self,
         target: TxnTarget,
         ops: Vec<ChangeOp>,
         inverses: Vec<Option<ChangeOp>>,
     ) -> u64 {
-        let mut entries = self.entries.write();
-        let seq = entries.last().map(|r| r.seq).unwrap_or(0) + 1;
-        entries.push(TxnRecord {
-            seq,
-            target,
-            ops,
-            inverses,
-        });
-        seq
+        self.wal
+            .append_txn(|seq| {
+                let record = TxnRecord {
+                    seq,
+                    target,
+                    ops,
+                    inverses,
+                };
+                (
+                    WalRecord::Txn {
+                        record: record.clone(),
+                    },
+                    record,
+                )
+            })
+            .expect("txn journaling failed on the infallible append path")
     }
 
     /// A snapshot of all records in commit order.
     pub fn records(&self) -> Vec<TxnRecord> {
-        self.entries.read().clone()
+        self.wal.txn_records()
     }
 
     /// Number of committed transactions.
     pub fn len(&self) -> usize {
-        self.entries.read().len()
+        self.wal.txn_len()
     }
 
     /// Whether nothing has been committed.
@@ -117,18 +163,49 @@ impl TxnLog {
         self.len() == 0
     }
 
-    /// Serialises the log to pretty JSON (standalone persistence; the log
-    /// is also embedded in full snapshots).
-    pub fn to_json(&self) -> Result<String, ChangeError> {
-        serde_json::to_string_pretty(&self.records())
-            .map_err(|e| ChangeError::Precondition(format!("txn log serialisation failed: {e}")))
+    /// Serialises the log as compact JSONL — one record per line, the
+    /// same codec the WAL uses on its medium, so standalone logs, WAL
+    /// streams and snapshot-embedded records all read identically.
+    pub fn to_json(&self) -> Result<String, StorageError> {
+        let mut out = String::new();
+        for record in self.records() {
+            let line = serde_json::to_string(&record).map_err(|e| StorageError::Encode {
+                detail: format!("txn record #{}: {e}", record.seq),
+            })?;
+            out.push_str(&line);
+            out.push('\n');
+        }
+        Ok(out)
     }
 
-    /// Restores a log from its JSON form.
-    pub fn from_json(json: &str) -> Result<Self, ChangeError> {
-        let records: Vec<TxnRecord> = serde_json::from_str(json)
-            .map_err(|e| ChangeError::Precondition(format!("txn log parse failed: {e}")))?;
+    /// Restores a log from its serialised form: JSONL (current) or the
+    /// legacy pretty-printed JSON array (pre-durability snapshots).
+    pub fn from_json(json: &str) -> Result<Self, StorageError> {
+        let trimmed = json.trim_start();
+        let records: Vec<TxnRecord> = if trimmed.starts_with('[') {
+            serde_json::from_str(json)
+                .map_err(|e| StorageError::corrupt(format!("txn log parse failed: {e}")))?
+        } else {
+            let mut records = Vec::new();
+            for line in json.lines() {
+                if line.trim().is_empty() {
+                    continue;
+                }
+                records.push(serde_json::from_str(line).map_err(|e| {
+                    StorageError::corrupt(format!("txn log line parse failed: {e}"))
+                })?);
+            }
+            records
+        };
         Ok(Self::from_records(records))
+    }
+}
+
+// `ChangeError` is what pre-durability callers matched on; keep the
+// conversion available for them.
+impl From<StorageError> for ChangeError {
+    fn from(e: StorageError) -> Self {
+        ChangeError::Precondition(e.to_string())
     }
 }
 
@@ -179,6 +256,8 @@ mod tests {
         let (ops, invs) = sample_ops();
         log.append(TxnTarget::Instance(InstanceId(7)), ops, invs);
         let json = log.to_json().unwrap();
+        assert_eq!(json.lines().count(), 1, "compact: one record per line");
+        assert!(!json.contains("\n  "), "no pretty indentation");
         let restored = TxnLog::from_json(&json).unwrap();
         assert_eq!(restored.records(), log.records());
         // Appending to the restored log continues the sequence.
@@ -187,5 +266,25 @@ mod tests {
             restored.append(TxnTarget::Instance(InstanceId(8)), ops, invs),
             2
         );
+    }
+
+    #[test]
+    fn from_json_accepts_legacy_array_form() {
+        let log = TxnLog::new();
+        let (ops, invs) = sample_ops();
+        log.append(TxnTarget::Instance(InstanceId(3)), ops, invs);
+        let legacy = serde_json::to_string_pretty(&log.records()).unwrap();
+        let restored = TxnLog::from_json(&legacy).unwrap();
+        assert_eq!(restored.records(), log.records());
+    }
+
+    #[test]
+    fn view_over_shared_wal_sees_commits() {
+        let wal = Arc::new(WriteAheadLog::disabled());
+        let log = TxnLog::over(Arc::clone(&wal));
+        let (ops, invs) = sample_ops();
+        log.append(TxnTarget::Instance(InstanceId(1)), ops, invs);
+        assert_eq!(wal.txn_len(), 1, "the view writes through to the WAL");
+        assert_eq!(TxnLog::over(wal).len(), 1);
     }
 }

@@ -1,0 +1,489 @@
+//! The write-ahead log: every engine mutation as one durable JSONL record.
+//!
+//! The WAL is the engine's source of durability *between* snapshots:
+//! every committed change transaction and every state-mutating command
+//! outcome is appended here — encoded as one compact JSON line — **before**
+//! it becomes visible engine state. Recovery loads the latest snapshot and
+//! replays the WAL tail (`seq > snapshot.wal_seq`) to reconstruct the
+//! exact pre-crash engine; see the crate-level "Durability & recovery"
+//! section.
+//!
+//! Records carry **physical post-images** (the full instance record or
+//! runtime state after the mutation), not logical commands: replay is a
+//! sequence of idempotent upserts, so it converges byte-for-byte without
+//! re-running drivers, guards or compliance checks. Change transactions
+//! additionally embed their audit [`TxnRecord`] in the *same* line as the
+//! post-image — one append, so a crash can never separate a change from
+//! its audit trail.
+//!
+//! The WAL also **is** the transaction log: [`crate::TxnLog`] is a view
+//! over the `txns` projection maintained here, replacing the old
+//! standalone locked `Vec` and its separate global sequence.
+
+use crate::backend::StorageBackend;
+use crate::error::StorageError;
+use crate::persist::InstanceRecord;
+use crate::txnlog::TxnRecord;
+use adept_model::{InstanceId, ProcessSchema};
+use adept_state::InstanceState;
+use parking_lot::RwLock;
+use serde::{Deserialize, Serialize};
+
+/// One durable engine mutation. Post-image records (`Created`,
+/// `StateChanged`, `ChangeCommitted`, `Migrated`) carry the complete
+/// resulting state, so replay is an upsert and re-applying a record is
+/// harmless.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum WalRecord {
+    /// A process type was deployed (version 1). Carries the deployed
+    /// schema verbatim, id included.
+    Deployed {
+        /// The deployed version-1 schema.
+        schema: ProcessSchema,
+    },
+    /// A type evolution committed: `name` gained the version after
+    /// `base_version`, produced by the embedded transaction's operations.
+    Evolved {
+        /// Process type name.
+        name: String,
+        /// The version the evolution was based on.
+        base_version: u32,
+        /// The audit record (ops + inverses) of the committed evolution.
+        txn: TxnRecord,
+    },
+    /// An instance was created (initial state post-image).
+    Created {
+        /// The new instance.
+        id: InstanceId,
+        /// Its process type.
+        type_name: String,
+        /// The version it was created on.
+        version: u32,
+        /// Its initial runtime state.
+        state: InstanceState,
+    },
+    /// A command (or command segment) mutated an instance's runtime
+    /// state; `state` is the post-command image.
+    StateChanged {
+        /// The instance.
+        id: InstanceId,
+        /// Runtime state after the command segment.
+        state: InstanceState,
+    },
+    /// An ad-hoc change transaction committed on one instance: the full
+    /// instance post-image plus the audit record, atomically in one line.
+    ChangeCommitted {
+        /// The instance after the commit (bias, subst, state included).
+        record: InstanceRecord,
+        /// The audit record of the committed transaction.
+        txn: TxnRecord,
+    },
+    /// An instance migrated one version hop (full post-image).
+    Migrated {
+        /// The instance after the hop.
+        record: InstanceRecord,
+    },
+    /// An instance was removed (cancelled / archived).
+    Removed {
+        /// The removed instance.
+        id: InstanceId,
+    },
+    /// A standalone audit transaction record (no state side effect —
+    /// the compatibility path of [`crate::TxnLog::append`]).
+    Txn {
+        /// The audit record.
+        record: TxnRecord,
+    },
+}
+
+/// One WAL entry: a globally sequenced record. `seq` is contiguous and
+/// 1-based; recovery verifies contiguity and treats gaps as corruption.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WalEntry {
+    /// Position in the log (1-based, contiguous).
+    pub seq: u64,
+    /// The recorded mutation.
+    pub record: WalRecord,
+}
+
+/// Encodes one entry as its compact one-line JSON form (the shared codec:
+/// snapshots embed transaction records with the same serializer).
+pub fn encode_entry(entry: &WalEntry) -> Result<String, StorageError> {
+    serde_json::to_string(entry).map_err(|e| StorageError::Encode {
+        detail: format!("wal entry #{}: {e}", entry.seq),
+    })
+}
+
+/// Decodes one line back into an entry. A complete line that does not
+/// decode is **interior corruption** (torn tails never produce complete
+/// lines) and therefore a hard error.
+pub fn decode_entry(line: &str) -> Result<WalEntry, StorageError> {
+    serde_json::from_str(line).map_err(|e| StorageError::Corrupt {
+        detail: format!("undecodable wal record: {e}"),
+    })
+}
+
+/// State behind the WAL's lock: the optional backend (None = disabled,
+/// audit-view only), the materialised transaction-log view, and the next
+/// entry sequence number.
+#[derive(Debug)]
+struct WalInner {
+    backend: Option<Box<dyn StorageBackend>>,
+    txns: Vec<TxnRecord>,
+    next_seq: u64,
+}
+
+/// The engine's write-ahead log.
+///
+/// Disabled by default ([`WriteAheadLog::disabled`]): a disabled WAL
+/// maintains only the transaction-log *view* (the audit trail every
+/// engine keeps) and performs no encoding or I/O — the hot path of
+/// non-durable engines is untouched. Durable engines attach a
+/// [`StorageBackend`] via [`WriteAheadLog::create`] (fresh log) or
+/// [`WriteAheadLog::open`] (recovery).
+#[derive(Debug)]
+pub struct WriteAheadLog {
+    inner: RwLock<WalInner>,
+}
+
+impl Default for WriteAheadLog {
+    fn default() -> Self {
+        Self::disabled()
+    }
+}
+
+impl WriteAheadLog {
+    /// A WAL without a backend: appends maintain the transaction view
+    /// only, [`WriteAheadLog::position`] stays 0, nothing is encoded.
+    pub fn disabled() -> Self {
+        Self {
+            inner: RwLock::new(WalInner {
+                backend: None,
+                txns: Vec::new(),
+                next_seq: 1,
+            }),
+        }
+    }
+
+    /// Attaches a backend for a **fresh** engine. The backend must be
+    /// empty (a non-empty log would silently be orphaned — recovering
+    /// from it is [`WriteAheadLog::open`]'s job).
+    pub fn create(backend: Box<dyn StorageBackend>) -> Result<Self, StorageError> {
+        let raw = backend.read_log()?;
+        if !raw.lines.is_empty() {
+            return Err(StorageError::corrupt(format!(
+                "backend already holds {} wal record(s); recover from it instead of \
+                 attaching it to a fresh engine",
+                raw.lines.len()
+            )));
+        }
+        Ok(Self {
+            inner: RwLock::new(WalInner {
+                backend: Some(backend),
+                txns: Vec::new(),
+                next_seq: 1,
+            }),
+        })
+    }
+
+    /// Opens an existing log for recovery: reads every entry (after the
+    /// backend's torn-tail repair), verifies they decode, and returns the
+    /// WAL positioned after the last entry plus the decoded entries and
+    /// the number of torn bytes dropped. The transaction view starts
+    /// empty — recovery seeds it from the snapshot and the replayed
+    /// records.
+    pub fn open(
+        backend: Box<dyn StorageBackend>,
+    ) -> Result<(Self, Vec<WalEntry>, usize), StorageError> {
+        let raw = backend.read_log()?;
+        let mut entries = Vec::with_capacity(raw.lines.len());
+        for line in &raw.lines {
+            entries.push(decode_entry(line)?);
+        }
+        let next_seq = entries.last().map(|e| e.seq).unwrap_or(0) + 1;
+        let wal = Self {
+            inner: RwLock::new(WalInner {
+                backend: Some(backend),
+                txns: Vec::new(),
+                next_seq,
+            }),
+        };
+        Ok((wal, entries, raw.torn_tail_bytes))
+    }
+
+    /// Whether a backend is attached (appends encode and persist).
+    pub fn enabled(&self) -> bool {
+        self.inner.read().backend.is_some()
+    }
+
+    /// Whether appends can fail (an attached, fallible backend). Callers
+    /// use this to decide whether a rollback pre-image is worth cloning.
+    pub fn fallible(&self) -> bool {
+        self.inner
+            .read()
+            .backend
+            .as_ref()
+            .is_some_and(|b| !b.infallible())
+    }
+
+    /// The attached backend's kind (`"memory"`, `"file"`), if any.
+    pub fn backend_kind(&self) -> Option<&'static str> {
+        self.inner.read().backend.as_ref().map(|b| b.kind())
+    }
+
+    /// The sequence number of the most recently appended entry (0 =
+    /// nothing appended). Snapshots record this as their `wal_seq`
+    /// watermark.
+    pub fn position(&self) -> u64 {
+        self.inner.read().next_seq - 1
+    }
+
+    /// Advances the position watermark to at least `seq` (recovery: the
+    /// snapshot may be newer than the last surviving log entry after a
+    /// checkpoint truncation).
+    pub fn advance_position(&self, seq: u64) {
+        let mut inner = self.inner.write();
+        inner.next_seq = inner.next_seq.max(seq + 1);
+    }
+
+    /// Appends one record, assigning the next sequence number. On a
+    /// disabled WAL this is a no-op returning 0. The record is durable
+    /// (per the backend's sync policy) when this returns `Ok`.
+    pub fn append(&self, record: WalRecord) -> Result<u64, StorageError> {
+        let mut inner = self.inner.write();
+        if inner.backend.is_none() {
+            return Ok(0);
+        }
+        let seq = inner.next_seq;
+        let line = encode_entry(&WalEntry { seq, record })?;
+        inner
+            .backend
+            .as_ref()
+            .expect("checked above")
+            .append_line(&line)?;
+        inner.next_seq = seq + 1;
+        Ok(seq)
+    }
+
+    /// Appends a record that *carries a transaction*: `build` receives
+    /// the next transaction sequence number (the audit numbering, 1-based
+    /// and independent of entry sequence numbers) and returns the WAL
+    /// record plus the transaction record to expose through the view.
+    /// Assignment, append and view update happen under one lock, so
+    /// transaction numbering is race-free; on a backend failure the view
+    /// is untouched and the error surfaces to the commit path. Returns
+    /// the assigned transaction sequence number.
+    pub fn append_txn(
+        &self,
+        build: impl FnOnce(u64) -> (WalRecord, TxnRecord),
+    ) -> Result<u64, StorageError> {
+        let mut inner = self.inner.write();
+        let txn_seq = inner.txns.last().map(|r| r.seq).unwrap_or(0) + 1;
+        let (record, txn) = build(txn_seq);
+        if inner.backend.is_some() {
+            let seq = inner.next_seq;
+            let line = encode_entry(&WalEntry { seq, record })?;
+            inner
+                .backend
+                .as_ref()
+                .expect("checked above")
+                .append_line(&line)?;
+            inner.next_seq = seq + 1;
+        }
+        inner.txns.push(txn);
+        Ok(txn_seq)
+    }
+
+    /// Seeds the transaction view from persisted records (snapshot
+    /// restore). Existing view content is replaced.
+    pub fn seed_txns(&self, mut records: Vec<TxnRecord>) {
+        records.sort_by_key(|r| r.seq);
+        self.inner.write().txns = records;
+    }
+
+    /// Pushes a transaction record recovered from a replayed WAL entry
+    /// into the view. Records already covered by the seeded snapshot
+    /// (same or lower sequence number) are ignored, so replaying a tail
+    /// that overlaps the snapshot stays idempotent.
+    pub fn note_replayed_txn(&self, record: TxnRecord) {
+        let mut inner = self.inner.write();
+        let last = inner.txns.last().map(|r| r.seq).unwrap_or(0);
+        if record.seq > last {
+            inner.txns.push(record);
+        }
+    }
+
+    /// A snapshot of the transaction view, in commit order.
+    pub fn txn_records(&self) -> Vec<TxnRecord> {
+        self.inner.read().txns.clone()
+    }
+
+    /// Number of transactions in the view.
+    pub fn txn_len(&self) -> usize {
+        self.inner.read().txns.len()
+    }
+
+    /// Forces the backend to stable storage (no-op when disabled).
+    pub fn sync(&self) -> Result<(), StorageError> {
+        match self.inner.read().backend.as_ref() {
+            Some(b) => b.sync(),
+            None => Ok(()),
+        }
+    }
+
+    /// Truncates the backend's log to empty while keeping the position
+    /// watermark and the transaction view — the checkpoint step after a
+    /// snapshot carrying `wal_seq == position()` has been persisted.
+    /// Future appends continue the sequence, so recovery can verify
+    /// contiguity across the checkpoint.
+    pub fn truncate(&self) -> Result<(), StorageError> {
+        match self.inner.read().backend.as_ref() {
+            Some(b) => b.reset(),
+            None => Ok(()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::MemoryBackend;
+    use crate::txnlog::TxnTarget;
+
+    fn txn(seq: u64) -> TxnRecord {
+        TxnRecord {
+            seq,
+            target: TxnTarget::Instance(InstanceId(7)),
+            ops: vec![],
+            inverses: vec![],
+        }
+    }
+
+    #[test]
+    fn disabled_wal_keeps_view_only() {
+        let wal = WriteAheadLog::disabled();
+        assert!(!wal.enabled());
+        assert!(!wal.fallible());
+        assert_eq!(wal.position(), 0);
+        let s = wal
+            .append_txn(|seq| (WalRecord::Txn { record: txn(seq) }, txn(seq)))
+            .unwrap();
+        assert_eq!(s, 1);
+        assert_eq!(wal.position(), 0, "disabled appends don't advance");
+        assert_eq!(wal.txn_len(), 1);
+        assert_eq!(
+            wal.append(WalRecord::Removed { id: InstanceId(1) })
+                .unwrap(),
+            0
+        );
+    }
+
+    #[test]
+    fn append_assigns_contiguous_sequence() {
+        let wal = WriteAheadLog::create(Box::new(MemoryBackend::new())).unwrap();
+        assert!(wal.enabled());
+        let s1 = wal
+            .append(WalRecord::Removed { id: InstanceId(1) })
+            .unwrap();
+        let s2 = wal
+            .append(WalRecord::Removed { id: InstanceId(2) })
+            .unwrap();
+        assert_eq!((s1, s2), (1, 2));
+        assert_eq!(wal.position(), 2);
+    }
+
+    #[test]
+    fn open_decodes_entries_and_continues_sequence() {
+        let medium = MemoryBackend::new();
+        {
+            let wal = WriteAheadLog::create(Box::new(medium.clone())).unwrap();
+            wal.append(WalRecord::Removed { id: InstanceId(1) })
+                .unwrap();
+            wal.append_txn(|seq| (WalRecord::Txn { record: txn(seq) }, txn(seq)))
+                .unwrap();
+        }
+        let (wal, entries, torn) = WriteAheadLog::open(Box::new(medium)).unwrap();
+        assert_eq!(torn, 0);
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].seq, 1);
+        assert!(matches!(entries[1].record, WalRecord::Txn { .. }));
+        assert_eq!(wal.position(), 2);
+        assert_eq!(
+            wal.append(WalRecord::Removed { id: InstanceId(9) })
+                .unwrap(),
+            3
+        );
+    }
+
+    #[test]
+    fn create_refuses_nonempty_backend() {
+        let medium = MemoryBackend::new();
+        medium.append_line("{\"seq\":1}").unwrap();
+        let err = WriteAheadLog::create(Box::new(medium)).unwrap_err();
+        assert!(matches!(err, StorageError::Corrupt { .. }));
+    }
+
+    #[test]
+    fn interior_corruption_is_hard_error() {
+        let medium = MemoryBackend::new();
+        {
+            let wal = WriteAheadLog::create(Box::new(medium.clone())).unwrap();
+            wal.append(WalRecord::Removed { id: InstanceId(1) })
+                .unwrap();
+            wal.append(WalRecord::Removed { id: InstanceId(2) })
+                .unwrap();
+        }
+        // Damage the FIRST record (complete line, undecodable content).
+        let raw = medium.raw();
+        let text = String::from_utf8(raw).unwrap();
+        let corrupted = text.replacen("\"seq\":1", "\"seq\":garbage", 1);
+        medium.set_raw(corrupted.as_bytes());
+        let err = WriteAheadLog::open(Box::new(medium)).unwrap_err();
+        assert!(matches!(err, StorageError::Corrupt { .. }), "{err}");
+    }
+
+    #[test]
+    fn torn_tail_is_reported_and_dropped() {
+        let medium = MemoryBackend::new();
+        {
+            let wal = WriteAheadLog::create(Box::new(medium.clone())).unwrap();
+            wal.append(WalRecord::Removed { id: InstanceId(1) })
+                .unwrap();
+            wal.append(WalRecord::Removed { id: InstanceId(2) })
+                .unwrap();
+        }
+        let raw = medium.raw();
+        medium.set_raw(&raw[..raw.len() - 6]);
+        let (wal, entries, torn) = WriteAheadLog::open(Box::new(medium)).unwrap();
+        assert_eq!(entries.len(), 1, "only the complete record survives");
+        assert!(torn > 0);
+        assert_eq!(wal.position(), 1);
+    }
+
+    #[test]
+    fn truncate_keeps_position_and_view() {
+        let wal = WriteAheadLog::create(Box::new(MemoryBackend::new())).unwrap();
+        wal.append_txn(|seq| (WalRecord::Txn { record: txn(seq) }, txn(seq)))
+            .unwrap();
+        let pos = wal.position();
+        wal.truncate().unwrap();
+        assert_eq!(wal.position(), pos, "position survives the checkpoint");
+        assert_eq!(wal.txn_len(), 1, "audit view survives the checkpoint");
+        assert_eq!(
+            wal.append(WalRecord::Removed { id: InstanceId(3) })
+                .unwrap(),
+            pos + 1,
+            "sequence continues across the checkpoint"
+        );
+    }
+
+    #[test]
+    fn replayed_txns_dedupe_against_seed() {
+        let wal = WriteAheadLog::disabled();
+        wal.seed_txns(vec![txn(2), txn(1)]);
+        assert_eq!(wal.txn_records()[0].seq, 1, "seed is sorted");
+        wal.note_replayed_txn(txn(2)); // covered by seed → ignored
+        wal.note_replayed_txn(txn(3));
+        assert_eq!(wal.txn_len(), 3);
+    }
+}
