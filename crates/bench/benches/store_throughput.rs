@@ -17,6 +17,14 @@
 //! single-lock store plateaus because every command serialises on one
 //! write lock. (Acceptance: ≥1.5× sharded over single-lock at 4 threads.)
 //!
+//! The `durable_throughput` group runs the same workload on a *journaled*
+//! engine (every mutation appends to the WAL before it becomes visible):
+//!
+//! * `wal_global` — one single-backend log, every append behind one lock;
+//! * `wal_segmented_16` — a 16-segment log, appends spread over one
+//!   segment lock each (both on in-memory media, isolating lock spread
+//!   from fsync cost).
+//!
 //! **Caveat:** thread scaling is only observable with real cores. On a
 //! single-CPU host (e.g. a 1-vCPU CI container — check `nproc`) all
 //! configurations time-slice onto one core and the thread variants should
@@ -30,7 +38,10 @@ use adept_core::MigrationOptions;
 use adept_engine::{EngineCommand, ProcessEngine};
 use adept_model::InstanceId;
 use adept_simgen::scenarios;
-use adept_storage::{InstanceStore, Representation, SchemaRepository, DEFAULT_SHARD_COUNT};
+use adept_storage::{
+    InstanceStore, MemoryBackend, Representation, SchemaRepository, StorageBackend,
+    DEFAULT_SHARD_COUNT,
+};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
 
@@ -125,6 +136,53 @@ fn bench_store_throughput(c: &mut Criterion) {
     group.finish();
 }
 
+/// A populated *durable* engine journaling into an `n`-segment in-memory
+/// WAL (n = 1 reproduces the old single-backend global log), with the
+/// same pending evolution as [`populated`].
+fn populated_durable(segments: usize) -> (ProcessEngine, String, Vec<InstanceId>) {
+    let backends: Vec<Box<dyn StorageBackend>> = (0..segments)
+        .map(|_| Box::new(MemoryBackend::new()) as Box<dyn StorageBackend>)
+        .collect();
+    let engine = ProcessEngine::with_segmented_wal(backends).unwrap();
+    let name = engine.deploy(scenarios::order_process()).unwrap();
+    let ids: Vec<InstanceId> = (0..POPULATION)
+        .map(|_| engine.create_instance(&name).unwrap())
+        .collect();
+    let mut evolution = engine.begin_evolution(&name).unwrap();
+    for op in scenarios::fig1_delta_ops(&engine.repo.deployed(&name, 1).unwrap().schema) {
+        evolution.stage(&op).unwrap();
+    }
+    evolution.commit().unwrap();
+    (engine, name, ids)
+}
+
+/// The identical mixed workload on a journaled engine: global
+/// single-backend WAL vs. a 16-segment WAL, at 1/4/16 threads.
+fn bench_durable_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("durable_throughput");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(POPULATION as u64));
+
+    for threads in [1usize, 4, 16] {
+        for (label, segments) in [("wal_global", 1usize), ("wal_segmented_16", 16)] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{label}/threads{threads}"), POPULATION),
+                &threads,
+                |b, &threads| {
+                    b.iter_batched(
+                        || populated_durable(segments),
+                        |(engine, name, ids)| {
+                            black_box(mixed_workload(&engine, &name, &ids, threads))
+                        },
+                        criterion::BatchSize::PerIteration,
+                    )
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
 /// The old `instances_of` was a filter scan over **every** instance in
 /// the store; the sharded store serves it from per-shard `type → ids`
 /// indexes. Reconstruct the scan as the baseline and measure both over a
@@ -175,5 +233,10 @@ fn bench_type_index(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_store_throughput, bench_type_index);
+criterion_group!(
+    benches,
+    bench_store_throughput,
+    bench_durable_throughput,
+    bench_type_index
+);
 criterion_main!(benches);

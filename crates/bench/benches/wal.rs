@@ -5,7 +5,13 @@
 //! The interesting comparisons: memory vs. file backend (the encode +
 //! write cost without/with the filesystem), `SyncPolicy::Never` vs.
 //! `Always` (the fsync tax a strict durability guarantee pays per
-//! commit), and replay throughput as the log grows.
+//! commit), replay throughput as the log grows, and — in
+//! `wal_append_threads` — the global single-backend log vs. the
+//! segmented log at 1/4/16 appender threads.
+//!
+//! NOTE: the dev container is 1 vCPU, so the threaded variants show
+//! near-parity there — the segmented spread materialises on multi-core
+//! hosts (same caveat as `store_throughput`).
 
 use adept_engine::{recovery, ProcessEngine};
 use adept_simgen::scenarios;
@@ -61,6 +67,42 @@ fn bench_wal_append(c: &mut Criterion) {
     group.finish();
 }
 
+/// Concurrent journaled mutations: T threads hammer creations on one
+/// durable engine, global single-backend log vs. a 16-segment log (both
+/// in memory, isolating lock spread from fsync cost).
+fn bench_wal_append_threads(c: &mut Criterion) {
+    const PER_THREAD: usize = 64;
+    let mut group = c.benchmark_group("wal_append_threads");
+    group.sample_size(10);
+
+    for threads in [1usize, 4, 16] {
+        group.throughput(Throughput::Elements((threads * PER_THREAD) as u64));
+        for (tag, segments) in [("global", 1usize), ("segmented_16", 16)] {
+            group.bench_with_input(BenchmarkId::new(tag, threads), &threads, |b, &threads| {
+                let backends: Vec<Box<dyn StorageBackend>> = (0..segments)
+                    .map(|_| Box::new(MemoryBackend::new()) as Box<dyn StorageBackend>)
+                    .collect();
+                let engine = ProcessEngine::with_segmented_wal(backends).unwrap();
+                let name = engine.deploy(scenarios::order_process()).unwrap();
+                b.iter(|| {
+                    std::thread::scope(|s| {
+                        for _ in 0..threads {
+                            let engine = &engine;
+                            let name = &name;
+                            s.spawn(move || {
+                                for _ in 0..PER_THREAD {
+                                    black_box(engine.create_instance(name).unwrap());
+                                }
+                            });
+                        }
+                    })
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
 /// Rebuilding an engine by replaying a WAL of ~N records (creations +
 /// driven execution post-images), on both backends.
 fn bench_recovery_replay(c: &mut Criterion) {
@@ -111,5 +153,10 @@ fn adept_tests_drive(engine: &ProcessEngine, id: adept_model::InstanceId) {
     });
 }
 
-criterion_group!(benches, bench_wal_append, bench_recovery_replay);
+criterion_group!(
+    benches,
+    bench_wal_append,
+    bench_wal_append_threads,
+    bench_recovery_replay
+);
 criterion_main!(benches);

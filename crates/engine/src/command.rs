@@ -371,11 +371,11 @@ impl ProcessEngine {
         let items = items_for(&ex, id, type_name, version, &st);
         // The epoch is drawn BEFORE the instance becomes visible: any
         // concurrent command on the new id necessarily runs after
-        // insert_new and therefore bumps to a larger epoch — its
-        // fresher install beats this initial one, never the reverse.
-        let epoch = self.wl_index.bump();
+        // insert_new and therefore draws a larger epoch — its fresher
+        // install beats this initial one, never the reverse.
+        let epoch = self.wl_index.begin_install(id);
         self.store.insert_new(id, type_name, version, st);
-        self.wl_index.install(id, epoch, items);
+        self.wl_index.finish_install(id, epoch, items);
         let events = vec![EngineEvent::InstanceCreated {
             instance: id,
             version,
@@ -477,10 +477,13 @@ impl ProcessEngine {
                     }
                 }
                 // The install epoch is drawn while the store lock is held,
-                // so index installs order exactly like store commits.
+                // so index installs order exactly like store commits. It
+                // is registered pending (store shard → index shard, the
+                // documented order) so delta cursors wait for the install
+                // below rather than skip past it.
                 GroupApply::Applied {
                     results,
-                    epoch: self.wl_index.bump(),
+                    epoch: self.wl_index.begin_install(id),
                     items: items_for(&ex, id, &inst.type_name, inst.version, &inst.state),
                 }
             });
@@ -502,7 +505,7 @@ impl ProcessEngine {
                     epoch,
                     items,
                 }) => {
-                    self.wl_index.install(id, epoch, items);
+                    self.wl_index.finish_install(id, epoch, items);
                     self.monitor.record_all(
                         results
                             .iter()
@@ -594,7 +597,7 @@ impl ProcessEngine {
                 }
                 inst.state = st;
                 Some(Ok((
-                    self.wl_index.bump(),
+                    self.wl_index.begin_install(id),
                     items_for(&ex, id, &inst.type_name, inst.version, &inst.state),
                 )))
             });
@@ -603,7 +606,7 @@ impl ProcessEngine {
                 Some(None) => continue, // lost the CAS; re-drive from fresh state
                 Some(Some(Err(e))) => return Err(EngineError::Storage(e)),
                 Some(Some(Ok((epoch, items)))) => {
-                    self.wl_index.install(id, epoch, items);
+                    self.wl_index.finish_install(id, epoch, items);
                     self.monitor.record_all(events.iter().cloned());
                     return Ok(CommandOutcome {
                         instance: id,

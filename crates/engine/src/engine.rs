@@ -4,7 +4,7 @@
 use crate::command::{EngineCommand, ExecCtx};
 use crate::monitor::{EngineEvent, Monitor};
 use crate::shard::ShardedMap;
-use crate::worklist::{items_for, WorkItem, WorklistIndex};
+use crate::worklist::{items_for, WorkItem, WorklistDelta, WorklistIndex};
 use adept_core::{
     adapt_instance_state, apply_op, check_fast, compliance::check_fast_op, migrate_instance,
     ChangeError, ChangeOp, ConflictKind, Delta, InstanceOutcome, MigrationOptions, MigrationReport,
@@ -136,6 +136,31 @@ impl ProcessEngine {
         backend: Box<dyn StorageBackend>,
     ) -> Result<Self, EngineError> {
         let wal = WriteAheadLog::create(backend)?;
+        let mut engine = Self::with_strategy(strategy);
+        engine.txn_log = TxnLog::over(Arc::new(wal));
+        Ok(engine)
+    }
+
+    /// Creates a **durable** engine whose write-ahead log is segmented
+    /// across several backends (a power-of-two count, each empty):
+    /// sequence `s` lands in segment `(s − 1) mod N`, so concurrent
+    /// journal appends from different store shards spread across
+    /// independent backend locks instead of serializing on one. Global
+    /// order is kept by the atomic sequence allocator; recovery
+    /// ([`crate::recovery::recover_segmented`]) merges the segments back
+    /// by sequence. One segment is byte-identical to
+    /// [`ProcessEngine::with_wal`].
+    pub fn with_segmented_wal(backends: Vec<Box<dyn StorageBackend>>) -> Result<Self, EngineError> {
+        Self::with_strategy_and_segmented_wal(Representation::Hybrid, backends)
+    }
+
+    /// [`ProcessEngine::with_segmented_wal`] with an explicit storage
+    /// strategy.
+    pub fn with_strategy_and_segmented_wal(
+        strategy: Representation,
+        backends: Vec<Box<dyn StorageBackend>>,
+    ) -> Result<Self, EngineError> {
+        let wal = WriteAheadLog::create_segmented(backends)?;
         let mut engine = Self::with_strategy(strategy);
         engine.txn_log = TxnLog::over(Arc::new(wal));
         Ok(engine)
@@ -384,7 +409,7 @@ impl ProcessEngine {
                 .ok_or_else(|| EngineError::NotFound(format!("{id}")))?;
             match computed {
                 Some(list) => {
-                    self.wl_index.install(id, epoch, list.clone());
+                    self.wl_index.install_lazy(id, epoch, list.clone());
                     return Ok(list);
                 }
                 None => self.invalidate_instance(id),
@@ -449,6 +474,54 @@ impl ProcessEngine {
             items.extend(found.into_iter().flatten());
         }
         items
+    }
+
+    /// The worklist as a **delta** since a previous poll: what changed
+    /// after epoch `since`, instead of a full clone of every item.
+    ///
+    /// Consumers keep the returned `epoch` and pass it as the next
+    /// `since`; `since == 0` bootstraps (everything currently offered is
+    /// reported as added). Apply a delta by dropping every id in
+    /// `invalidated`, then **replacing** the item set of every id in
+    /// `added` — each added entry carries the instance's full current
+    /// set, so application is idempotent. Replaying deltas from 0
+    /// reconstructs exactly [`ProcessEngine::worklist_full`] (property-
+    /// checked in the test suite).
+    ///
+    /// The scan is one coherent pass over the index (all shard read
+    /// guards held together); in-flight command installs hold the
+    /// reported epoch back, so their effects land in the *next* delta
+    /// rather than falling into a cursor gap. Instances the index does
+    /// not cover are recomputed on the way (and always reported, which
+    /// is redundant but never wrong); an instance that cannot be
+    /// resolved because it vanished is reported as invalidated.
+    pub fn worklist_delta(&self, since: u64) -> WorklistDelta {
+        let ids = self.store.ids();
+        let d = self.wl_index.delta(since, &ids);
+        let mut added = d.updated;
+        let mut invalidated = d.invalidated;
+        for id in d.misses {
+            match self.compute_items(id) {
+                Ok(list) => added.push((id, list)),
+                // Vanished mid-scan = removed: tell the consumer to drop
+                // it. Still present but unresolvable = offers nothing.
+                Err(_) => {
+                    if self.store.with_instance(id, |_| ()).is_none() {
+                        invalidated.push(id);
+                    } else {
+                        added.push((id, Vec::new()));
+                    }
+                }
+            }
+        }
+        added.sort_by_key(|(id, _)| id.0);
+        invalidated.sort();
+        invalidated.dedup();
+        WorklistDelta {
+            added,
+            invalidated,
+            epoch: d.epoch,
+        }
     }
 
     /// Starts an activated activity of an instance.

@@ -61,6 +61,45 @@
 //! Use [`ProcessEngine::try_worklist`] to surface instances whose store
 //! entry or schema no longer resolves instead of skipping them.
 //!
+//! ## Streaming consumers: event and worklist cursors
+//!
+//! Pollers shouldn't clone the world. The monitor's event log is a
+//! bounded, sharded ring: [`Monitor::subscribe`] returns an
+//! [`EventCursor`] that drains only the events recorded since the last
+//! poll, and a cursor that falls behind the retention window gets an
+//! explicit [`EventLag`] error — never a silent gap. The worklist has
+//! the same shape: [`ProcessEngine::worklist_delta`] returns what
+//! changed since an epoch instead of every item.
+//!
+//! ```
+//! use adept_engine::{EngineCommand, ProcessEngine};
+//! use adept_model::SchemaBuilder;
+//!
+//! let engine = ProcessEngine::new();
+//! let mut b = SchemaBuilder::new("expense");
+//! b.activity("submit");
+//! let name = engine.deploy(b.build().unwrap()).unwrap();
+//!
+//! // Tail the event stream: only events recorded after subscribing.
+//! let mut events = engine.monitor.subscribe();
+//! // Follow the worklist incrementally: epoch 0 bootstraps everything.
+//! let mut delta = engine.worklist_delta(0);
+//! assert!(delta.added.is_empty());
+//!
+//! let id = engine.create_instance(&name).unwrap();
+//! assert!(!events.poll(&engine.monitor).unwrap().is_empty());
+//!
+//! // Only the change since the last poll comes back: apply it by
+//! // dropping `invalidated` ids and replacing `added` item sets.
+//! delta = engine.worklist_delta(delta.epoch);
+//! assert_eq!(delta.added.len(), 1);
+//! assert_eq!(delta.added[0].0, id);
+//!
+//! engine.submit(EngineCommand::Drive { instance: id, max: None }).unwrap();
+//! delta = engine.worklist_delta(delta.epoch);
+//! assert_eq!(delta.added, vec![(id, vec![])]); // finished: offers nothing
+//! ```
+//!
 //! ## Changing a running instance: stage → preview → commit
 //!
 //! ```
@@ -119,6 +158,17 @@
 //! [`ProcessEngine::checkpoint_with`] persists a snapshot and truncates
 //! the log only once the snapshot is safe.
 //!
+//! Under concurrent load the journal itself can be **segmented**
+//! ([`ProcessEngine::with_segmented_wal`]): sequence `s` lands on
+//! backend `(s − 1) mod N`, so appends from different store shards hit
+//! different backend locks while the atomic allocator keeps one global
+//! order. [`recovery::recover_segmented`] merges the segments back by
+//! sequence with the same gap/torn-tail semantics — a lost segment is a
+//! refused gap, not a silently thinner history. Lock order everywhere
+//! is store shard → wal segment (the journal append happens inside the
+//! store shard's critical section; no path takes a store lock while
+//! holding a segment lock).
+//!
 //! ```
 //! use adept_engine::{recovery, ProcessEngine};
 //! use adept_model::SchemaBuilder;
@@ -155,7 +205,12 @@ pub mod worklist;
 
 pub use command::{CommandOutcome, EngineCommand};
 pub use engine::{EngineError, ProcessEngine};
-pub use monitor::{render_instance_dot, render_instance_summary, EngineEvent, Monitor};
-pub use recovery::{recover, recover_from, RecoveryReport};
+pub use monitor::{
+    render_instance_dot, render_instance_summary, EngineEvent, EventBatch, EventCursor, EventLag,
+    Monitor, DEFAULT_EVENT_RETENTION,
+};
+pub use recovery::{
+    recover, recover_from, recover_from_segmented, recover_segmented, RecoveryReport,
+};
 pub use session::{ChangeSession, TxnReceipt};
-pub use worklist::WorkItem;
+pub use worklist::{WorkItem, WorklistDelta};

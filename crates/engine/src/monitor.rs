@@ -8,11 +8,11 @@
 
 use adept_model::{render, InstanceId, NodeId, ProcessSchema};
 use adept_state::{InstanceState, NodeState};
-use parking_lot::RwLock;
+use adept_storage::Shards;
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 /// An engine-level event.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -215,59 +215,265 @@ impl fmt::Display for EngineEvent {
     }
 }
 
-/// The monitoring component: a logical-clock-stamped event log.
-#[derive(Debug, Default)]
+/// How many events the monitor retains by default before evicting the
+/// oldest (see [`Monitor::set_retention`]).
+pub const DEFAULT_EVENT_RETENTION: usize = 65_536;
+
+/// Shard count of the monitor's segmented event log.
+const EVENT_SHARDS: usize = 16;
+
+/// A batch of events returned by [`Monitor::events_since`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct EventBatch {
+    /// The events, in logical-time order, starting at the requested
+    /// cursor. Contiguous — no sequence gaps.
+    pub events: Vec<(u64, EngineEvent)>,
+    /// The cursor to pass to the next `events_since` call (one past the
+    /// last returned sequence; equal to the request if nothing was
+    /// returned).
+    pub next: u64,
+}
+
+/// A cursor fell behind the retention window: events it had not yet
+/// observed were evicted, so the stream has an unrecoverable gap. The
+/// consumer must resynchronise (e.g. re-read full state and
+/// [`EventCursor::resync`]) rather than silently skip.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EventLag {
+    /// The oldest sequence still guaranteed retained — resync at or
+    /// after this point.
+    pub oldest: u64,
+}
+
+impl fmt::Display for EventLag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "event cursor lagged behind retention (oldest retained seq {})",
+            self.oldest
+        )
+    }
+}
+
+impl std::error::Error for EventLag {}
+
+/// A consumer-side position in the monitor's event stream. Obtain one
+/// with [`Monitor::subscribe`] (tail — new events only) or
+/// [`Monitor::subscribe_from`] (historical replay), then drain with
+/// [`EventCursor::poll`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EventCursor {
+    next: u64,
+}
+
+impl EventCursor {
+    /// The next sequence this cursor will read.
+    pub fn position(&self) -> u64 {
+        self.next
+    }
+
+    /// Drains all events recorded since the last poll. On
+    /// `Err(EventLag)` the cursor is *not* advanced; call
+    /// [`EventCursor::resync`] to jump past the gap.
+    pub fn poll(&mut self, monitor: &Monitor) -> Result<Vec<(u64, EngineEvent)>, EventLag> {
+        let batch = monitor.events_since(self.next)?;
+        self.next = batch.next;
+        Ok(batch.events)
+    }
+
+    /// Jumps the cursor to the oldest retained event, discarding the
+    /// gap. Returns how many sequences were skipped.
+    pub fn resync(&mut self, monitor: &Monitor) -> u64 {
+        let oldest = monitor.oldest_retained();
+        let skipped = oldest.saturating_sub(self.next);
+        self.next = self.next.max(oldest);
+        skipped
+    }
+}
+
+/// The monitoring component: a logical-clock-stamped, bounded event log.
+///
+/// Internally the log is segmented across [`Shards`]: sequence `s` lives
+/// in shard `s & (N-1)`, so consecutive appends round-robin across
+/// independent locks and concurrent recorders don't serialize on one
+/// global `RwLock<Vec>`. Reads merge the shards by sequence.
+///
+/// Retention is bounded (default [`DEFAULT_EVENT_RETENTION`]): once a
+/// shard's ring exceeds its share of the cap, the oldest events are
+/// evicted and the eviction watermark advances. A cursor that falls
+/// behind the watermark gets an explicit [`EventLag`] error — never a
+/// silent gap. Recovery's history audit reads per-instance execution
+/// histories, not this log, so eviction never weakens recovery (see
+/// `recover_from`).
+#[derive(Debug)]
 pub struct Monitor {
+    /// Next sequence to allocate (total ever recorded).
     clock: AtomicU64,
-    events: RwLock<Vec<(u64, EngineEvent)>>,
+    /// Oldest sequence possibly still retained: everything below has
+    /// been (or may have been) evicted.
+    evicted: AtomicU64,
+    /// Total retention cap across all shards.
+    retention: AtomicUsize,
+    /// Per-shard rings of `(seq, event)`, each sorted by push order
+    /// (sequence ascending within a shard).
+    segments: Shards<VecDeque<(u64, EngineEvent)>>,
+}
+
+impl Default for Monitor {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl Monitor {
-    /// A fresh monitor.
+    /// A fresh monitor with the default retention cap.
     pub fn new() -> Self {
-        Self::default()
+        Self {
+            clock: AtomicU64::new(0),
+            evicted: AtomicU64::new(0),
+            retention: AtomicUsize::new(DEFAULT_EVENT_RETENTION),
+            segments: Shards::new(EVENT_SHARDS),
+        }
     }
 
-    /// Records an event, stamping it with the next logical time.
+    /// Sets the retention cap (total events kept across all shards,
+    /// minimum one per shard). Takes effect on subsequent appends.
+    pub fn set_retention(&self, cap: usize) {
+        self.retention.store(cap, Ordering::Relaxed);
+    }
+
+    /// The per-shard ring bound for the current retention cap.
+    fn shard_cap(&self) -> usize {
+        let cap = self.retention.load(Ordering::Relaxed);
+        cap.div_ceil(self.segments.count()).max(1)
+    }
+
+    /// Pushes an already-stamped event into its shard, evicting the
+    /// shard's oldest entries over the ring bound.
+    fn push(&self, seq: u64, e: EngineEvent) {
+        let cap = self.shard_cap();
+        let mut ring = self.segments.for_raw(seq).write();
+        ring.push_back((seq, e));
+        while ring.len() > cap {
+            if let Some((old, _)) = ring.pop_front() {
+                // Watermark = oldest seq that may still be retained.
+                self.evicted.fetch_max(old + 1, Ordering::SeqCst);
+            }
+        }
+    }
+
+    /// Records an event, stamping it with the next logical time. One
+    /// shard lock, no global lock.
     pub fn record(&self, e: EngineEvent) -> u64 {
-        let t = self.clock.fetch_add(1, Ordering::Relaxed);
-        self.events.write().push((t, e));
+        let t = self.clock.fetch_add(1, Ordering::SeqCst);
+        self.push(t, e);
         t
     }
 
-    /// Records a sequence of events contiguously under one lock pass —
-    /// the batched append the command path uses, so one submitted batch
-    /// costs one monitor lock however many events it emitted.
+    /// Records a sequence of events under one contiguous block of
+    /// logical times — the batched append the command path uses. The
+    /// block is reserved atomically, then each event lands in its own
+    /// shard, so a submitted batch never interleaves with a concurrent
+    /// recorder's sequences.
     pub fn record_all<I: IntoIterator<Item = EngineEvent>>(&self, events: I) -> usize {
-        let mut log = self.events.write();
-        let mut n = 0;
-        for e in events {
-            let t = self.clock.fetch_add(1, Ordering::Relaxed);
-            log.push((t, e));
-            n += 1;
+        let events: Vec<EngineEvent> = events.into_iter().collect();
+        if events.is_empty() {
+            return 0;
+        }
+        let base = self.clock.fetch_add(events.len() as u64, Ordering::SeqCst);
+        let n = events.len();
+        for (i, e) in events.into_iter().enumerate() {
+            self.push(base + i as u64, e);
         }
         n
     }
 
-    /// A snapshot of all events in logical-time order.
+    /// A snapshot of all *retained* events, merged across shards into
+    /// logical-time order. Holds every shard read guard for one
+    /// coherent pass.
     pub fn events(&self) -> Vec<(u64, EngineEvent)> {
-        self.events.read().clone()
+        let guards: Vec<_> = self.segments.iter().map(|s| s.read()).collect();
+        let mut out: Vec<(u64, EngineEvent)> =
+            guards.iter().flat_map(|g| g.iter().cloned()).collect();
+        out.sort_by_key(|(t, _)| *t);
+        out
     }
 
-    /// Number of recorded events.
+    /// Events with sequence ≥ `cursor`, as a contiguous batch.
+    ///
+    /// Returns [`EventLag`] if `cursor` is behind the eviction
+    /// watermark — the consumer missed events that are gone. A
+    /// concurrent `record_all` may leave transient sequence holes
+    /// (block reserved, some shards not yet pushed); events past such a
+    /// hole are withheld until the hole fills, so the returned batch
+    /// never skips a sequence.
+    pub fn events_since(&self, cursor: u64) -> Result<EventBatch, EventLag> {
+        let guards: Vec<_> = self.segments.iter().map(|s| s.read()).collect();
+        // Watermark read *under* the guards: eviction happens under a
+        // shard write lock, so no eviction can race this pass.
+        let oldest = self.evicted.load(Ordering::SeqCst);
+        if cursor < oldest {
+            return Err(EventLag { oldest });
+        }
+        let mut pending: Vec<(u64, EngineEvent)> = guards
+            .iter()
+            .flat_map(|g| g.iter().filter(|(t, _)| *t >= cursor).cloned())
+            .collect();
+        drop(guards);
+        pending.sort_by_key(|(t, _)| *t);
+        // Keep only the contiguous prefix from the cursor.
+        let mut next = cursor;
+        let mut events = Vec::with_capacity(pending.len());
+        for (t, e) in pending {
+            if t != next {
+                break;
+            }
+            events.push((t, e));
+            next += 1;
+        }
+        Ok(EventBatch { events, next })
+    }
+
+    /// A cursor positioned at the tail: it sees only events recorded
+    /// after this call.
+    pub fn subscribe(&self) -> EventCursor {
+        EventCursor {
+            next: self.clock.load(Ordering::SeqCst),
+        }
+    }
+
+    /// A cursor positioned at `seq` — replays retained history from
+    /// there. The first [`EventCursor::poll`] errs with [`EventLag`] if
+    /// `seq` is already evicted.
+    pub fn subscribe_from(&self, seq: u64) -> EventCursor {
+        EventCursor { next: seq }
+    }
+
+    /// Number of *retained* events (≤ [`Monitor::recorded`]).
     pub fn len(&self) -> usize {
-        self.events.read().len()
+        self.segments.iter().map(|s| s.read().len()).sum()
+    }
+
+    /// Total events ever recorded, including evicted ones.
+    pub fn recorded(&self) -> u64 {
+        self.clock.load(Ordering::SeqCst)
+    }
+
+    /// The oldest sequence guaranteed still retained. `0` until the
+    /// first eviction.
+    pub fn oldest_retained(&self) -> u64 {
+        self.evicted.load(Ordering::SeqCst)
     }
 
     /// Whether nothing has been recorded.
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        self.recorded() == 0
     }
 
-    /// Renders the full log as text.
+    /// Renders the retained log as text.
     pub fn render_log(&self) -> String {
         let mut out = String::new();
-        for (t, e) in self.events.read().iter() {
+        for (t, e) in self.events() {
             out.push_str(&format!("[{t:>6}] {e}\n"));
         }
         out
@@ -324,6 +530,61 @@ mod tests {
         let log = m.render_log();
         assert!(log.contains("deployed \"x\""));
         assert!(log.contains("I1 created on V1"));
+    }
+
+    fn ev(i: u64) -> EngineEvent {
+        EngineEvent::InstanceFinished {
+            instance: InstanceId(i),
+        }
+    }
+
+    #[test]
+    fn retention_evicts_oldest_and_lags_stale_cursors() {
+        let m = Monitor::new();
+        m.set_retention(16); // one slot per shard
+        for i in 0..48u64 {
+            m.record(ev(i));
+        }
+        assert_eq!(m.recorded(), 48);
+        assert_eq!(m.len(), 16, "ring bounded at the cap");
+        assert_eq!(m.oldest_retained(), 32);
+        // Retained view is the contiguous newest window.
+        let seqs: Vec<u64> = m.events().iter().map(|(t, _)| *t).collect();
+        assert_eq!(seqs, (32..48).collect::<Vec<u64>>());
+        // A cursor behind the watermark gets an explicit error.
+        let err = m.events_since(10).unwrap_err();
+        assert_eq!(err.oldest, 32);
+        // At the watermark it reads cleanly.
+        let batch = m.events_since(32).unwrap();
+        assert_eq!(batch.events.len(), 16);
+        assert_eq!(batch.next, 48);
+    }
+
+    #[test]
+    fn cursor_polls_deltas_and_resyncs_after_lag() {
+        let m = Monitor::new();
+        m.record(ev(1));
+        let mut c = m.subscribe();
+        assert_eq!(c.poll(&m).unwrap(), vec![], "tail cursor skips history");
+        m.record_all((2..5).map(ev));
+        let got = c.poll(&m).unwrap();
+        assert_eq!(got.len(), 3);
+        assert_eq!(got[0].0, 1);
+        assert_eq!(c.position(), 4);
+        // Replay-from-zero sees everything still retained.
+        let mut z = m.subscribe_from(0);
+        assert_eq!(z.poll(&m).unwrap().len(), 4);
+        // Force eviction past the cursor, then resync.
+        m.set_retention(16);
+        for i in 0..64u64 {
+            m.record(ev(i));
+        }
+        let mut stale = m.subscribe_from(0);
+        assert!(stale.poll(&m).is_err());
+        let skipped = stale.resync(&m);
+        assert!(skipped > 0);
+        let batch = stale.poll(&m).unwrap();
+        assert_eq!(batch.len(), 16);
     }
 
     #[test]

@@ -20,6 +20,12 @@
 //! re-run through [`adept_state::Execution::audit`]; divergence is
 //! reported (not fatal — the post-images are authoritative, the audit
 //! is a consistency check on the history substrate).
+//!
+//! The audit reads each instance's **own execution history** (carried in
+//! its recovered state), never the monitor's event log — the monitor is
+//! a bounded ring with eviction ([`crate::Monitor::set_retention`]), so
+//! recovery correctness must not (and does not) depend on events it may
+//! have evicted.
 
 use crate::engine::{EngineError, ProcessEngine};
 use crate::monitor::EngineEvent;
@@ -62,6 +68,13 @@ pub fn recover(
     recover_from(None, backend)
 }
 
+/// [`recover`] over a segmented WAL — see [`recover_from_segmented`].
+pub fn recover_segmented(
+    backends: Vec<Box<dyn StorageBackend>>,
+) -> Result<(ProcessEngine, RecoveryReport), EngineError> {
+    recover_from_segmented(None, backends)
+}
+
 /// Recovers an engine from an optional snapshot plus the WAL tail on
 /// `backend`.
 ///
@@ -76,7 +89,23 @@ pub fn recover_from(
     snapshot: Option<&Snapshot>,
     backend: Box<dyn StorageBackend>,
 ) -> Result<(ProcessEngine, RecoveryReport), EngineError> {
-    let (wal, entries, torn_tail_bytes) = WriteAheadLog::open(backend)?;
+    recover_from_segmented(snapshot, vec![backend])
+}
+
+/// [`recover_from`] over a **segmented** WAL: the entries of all
+/// segments (written by [`ProcessEngine::with_segmented_wal`]) are
+/// merged back into one globally ordered stream by sequence number
+/// before replay; gap and torn-tail semantics are exactly those of the
+/// single-backend path. A whole segment lost (its file gone or empty
+/// while its siblings carry later sequences) shows up as a sequence gap
+/// and is refused as [`StorageError::Corrupt`] — only a torn tail at
+/// the *global* end of the log is repairable. The recovered engine
+/// keeps writing to the same segments.
+pub fn recover_from_segmented(
+    snapshot: Option<&Snapshot>,
+    backends: Vec<Box<dyn StorageBackend>>,
+) -> Result<(ProcessEngine, RecoveryReport), EngineError> {
+    let (wal, entries, torn_tail_bytes) = WriteAheadLog::open_segmented(backends)?;
     let (repo, store) = match snapshot {
         Some(s) => restore(s)?,
         None => (
@@ -101,9 +130,14 @@ pub fn recover_from(
             report.skipped += 1;
             continue;
         }
-        if report.replayed == 0 && entry.seq > base_seq + 1 {
+        // Contiguity everywhere, not just at the first replayed record:
+        // with segments, a missing segment leaves periodic holes that
+        // can start anywhere in the merged stream.
+        let expected = report.last_seq + 1;
+        if entry.seq > expected {
             return Err(StorageError::corrupt(format!(
-                "wal gap: snapshot covers seq {base_seq} but the log starts at {}",
+                "wal gap: expected seq {expected} but the log continues at {} \
+                 (records lost, e.g. a missing segment)",
                 entry.seq
             ))
             .into());

@@ -13,8 +13,11 @@
 //! Lock order: a thread holds at most one shard lock per table, and the
 //! engine never takes a store shard lock while holding a side-table lock
 //! (side tables are consulted before or after store access, not inside
-//! it) — except [`crate::worklist::WorklistIndex::bump`], which is an
-//! atomic and takes no lock at all.
+//! it) — with one ordered exception: the command path draws its worklist
+//! install epoch via [`crate::worklist::WorklistIndex::begin_install`]
+//! *inside* the store shard critical section, nesting store shard →
+//! worklist-index shard. Nothing ever takes a store lock while holding
+//! an index lock, so the order is acyclic.
 
 use adept_model::InstanceId;
 use adept_storage::{Shards, DEFAULT_SHARD_COUNT};

@@ -46,12 +46,18 @@
 //!   acquire), so whole-store reads never block the write hot path behind
 //!   a global barrier.
 //!
-//! Lock order: at most one shard lock per thread, and shard lock →
+//! Lock order: at most one shard lock per thread; shard lock →
 //! repository lock when `schema_of` resolves a deployed version (the
-//! repository never calls back into the store). See
-//! [`instances`] for the full discipline. `InstanceStore::with_shards(_, 1)`
-//! reproduces the old single-map behaviour and serves as the contention
-//! baseline in the `store_throughput` benchmark.
+//! repository never calls back into the store); and shard lock →
+//! **wal-segment lock** when a commit journals inside the shard's
+//! critical section — with a segmented [`WriteAheadLog`] the sequence
+//! allocator is an atomic and each append takes exactly one segment
+//! backend's lock, so two shards journaling concurrently usually hit
+//! different segments. No path acquires a shard lock while holding a
+//! segment lock, so the order is acyclic. See [`instances`] for the full
+//! discipline. `InstanceStore::with_shards(_, 1)` reproduces the old
+//! single-map behaviour and serves as the contention baseline in the
+//! `store_throughput` benchmark.
 //!
 //! # Durability & recovery
 //!
@@ -66,12 +72,26 @@
 //!   in-memory buffer with fault-injection hooks, for tests and benches)
 //!   and [`FileBackend`] (an embedded durable file with a configurable
 //!   [`SyncPolicy`] — fsync every append, every N appends, or never).
+//!   Under `SyncPolicy::Always` the file backend **group-commits**:
+//!   concurrent appenders write under the state lock but fsync outside
+//!   it, and an appender whose write is already covered by a later
+//!   fsync skips its own — N concurrent durable appends cost far fewer
+//!   than N fsyncs, with no durability loss (an append returns only
+//!   once a sync covering its record has completed).
 //! * **[`WriteAheadLog`]** ([`wal`]) — every committed change transaction
 //!   and every state-mutating command outcome is appended as one compact
 //!   JSON line ([`WalEntry`]) **before** it becomes visible engine state.
 //!   Records carry physical post-images, so replay is a sequence of
 //!   idempotent upserts. The WAL *is* the transaction log: [`TxnLog`] is
-//!   a view over its transaction projection.
+//!   a view over its transaction projection. The log can be
+//!   **segmented** over several backends
+//!   ([`WriteAheadLog::create_segmented`], a power-of-two count):
+//!   sequence `s` lands on segment `(s − 1) mod N`, allocation is one
+//!   atomic `fetch_add`, and an append locks only its own segment —
+//!   concurrent journaling from different store shards stops
+//!   serializing on a single backend lock. One segment is byte-identical
+//!   to the unsegmented layout; `open_segmented` merges segments back
+//!   into one globally ordered stream and refuses duplicate sequences.
 //! * **Snapshots + replay** ([`persist`]) — format-3 snapshots record the
 //!   WAL watermark (`wal_seq`) they cover. Recovery loads the latest
 //!   snapshot, replays the WAL tail (`seq > wal_seq`) onto it, and ends
@@ -83,7 +103,10 @@
 //! `line + '\n'`, so a crash mid-append leaves a *torn tail* — bytes
 //! after the last newline. [`StorageBackend::read_log`] truncates the
 //! torn tail (on the medium) and recovery proceeds from the last complete
-//! record. A *complete* line that does not decode cannot be produced by a
+//! record. With segments the same rule applies per segment, and only a
+//! tear at the *global* end of the merged stream is repairable: a torn
+//! or missing record with later sequences alive in sibling segments is
+//! a sequence gap, which recovery refuses as corruption. A *complete* line that does not decode cannot be produced by a
 //! crash; it means the medium was damaged, and recovery refuses to start
 //! ([`StorageError::Corrupt`]). All failures on the persistence path are
 //! typed ([`error`]): backend I/O, corrupt streams, and encode failures

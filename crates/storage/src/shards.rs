@@ -48,6 +48,22 @@ impl<T> Shards<T> {
         &self.inner[self.index_of(id)]
     }
 
+    /// The shard index a raw 64-bit key maps to — no hashing, plain
+    /// `key & mask`. Segmented logs use this with *sequence numbers* as
+    /// keys: consecutive sequences round-robin across shards, so
+    /// concurrent appends land on different shard locks.
+    #[inline]
+    pub fn index_of_raw(&self, key: u64) -> usize {
+        (key & self.mask) as usize
+    }
+
+    /// The shard a raw 64-bit key maps to (see
+    /// [`Shards::index_of_raw`]).
+    #[inline]
+    pub fn for_raw(&self, key: u64) -> &RwLock<T> {
+        &self.inner[self.index_of_raw(key)]
+    }
+
     /// All shards, in index order (cross-shard sweeps and coherent
     /// all-guards passes).
     pub fn iter(&self) -> std::slice::Iter<'_, RwLock<T>> {
@@ -63,6 +79,14 @@ mod tests {
     fn rounds_to_power_of_two() {
         for (requested, expected) in [(0usize, 1usize), (1, 1), (3, 4), (16, 16), (17, 32)] {
             assert_eq!(Shards::<u32>::new(requested).count(), expected);
+        }
+    }
+
+    #[test]
+    fn raw_keys_round_robin() {
+        let s = Shards::<u32>::new(16);
+        for seq in 0..64u64 {
+            assert_eq!(s.index_of_raw(seq), (seq % 16) as usize);
         }
     }
 

@@ -28,6 +28,7 @@ use adept_model::{InstanceId, ProcessSchema};
 use adept_state::InstanceState;
 use parking_lot::RwLock;
 use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// One durable engine mutation. Post-image records (`Created`,
 /// `StateChanged`, `ChangeCommitted`, `Migrated`) carry the complete
@@ -123,27 +124,48 @@ pub fn decode_entry(line: &str) -> Result<WalEntry, StorageError> {
     })
 }
 
-/// State behind the WAL's lock: the optional backend (None = disabled,
-/// audit-view only), the materialised transaction-log view, and the next
-/// entry sequence number.
+/// State behind the WAL's lock: the materialised transaction-log view.
+/// (Appends no longer pass through here — sequence allocation is an
+/// atomic and each append takes only its segment backend's own lock.)
 #[derive(Debug)]
 struct WalInner {
-    backend: Option<Box<dyn StorageBackend>>,
     txns: Vec<TxnRecord>,
-    next_seq: u64,
 }
 
-/// The engine's write-ahead log.
+/// The engine's write-ahead log, segmented across one or more
+/// [`StorageBackend`] mediums.
 ///
 /// Disabled by default ([`WriteAheadLog::disabled`]): a disabled WAL
 /// maintains only the transaction-log *view* (the audit trail every
 /// engine keeps) and performs no encoding or I/O — the hot path of
-/// non-durable engines is untouched. Durable engines attach a
-/// [`StorageBackend`] via [`WriteAheadLog::create`] (fresh log) or
-/// [`WriteAheadLog::open`] (recovery).
+/// non-durable engines is untouched. Durable engines attach backends via
+/// [`WriteAheadLog::create`] / [`WriteAheadLog::create_segmented`]
+/// (fresh log) or [`WriteAheadLog::open`] /
+/// [`WriteAheadLog::open_segmented`] (recovery).
+///
+/// # Segmentation
+///
+/// Sequence numbers are allocated by one atomic counter (globally
+/// ordered, contention-free); entry `seq` selects the segment by
+/// `(seq - 1) & mask`, so consecutive appends round-robin across
+/// segments and concurrent appends from different store shards land on
+/// different segment mediums — `StateChanged` journaling under a shard
+/// write lock no longer serialises every shard on one backend lock.
+/// With one segment (the [`WriteAheadLog::create`] path) the layout is
+/// byte-identical to the pre-segmentation log. Recovery merges all
+/// segments by sequence number; per-segment torn tails are repaired by
+/// the backends, and a gap in the merged sequence (a lost or missing
+/// segment) is reported as corruption by the replay layer.
 #[derive(Debug)]
 pub struct WriteAheadLog {
     inner: RwLock<WalInner>,
+    /// The next entry sequence number to allocate (1-based).
+    next_seq: AtomicU64,
+    /// Segment mediums (empty = disabled). Backends synchronise
+    /// internally, so appends need no WAL-level lock.
+    segments: Box<[Box<dyn StorageBackend>]>,
+    /// `segments.len() - 1`; segment count is a power of two.
+    mask: u64,
 }
 
 impl Default for WriteAheadLog {
@@ -153,126 +175,190 @@ impl Default for WriteAheadLog {
 }
 
 impl WriteAheadLog {
+    fn assemble(segments: Vec<Box<dyn StorageBackend>>, next_seq: u64) -> Self {
+        let mask = segments.len().saturating_sub(1) as u64;
+        Self {
+            inner: RwLock::new(WalInner { txns: Vec::new() }),
+            next_seq: AtomicU64::new(next_seq),
+            segments: segments.into_boxed_slice(),
+            mask,
+        }
+    }
+
     /// A WAL without a backend: appends maintain the transaction view
     /// only, [`WriteAheadLog::position`] stays 0, nothing is encoded.
     pub fn disabled() -> Self {
-        Self {
-            inner: RwLock::new(WalInner {
-                backend: None,
-                txns: Vec::new(),
-                next_seq: 1,
-            }),
-        }
+        Self::assemble(Vec::new(), 1)
     }
 
-    /// Attaches a backend for a **fresh** engine. The backend must be
-    /// empty (a non-empty log would silently be orphaned — recovering
-    /// from it is [`WriteAheadLog::open`]'s job).
+    /// Attaches a single backend for a **fresh** engine. The backend
+    /// must be empty (a non-empty log would silently be orphaned —
+    /// recovering from it is [`WriteAheadLog::open`]'s job).
     pub fn create(backend: Box<dyn StorageBackend>) -> Result<Self, StorageError> {
-        let raw = backend.read_log()?;
-        if !raw.lines.is_empty() {
+        Self::create_segmented(vec![backend])
+    }
+
+    /// Attaches a power-of-two number of segment backends for a fresh
+    /// engine. Every segment must be empty. Recovery must be given the
+    /// same number of segments in the same order
+    /// ([`WriteAheadLog::open_segmented`]).
+    pub fn create_segmented(segments: Vec<Box<dyn StorageBackend>>) -> Result<Self, StorageError> {
+        if !segments.len().is_power_of_two() {
             return Err(StorageError::corrupt(format!(
-                "backend already holds {} wal record(s); recover from it instead of \
-                 attaching it to a fresh engine",
-                raw.lines.len()
+                "wal segment count must be a power of two, got {}",
+                segments.len()
             )));
         }
-        Ok(Self {
-            inner: RwLock::new(WalInner {
-                backend: Some(backend),
-                txns: Vec::new(),
-                next_seq: 1,
-            }),
-        })
+        for (i, seg) in segments.iter().enumerate() {
+            let raw = seg.read_log()?;
+            if !raw.lines.is_empty() {
+                return Err(StorageError::corrupt(format!(
+                    "segment {i} already holds {} wal record(s); recover from it instead \
+                     of attaching it to a fresh engine",
+                    raw.lines.len()
+                )));
+            }
+        }
+        Ok(Self::assemble(segments, 1))
     }
 
-    /// Opens an existing log for recovery: reads every entry (after the
-    /// backend's torn-tail repair), verifies they decode, and returns the
-    /// WAL positioned after the last entry plus the decoded entries and
-    /// the number of torn bytes dropped. The transaction view starts
-    /// empty — recovery seeds it from the snapshot and the replayed
-    /// records.
+    /// Opens an existing single-backend log for recovery; see
+    /// [`WriteAheadLog::open_segmented`].
     pub fn open(
         backend: Box<dyn StorageBackend>,
     ) -> Result<(Self, Vec<WalEntry>, usize), StorageError> {
-        let raw = backend.read_log()?;
-        let mut entries = Vec::with_capacity(raw.lines.len());
-        for line in &raw.lines {
-            entries.push(decode_entry(line)?);
+        Self::open_segmented(vec![backend])
+    }
+
+    /// Opens an existing segmented log for recovery: reads every segment
+    /// (each after its own torn-tail repair), verifies every entry
+    /// decodes, **merges the segments by sequence number**, and returns
+    /// the WAL positioned after the highest entry plus the merged
+    /// entries and the total torn bytes dropped across segments. A
+    /// sequence number appearing twice is corruption (two segments
+    /// cannot legally hold the same entry); gaps are left for the replay
+    /// layer, which knows the snapshot watermark. The transaction view
+    /// starts empty — recovery seeds it from the snapshot and the
+    /// replayed records.
+    pub fn open_segmented(
+        segments: Vec<Box<dyn StorageBackend>>,
+    ) -> Result<(Self, Vec<WalEntry>, usize), StorageError> {
+        if !segments.len().is_power_of_two() {
+            return Err(StorageError::corrupt(format!(
+                "wal segment count must be a power of two, got {}",
+                segments.len()
+            )));
+        }
+        let mut entries = Vec::new();
+        let mut torn_total = 0usize;
+        for seg in &segments {
+            let raw = seg.read_log()?;
+            torn_total += raw.torn_tail_bytes;
+            for line in &raw.lines {
+                entries.push(decode_entry(line)?);
+            }
+        }
+        entries.sort_by_key(|e| e.seq);
+        for pair in entries.windows(2) {
+            if pair[0].seq == pair[1].seq {
+                return Err(StorageError::corrupt(format!(
+                    "wal seq {} recorded twice across segments",
+                    pair[0].seq
+                )));
+            }
         }
         let next_seq = entries.last().map(|e| e.seq).unwrap_or(0) + 1;
-        let wal = Self {
-            inner: RwLock::new(WalInner {
-                backend: Some(backend),
-                txns: Vec::new(),
-                next_seq,
-            }),
-        };
-        Ok((wal, entries, raw.torn_tail_bytes))
+        Ok((Self::assemble(segments, next_seq), entries, torn_total))
     }
 
-    /// Whether a backend is attached (appends encode and persist).
+    /// Whether backends are attached (appends encode and persist).
     pub fn enabled(&self) -> bool {
-        self.inner.read().backend.is_some()
+        !self.segments.is_empty()
     }
 
-    /// Whether appends can fail (an attached, fallible backend). Callers
-    /// use this to decide whether a rollback pre-image is worth cloning.
+    /// Number of segment mediums (0 = disabled).
+    pub fn segment_count(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Whether appends can fail (any attached, fallible segment).
+    /// Callers use this to decide whether a rollback pre-image is worth
+    /// cloning.
     pub fn fallible(&self) -> bool {
-        self.inner
-            .read()
-            .backend
-            .as_ref()
-            .is_some_and(|b| !b.infallible())
+        self.segments.iter().any(|b| !b.infallible())
     }
 
-    /// The attached backend's kind (`"memory"`, `"file"`), if any.
+    /// The attached backends' kind (`"memory"`, `"file"`), if any.
     pub fn backend_kind(&self) -> Option<&'static str> {
-        self.inner.read().backend.as_ref().map(|b| b.kind())
+        self.segments.first().map(|b| b.kind())
     }
 
-    /// The sequence number of the most recently appended entry (0 =
+    /// The sequence number of the most recently allocated entry (0 =
     /// nothing appended). Snapshots record this as their `wal_seq`
     /// watermark.
     pub fn position(&self) -> u64 {
-        self.inner.read().next_seq - 1
+        self.next_seq.load(Ordering::SeqCst) - 1
     }
 
     /// Advances the position watermark to at least `seq` (recovery: the
     /// snapshot may be newer than the last surviving log entry after a
     /// checkpoint truncation).
     pub fn advance_position(&self, seq: u64) {
-        let mut inner = self.inner.write();
-        inner.next_seq = inner.next_seq.max(seq + 1);
+        self.next_seq.fetch_max(seq + 1, Ordering::SeqCst);
+    }
+
+    /// The segment an entry sequence number maps to.
+    #[inline]
+    fn segment_of(&self, seq: u64) -> &dyn StorageBackend {
+        &*self.segments[((seq - 1) & self.mask) as usize]
+    }
+
+    /// Allocates the next sequence number, encodes and appends to the
+    /// owning segment. On failure the allocation is rolled back if no
+    /// later sequence was handed out in the meantime (best effort — an
+    /// unrecovered allocation leaves a gap that recovery reports as
+    /// corruption, which is the honest outcome of a medium failing
+    /// mid-commit).
+    fn append_allocated(&self, record: WalRecord) -> Result<u64, StorageError> {
+        let seq = self.next_seq.fetch_add(1, Ordering::SeqCst);
+        let result = encode_entry(&WalEntry { seq, record })
+            .and_then(|line| self.segment_of(seq).append_line(&line));
+        match result {
+            Ok(()) => Ok(seq),
+            Err(e) => {
+                let _ = self.next_seq.compare_exchange(
+                    seq + 1,
+                    seq,
+                    Ordering::SeqCst,
+                    Ordering::SeqCst,
+                );
+                Err(e)
+            }
+        }
     }
 
     /// Appends one record, assigning the next sequence number. On a
     /// disabled WAL this is a no-op returning 0. The record is durable
-    /// (per the backend's sync policy) when this returns `Ok`.
+    /// (per the owning segment's sync policy) when this returns `Ok`.
+    /// Concurrent appends contend only on the sequence atomic and their
+    /// own segment's medium — never on a WAL-global lock.
     pub fn append(&self, record: WalRecord) -> Result<u64, StorageError> {
-        let mut inner = self.inner.write();
-        if inner.backend.is_none() {
+        if self.segments.is_empty() {
             return Ok(0);
         }
-        let seq = inner.next_seq;
-        let line = encode_entry(&WalEntry { seq, record })?;
-        inner
-            .backend
-            .as_ref()
-            .expect("checked above")
-            .append_line(&line)?;
-        inner.next_seq = seq + 1;
-        Ok(seq)
+        self.append_allocated(record)
     }
 
     /// Appends a record that *carries a transaction*: `build` receives
     /// the next transaction sequence number (the audit numbering, 1-based
     /// and independent of entry sequence numbers) and returns the WAL
     /// record plus the transaction record to expose through the view.
-    /// Assignment, append and view update happen under one lock, so
+    /// Assignment, append and view update happen under the view lock, so
     /// transaction numbering is race-free; on a backend failure the view
-    /// is untouched and the error surfaces to the commit path. Returns
-    /// the assigned transaction sequence number.
+    /// is untouched and the error surfaces to the commit path. (Change
+    /// commits are rare next to command journaling, so serialising them
+    /// on the view lock costs nothing on the hot path.) Returns the
+    /// assigned transaction sequence number.
     pub fn append_txn(
         &self,
         build: impl FnOnce(u64) -> (WalRecord, TxnRecord),
@@ -280,15 +366,8 @@ impl WriteAheadLog {
         let mut inner = self.inner.write();
         let txn_seq = inner.txns.last().map(|r| r.seq).unwrap_or(0) + 1;
         let (record, txn) = build(txn_seq);
-        if inner.backend.is_some() {
-            let seq = inner.next_seq;
-            let line = encode_entry(&WalEntry { seq, record })?;
-            inner
-                .backend
-                .as_ref()
-                .expect("checked above")
-                .append_line(&line)?;
-            inner.next_seq = seq + 1;
+        if !self.segments.is_empty() {
+            self.append_allocated(record)?;
         }
         inner.txns.push(txn);
         Ok(txn_seq)
@@ -323,24 +402,24 @@ impl WriteAheadLog {
         self.inner.read().txns.len()
     }
 
-    /// Forces the backend to stable storage (no-op when disabled).
+    /// Forces every segment to stable storage (no-op when disabled).
     pub fn sync(&self) -> Result<(), StorageError> {
-        match self.inner.read().backend.as_ref() {
-            Some(b) => b.sync(),
-            None => Ok(()),
+        for seg in self.segments.iter() {
+            seg.sync()?;
         }
+        Ok(())
     }
 
-    /// Truncates the backend's log to empty while keeping the position
+    /// Truncates every segment's log to empty while keeping the position
     /// watermark and the transaction view — the checkpoint step after a
     /// snapshot carrying `wal_seq == position()` has been persisted.
     /// Future appends continue the sequence, so recovery can verify
     /// contiguity across the checkpoint.
     pub fn truncate(&self) -> Result<(), StorageError> {
-        match self.inner.read().backend.as_ref() {
-            Some(b) => b.reset(),
-            None => Ok(()),
+        for seg in self.segments.iter() {
+            seg.reset()?;
         }
+        Ok(())
     }
 }
 
@@ -475,6 +554,121 @@ mod tests {
             pos + 1,
             "sequence continues across the checkpoint"
         );
+    }
+
+    #[test]
+    fn segmented_appends_round_robin_and_merge_on_open() {
+        let mediums: Vec<MemoryBackend> = (0..4).map(|_| MemoryBackend::new()).collect();
+        {
+            let wal = WriteAheadLog::create_segmented(
+                mediums
+                    .iter()
+                    .map(|m| Box::new(m.clone()) as Box<dyn StorageBackend>)
+                    .collect(),
+            )
+            .unwrap();
+            assert_eq!(wal.segment_count(), 4);
+            for i in 1..=8u64 {
+                let seq = wal
+                    .append(WalRecord::Removed { id: InstanceId(i) })
+                    .unwrap();
+                assert_eq!(seq, i, "sequence stays globally ordered");
+            }
+            assert_eq!(wal.position(), 8);
+        }
+        // Each segment holds exactly its round-robin share.
+        for m in &mediums {
+            assert_eq!(m.read_log().unwrap().lines.len(), 2);
+        }
+        // Reopening merges the segments back into sequence order.
+        let (wal, entries, torn) = WriteAheadLog::open_segmented(
+            mediums
+                .iter()
+                .map(|m| Box::new(m.clone()) as Box<dyn StorageBackend>)
+                .collect(),
+        )
+        .unwrap();
+        assert_eq!(torn, 0);
+        let seqs: Vec<u64> = entries.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, (1..=8).collect::<Vec<u64>>());
+        assert_eq!(wal.position(), 8);
+        assert_eq!(
+            wal.append(WalRecord::Removed { id: InstanceId(9) })
+                .unwrap(),
+            9
+        );
+    }
+
+    #[test]
+    fn single_segment_matches_legacy_layout() {
+        let single = MemoryBackend::new();
+        let seg = MemoryBackend::new();
+        let a = WriteAheadLog::create(Box::new(single.clone())).unwrap();
+        let b = WriteAheadLog::create_segmented(vec![Box::new(seg.clone())]).unwrap();
+        for i in 1..=3u64 {
+            a.append(WalRecord::Removed { id: InstanceId(i) }).unwrap();
+            b.append(WalRecord::Removed { id: InstanceId(i) }).unwrap();
+        }
+        assert_eq!(single.raw(), seg.raw(), "one segment = the old layout");
+    }
+
+    #[test]
+    fn segment_count_must_be_power_of_two() {
+        let backends = |n: usize| -> Vec<Box<dyn StorageBackend>> {
+            (0..n)
+                .map(|_| Box::new(MemoryBackend::new()) as Box<dyn StorageBackend>)
+                .collect()
+        };
+        assert!(WriteAheadLog::create_segmented(backends(3)).is_err());
+        assert!(WriteAheadLog::create_segmented(backends(4)).is_ok());
+        assert!(WriteAheadLog::open_segmented(backends(6)).is_err());
+    }
+
+    #[test]
+    fn duplicate_seq_across_segments_is_corrupt() {
+        let a = MemoryBackend::new();
+        let b = MemoryBackend::new();
+        let entry = encode_entry(&WalEntry {
+            seq: 1,
+            record: WalRecord::Removed { id: InstanceId(1) },
+        })
+        .unwrap();
+        a.append_line(&entry).unwrap();
+        b.append_line(&entry).unwrap();
+        let err = WriteAheadLog::open_segmented(vec![Box::new(a), Box::new(b)]).unwrap_err();
+        assert!(matches!(err, StorageError::Corrupt { .. }), "{err}");
+    }
+
+    #[test]
+    fn segmented_torn_tail_repairs_its_segment_only() {
+        let mediums: Vec<MemoryBackend> = (0..2).map(|_| MemoryBackend::new()).collect();
+        {
+            let wal = WriteAheadLog::create_segmented(
+                mediums
+                    .iter()
+                    .map(|m| Box::new(m.clone()) as Box<dyn StorageBackend>)
+                    .collect(),
+            )
+            .unwrap();
+            for i in 1..=4u64 {
+                wal.append(WalRecord::Removed { id: InstanceId(i) })
+                    .unwrap();
+            }
+        }
+        // Seq 4 lives in segment 1 ((4-1) & 1); tear it mid-record.
+        let raw = mediums[1].raw();
+        mediums[1].set_raw(&raw[..raw.len() - 6]);
+        let (wal, entries, torn) = WriteAheadLog::open_segmented(
+            mediums
+                .iter()
+                .map(|m| Box::new(m.clone()) as Box<dyn StorageBackend>)
+                .collect(),
+        )
+        .unwrap();
+        assert!(torn > 0);
+        let seqs: Vec<u64> = entries.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![1, 2, 3], "only the torn record is lost");
+        assert_eq!(wal.position(), 3);
     }
 
     #[test]
