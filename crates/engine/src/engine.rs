@@ -200,14 +200,20 @@ impl ProcessEngine {
     /// instance store, the committed change-transaction log, and the WAL
     /// watermark the snapshot covers.
     ///
-    /// The watermark is read **before** the store state is composed:
-    /// replaying WAL entries past the watermark is idempotent (they carry
-    /// full post-images), so a mutation landing between the two reads is
-    /// covered either by the snapshot or by replay — never lost. As with
-    /// the store scan itself, a point-in-time snapshot of a live engine
-    /// requires quiescence; snapshot-under-traffic is best-effort.
+    /// The watermark is the WAL's **durable** position — the highest
+    /// sequence every predecessor of which was successfully appended —
+    /// read **before** the store state is composed: replaying WAL entries
+    /// past the watermark is idempotent (they carry full post-images), so
+    /// a mutation landing between the two reads is covered either by the
+    /// snapshot or by replay — never lost. Reading the raw allocator
+    /// position instead could claim coverage of sequences still in
+    /// flight (or about to fail). As with the store scan itself, a
+    /// point-in-time snapshot of a live engine requires quiescence;
+    /// snapshot-under-traffic is best-effort, and a checkpoint that
+    /// *truncates* the WAL ([`ProcessEngine::checkpoint_with`]) must be
+    /// externally quiesced with respect to appends.
     pub fn snapshot(&self) -> Snapshot {
-        let pos = self.txn_log.wal().position();
+        let pos = self.txn_log.wal().durable_position();
         let mut s = adept_storage::snapshot_with_txns(&self.repo, &self.store, &self.txn_log);
         s.wal_seq = pos;
         s
@@ -492,23 +498,49 @@ impl ProcessEngine {
     /// guards held together); in-flight command installs hold the
     /// reported epoch back, so their effects land in the *next* delta
     /// rather than falling into a cursor gap. Instances the index does
-    /// not cover are recomputed on the way (and always reported, which
-    /// is redundant but never wrong); an instance that cannot be
-    /// resolved because it vanished is reported as invalidated.
+    /// not cover are recomputed on the way, **installed** (stamped with
+    /// the pre-scan epoch, so a racing command's newer install wins) and
+    /// reported — so a miss costs one recompute, not one per poll; an
+    /// instance that cannot be resolved because it vanished is reported
+    /// as invalidated.
     pub fn worklist_delta(&self, since: u64) -> WorklistDelta {
+        // Read before the scan: anything a racing writer changes after
+        // this point carries a newer epoch and out-prioritises the lazy
+        // installs below (the tombstone watermark rejects stale ones).
+        let scan_epoch = self.wl_index.current();
         let ids = self.store.ids();
         let d = self.wl_index.delta(since, &ids);
         let mut added = d.updated;
         let mut invalidated = d.invalidated;
         for id in d.misses {
             match self.compute_items(id) {
-                Ok(list) => added.push((id, list)),
+                Ok(list) => {
+                    self.wl_failures.remove(id);
+                    added.push((id, list));
+                }
                 // Vanished mid-scan = removed: tell the consumer to drop
-                // it. Still present but unresolvable = offers nothing.
-                Err(_) => {
+                // it. Still present but unresolvable = offers nothing —
+                // install the empty set so the miss is recomputed once,
+                // not on every poll, and report the failure once (the
+                // same one-shot dedupe the worklist read path uses).
+                Err(e) => {
                     if self.store.with_instance(id, |_| ()).is_none() {
+                        self.wl_failures.remove(id);
                         invalidated.push(id);
                     } else {
+                        if self.wl_failures.insert(id, ()).is_none() {
+                            self.monitor.record(EngineEvent::WorklistResolutionFailed {
+                                instance: id,
+                                reason: e.to_string(),
+                            });
+                        }
+                        // Post-insert re-check: a racing removal must not
+                        // leak the dedupe entry (removal clears the set
+                        // before we re-read).
+                        if self.store.with_instance(id, |_| ()).is_none() {
+                            self.wl_failures.remove(id);
+                        }
+                        self.wl_index.install_lazy(id, scan_epoch, Vec::new());
                         added.push((id, Vec::new()));
                     }
                 }

@@ -163,8 +163,12 @@
 //! backend `(s − 1) mod N`, so appends from different store shards hit
 //! different backend locks while the atomic allocator keeps one global
 //! order. [`recovery::recover_segmented`] merges the segments back by
-//! sequence with the same gap/torn-tail semantics — a lost segment is a
-//! refused gap, not a silently thinner history. Lock order everywhere
+//! sequence and classifies any gap: the bounded tail gap a crash under
+//! concurrent appends leaves (an earlier-allocated record dead while a
+//! later one is durable in a sibling) is repaired by truncating back to
+//! the last contiguous record, while a lost segment — periodic holes
+//! wider than [`recovery::TAIL_REPAIR_WINDOW`] — is a refused gap, not
+//! a silently thinner history. Lock order everywhere
 //! is store shard → wal segment (the journal append happens inside the
 //! store shard's critical section; no path takes a store lock while
 //! holding a segment lock).

@@ -389,14 +389,23 @@ impl Monitor {
     }
 
     /// A snapshot of all *retained* events, merged across shards into
-    /// logical-time order. Holds every shard read guard for one
-    /// coherent pass.
+    /// logical-time order, with the same no-silent-gap contract as
+    /// [`Monitor::events_since`]: the snapshot is a contiguous run — it
+    /// stops before the first transient hole a concurrent
+    /// [`Monitor::record_all`] block leaves (block reserved, some shards
+    /// not yet pushed), rather than showing later events with earlier
+    /// ones missing. Stragglers below the eviction watermark are
+    /// excluded for the same reason.
     pub fn events(&self) -> Vec<(u64, EngineEvent)> {
-        let guards: Vec<_> = self.segments.iter().map(|s| s.read()).collect();
-        let mut out: Vec<(u64, EngineEvent)> =
-            guards.iter().flat_map(|g| g.iter().cloned()).collect();
-        out.sort_by_key(|(t, _)| *t);
-        out
+        let mut cursor = self.oldest_retained();
+        loop {
+            match self.events_since(cursor) {
+                Ok(batch) => return batch.events,
+                // Eviction advanced between the watermark read and the
+                // scan; chase it.
+                Err(lag) => cursor = lag.oldest,
+            }
+        }
     }
 
     /// Events with sequence ≥ `cursor`, as a contiguous batch.

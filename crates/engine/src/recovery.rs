@@ -16,10 +16,22 @@
 //! final record (the crash hit mid-append) is truncated and reported; a
 //! complete-but-undecodable record in the middle of the log is a hard
 //! [`StorageError::Corrupt`] — silently skipping it would resurrect a
-//! world that never existed. After replay every instance's history is
-//! re-run through [`adept_state::Execution::audit`]; divergence is
-//! reported (not fatal — the post-images are authoritative, the audit
-//! is a consistency check on the history substrate).
+//! world that never existed. A **gap** in the merged sequence is
+//! classified before replay: a bounded gap near the global tail is the
+//! normal residue of a crash under concurrent segmented appends (an
+//! earlier-allocated record torn or unwritten while a later sequence is
+//! already durable in a sibling segment) and is repaired by truncating
+//! every segment back to the last contiguous sequence — safe because a
+//! record journals *before* its effect becomes visible, so a sequence
+//! that never finished appending was never acknowledged to any caller.
+//! A gap wider than [`TAIL_REPAIR_WINDOW`], or a gap at the very start
+//! of a snapshot-less log, cannot be a crash tail (whole records that
+//! once existed are missing, e.g. a lost segment or a truncated log
+//! opened without its snapshot) and is refused as corruption. After
+//! replay every instance's history is re-run through
+//! [`adept_state::Execution::audit`]; divergence is reported (not fatal
+//! — the post-images are authoritative, the audit is a consistency
+//! check on the history substrate).
 //!
 //! The audit reads each instance's **own execution history** (carried in
 //! its recovered state), never the monitor's event log — the monitor is
@@ -36,6 +48,15 @@ use adept_storage::{
 };
 use std::sync::Arc;
 
+/// The widest sequence gap recovery will repair as a crash tail, i.e.
+/// the most trailing records it will truncate away to restore
+/// contiguity. In-flight appends are bounded by the number of appender
+/// threads, so a genuine crash tail spans at most a handful of
+/// sequences; a gap wider than this means records that were once
+/// durable are gone (a lost segment leaves periodic holes across the
+/// whole stream) and recovery refuses rather than silently drop them.
+pub const TAIL_REPAIR_WINDOW: u64 = 64;
+
 /// What a recovery did: replay counts, repair evidence, and the audit
 /// verdict. Returned next to the recovered engine so callers (and the
 /// kill-and-restart tests) can assert on the exact recovery path taken.
@@ -50,6 +71,12 @@ pub struct RecoveryReport {
     pub orphaned: usize,
     /// Bytes of a torn final record dropped by the crash repair.
     pub torn_tail_bytes: usize,
+    /// Complete entries truncated away by the crash-tail repair: records
+    /// past the last contiguous sequence, stranded in sibling segments
+    /// when an earlier in-flight append died with the process. Their
+    /// sequences were never acknowledged, so dropping them loses nothing
+    /// a caller was promised.
+    pub tail_dropped: usize,
     /// The highest WAL sequence number the recovered engine covers.
     pub last_seq: u64,
     /// Instances whose replayed history audit passed.
@@ -80,11 +107,15 @@ pub fn recover_segmented(
 ///
 /// The snapshot (if any) is restored first; then every WAL entry with
 /// `seq > snapshot.wal_seq` is replayed in log order. A gap in the
-/// sequence — the log starts after the watermark plus one, or skips a
-/// number mid-stream — means records were lost and recovery refuses
-/// with [`StorageError::Corrupt`] rather than rebuild a world with a
-/// hole in it. The recovered engine keeps writing to the same backend:
-/// its WAL continues at `last_seq + 1`.
+/// sequence is classified before replay: a bounded gap at the tail
+/// (≤ [`TAIL_REPAIR_WINDOW`] sequences) is repaired by truncating the
+/// log back to the last contiguous entry ([`RecoveryReport::tail_dropped`]
+/// counts the stranded records removed); a wider gap, or a log that
+/// starts after sequence 1 with no snapshot to cover the start, means
+/// records were lost and recovery refuses with [`StorageError::Corrupt`]
+/// rather than rebuild a world with a hole in it. The recovered engine
+/// keeps writing to the same backend: its WAL continues at
+/// `last_seq + 1`.
 pub fn recover_from(
     snapshot: Option<&Snapshot>,
     backend: Box<dyn StorageBackend>,
@@ -96,11 +127,15 @@ pub fn recover_from(
 /// segments (written by [`ProcessEngine::with_segmented_wal`]) are
 /// merged back into one globally ordered stream by sequence number
 /// before replay; gap and torn-tail semantics are exactly those of the
-/// single-backend path. A whole segment lost (its file gone or empty
-/// while its siblings carry later sequences) shows up as a sequence gap
-/// and is refused as [`StorageError::Corrupt`] — only a torn tail at
-/// the *global* end of the log is repairable. The recovered engine
-/// keeps writing to the same segments.
+/// single-backend path. With concurrent appenders on different segment
+/// mediums, a crash can leave an earlier-allocated sequence torn or
+/// unwritten while a later one is already durable in a sibling — a
+/// bounded tail gap in the merged stream, repaired by truncating all
+/// segments back to the last contiguous sequence. A whole segment lost
+/// (its file gone or empty while its siblings carry later sequences)
+/// leaves periodic holes far wider than [`TAIL_REPAIR_WINDOW`] and is
+/// refused as [`StorageError::Corrupt`]. The recovered engine keeps
+/// writing to the same segments.
 pub fn recover_from_segmented(
     snapshot: Option<&Snapshot>,
     backends: Vec<Box<dyn StorageBackend>>,
@@ -121,27 +156,68 @@ pub fn recover_from_segmented(
         skipped: 0,
         orphaned: 0,
         torn_tail_bytes,
+        tail_dropped: 0,
         last_seq: base_seq,
         audited: 0,
         divergent: Vec::new(),
     };
+    // Classify the merged stream BEFORE replaying anything: contiguity is
+    // checked everywhere, not just at the first replayed record — with
+    // segments, a missing segment leaves periodic holes that can start
+    // anywhere in the merged stream.
+    let mut live: Vec<WalEntry> = Vec::with_capacity(entries.len());
     for entry in entries {
         if entry.seq <= base_seq {
             report.skipped += 1;
-            continue;
+        } else {
+            live.push(entry);
         }
-        // Contiguity everywhere, not just at the first replayed record:
-        // with segments, a missing segment leaves periodic holes that
-        // can start anywhere in the merged stream.
-        let expected = report.last_seq + 1;
-        if entry.seq > expected {
+    }
+    // `contiguous`: the highest sequence reachable from the base without
+    // a hole; `gap_at`: index of the first entry past a hole, if any.
+    let mut contiguous = base_seq;
+    let mut gap_at = live.len();
+    for (i, entry) in live.iter().enumerate() {
+        if entry.seq == contiguous + 1 {
+            contiguous = entry.seq;
+        } else {
+            gap_at = i;
+            break;
+        }
+    }
+    if gap_at < live.len() {
+        let resumes_at = live[gap_at].seq;
+        let max_seq = live.last().map(|e| e.seq).unwrap_or(contiguous);
+        if contiguous == base_seq && snapshot.is_none() {
+            // Nothing covers the start of the sequence: this is not a
+            // crash tail but a log whose beginning is gone (e.g. a
+            // checkpoint-truncated log opened without its snapshot).
             return Err(StorageError::corrupt(format!(
-                "wal gap: expected seq {expected} but the log continues at {} \
-                 (records lost, e.g. a missing segment)",
-                entry.seq
+                "wal gap: log starts at seq {resumes_at} with no snapshot covering \
+                 1..={} (truncated log recovered without its snapshot?)",
+                resumes_at - 1
             ))
             .into());
         }
+        if max_seq - contiguous > TAIL_REPAIR_WINDOW {
+            return Err(StorageError::corrupt(format!(
+                "wal gap: expected seq {} but the log continues at {resumes_at} and \
+                 runs to {max_seq} — {} sequences past the last contiguous record \
+                 exceed the crash-tail window of {TAIL_REPAIR_WINDOW} (records lost, \
+                 e.g. a missing segment)",
+                contiguous + 1,
+                max_seq - contiguous
+            ))
+            .into());
+        }
+        // A bounded tail gap: the crash residue of concurrent segmented
+        // appends. Records past the hole were never acknowledged (their
+        // predecessor never committed), so truncate them — physically,
+        // so the siblings cannot resurrect them on the next recovery.
+        live.truncate(gap_at);
+        report.tail_dropped = wal.retain_up_to(contiguous)?;
+    }
+    for entry in live {
         replay_entry(&repo, &store, &wal, entry, &mut report)?;
         report.replayed += 1;
     }
@@ -240,6 +316,9 @@ fn replay_entry(
         WalRecord::Txn { record } => {
             wal.note_replayed_txn(record);
         }
+        // A plugged sequence hole from a failed append — durable filler
+        // with no state effect; it only keeps the sequence contiguous.
+        WalRecord::Abandoned => {}
     }
     report.last_seq = seq;
     Ok(())

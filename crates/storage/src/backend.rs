@@ -176,13 +176,21 @@ impl StorageBackend for MemoryBackend {
 
 /// State behind the file backend's mutex: the lazily opened append
 /// handle (shared `Arc` so fsync can run outside this lock), the
-/// unsynced-append counter for [`SyncPolicy::Interval`], and the count
-/// of completed appends (the group-commit cover mark).
+/// unsynced-append counter for [`SyncPolicy::Interval`], the count
+/// of completed appends (the group-commit cover mark), and the
+/// partial-write bookkeeping: `len` is the file length after the last
+/// *successful* append, `dirty` marks that a failed `write_all` may have
+/// left partial bytes past `len`. The next append truncates back to
+/// `len` first — otherwise a retried record would concatenate onto the
+/// partial fragment into one complete-but-undecodable line, which the
+/// WAL layer must treat as interior corruption rather than a torn tail.
 #[derive(Debug, Default)]
 struct FileState {
     file: Option<std::sync::Arc<File>>,
     unsynced: u64,
     written: u64,
+    len: u64,
+    dirty: bool,
 }
 
 /// An embedded durable file backend (JSONL, append-only).
@@ -265,6 +273,11 @@ impl FileBackend {
                 .append(true)
                 .open(path)
                 .map_err(|e| StorageError::io("open", &e))?;
+            state.len = f
+                .metadata()
+                .map_err(|e| StorageError::io("stat", &e))?
+                .len();
+            state.dirty = false;
             state.file = Some(std::sync::Arc::new(f));
         }
         Ok(())
@@ -277,15 +290,25 @@ impl StorageBackend for FileBackend {
             let mut state = self.state.lock();
             Self::open_append(&mut state, &self.path)?;
             let file = state.file.clone().expect("opened above");
+            if state.dirty {
+                // A previous append failed mid-write; cut any partial
+                // bytes off before writing so the new record starts on a
+                // record boundary (O_APPEND writes land at the new end).
+                file.set_len(state.len)
+                    .map_err(|e| StorageError::io("truncate", &e))?;
+                state.dirty = false;
+            }
             // One write call for line + terminator: a crash mid-append
             // leaves a prefix, which read_log identifies by the missing
             // newline.
             let mut bytes = Vec::with_capacity(line.len() + 1);
             bytes.extend_from_slice(line.as_bytes());
             bytes.push(b'\n');
-            (&*file)
-                .write_all(&bytes)
-                .map_err(|e| StorageError::io("append", &e))?;
+            if let Err(e) = (&*file).write_all(&bytes) {
+                state.dirty = true;
+                return Err(StorageError::io("append", &e));
+            }
+            state.len += bytes.len() as u64;
             state.written += 1;
             match self.policy {
                 SyncPolicy::Always => (file, state.written),
@@ -337,7 +360,7 @@ impl StorageBackend for FileBackend {
     }
 
     fn read_log(&self) -> Result<RawLog, StorageError> {
-        let state = self.state.lock();
+        let mut state = self.state.lock();
         let mut bytes = Vec::new();
         match File::open(&self.path) {
             Ok(mut f) => {
@@ -360,6 +383,13 @@ impl StorageBackend for FileBackend {
                 .and_then(|f| f.set_len(keep))
                 .map_err(|e| StorageError::io("truncate", &e))?;
         }
+        // Resync the partial-write bookkeeping with what is actually on
+        // the medium (repair above, or fault injection outside this
+        // handle).
+        if state.file.is_some() {
+            state.len = (bytes.len() - torn) as u64;
+            state.dirty = false;
+        }
         drop(state);
         Ok(RawLog {
             lines,
@@ -375,6 +405,8 @@ impl StorageBackend for FileBackend {
         state.file = None;
         state.unsynced = 0;
         state.written = 0;
+        state.len = 0;
+        state.dirty = false;
         *synced = 0;
         match std::fs::remove_file(&self.path) {
             Ok(()) => Ok(()),

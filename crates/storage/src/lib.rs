@@ -103,11 +103,23 @@
 //! `line + '\n'`, so a crash mid-append leaves a *torn tail* — bytes
 //! after the last newline. [`StorageBackend::read_log`] truncates the
 //! torn tail (on the medium) and recovery proceeds from the last complete
-//! record. With segments the same rule applies per segment, and only a
-//! tear at the *global* end of the merged stream is repairable: a torn
-//! or missing record with later sequences alive in sibling segments is
-//! a sequence gap, which recovery refuses as corruption. A *complete* line that does not decode cannot be produced by a
-//! crash; it means the medium was damaged, and recovery refuses to start
+//! record. With segments the same rule applies per segment, and the
+//! replay layer then classifies any gap left in the *merged* stream: a
+//! bounded gap near the global tail is the normal crash residue of
+//! concurrent segmented appends (an earlier-allocated record torn or
+//! unwritten while a later sequence is already durable in a sibling) and
+//! is repaired by truncating every segment back to the last contiguous
+//! sequence; a wide gap (a lost segment leaves periodic holes across the
+//! whole stream) or a leading gap with no snapshot covering the start is
+//! refused as corruption. A failed append whose sequence cannot be
+//! returned to the allocator is plugged with a durable no-op tombstone
+//! ([`WalRecord::Abandoned`]), so transient backend errors never leave
+//! permanent holes; snapshots record the WAL's **durable position** (the
+//! highest contiguous successfully-appended sequence,
+//! [`WriteAheadLog::durable_position`]) rather than the raw allocator, so
+//! a watermark never claims coverage of an in-flight append. A *complete*
+//! line that does not decode cannot be produced by a crash; it means the
+//! medium was damaged, and recovery refuses to start
 //! ([`StorageError::Corrupt`]). All failures on the persistence path are
 //! typed ([`error`]): backend I/O, corrupt streams, and encode failures
 //! are distinguishable, and a journaling failure during a commit aborts

@@ -26,8 +26,9 @@ use crate::persist::InstanceRecord;
 use crate::txnlog::TxnRecord;
 use adept_model::{InstanceId, ProcessSchema};
 use adept_state::InstanceState;
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// One durable engine mutation. Post-image records (`Created`,
@@ -95,6 +96,13 @@ pub enum WalRecord {
         /// The audit record.
         record: TxnRecord,
     },
+    /// A durable no-op filling an abandoned sequence number: the append
+    /// that allocated it failed on its medium after a later sequence was
+    /// already handed out, so the number could not be returned to the
+    /// allocator. The tombstone keeps the sequence contiguous — without
+    /// it a single transient backend error would leave a permanent hole
+    /// that recovery must treat as lost records. Replay ignores it.
+    Abandoned,
 }
 
 /// One WAL entry: a globally sequenced record. `seq` is contiguous and
@@ -132,6 +140,41 @@ struct WalInner {
     txns: Vec<TxnRecord>,
 }
 
+/// Durability bookkeeping: `upto` is the highest sequence such that every
+/// sequence at or below it has been successfully appended; `completed`
+/// holds out-of-order completions above `upto` until the chain closes.
+/// Updated after the segment I/O, outside any segment lock — the critical
+/// section is a set insertion, not an append.
+#[derive(Debug, Default)]
+struct Durable {
+    upto: u64,
+    completed: BTreeSet<u64>,
+}
+
+impl Durable {
+    fn mark(&mut self, seq: u64) {
+        if seq == self.upto + 1 {
+            self.upto = seq;
+            while self.completed.remove(&(self.upto + 1)) {
+                self.upto += 1;
+            }
+        } else if seq > self.upto {
+            self.completed.insert(seq);
+        }
+    }
+
+    /// Jumps the watermark to at least `seq` (everything below is known
+    /// covered), then drains any completions that became contiguous.
+    fn advance_to(&mut self, seq: u64) {
+        if self.upto < seq {
+            self.upto = seq;
+            while self.completed.remove(&(self.upto + 1)) {
+                self.upto += 1;
+            }
+        }
+    }
+}
+
 /// The engine's write-ahead log, segmented across one or more
 /// [`StorageBackend`] mediums.
 ///
@@ -154,13 +197,20 @@ struct WalInner {
 /// With one segment (the [`WriteAheadLog::create`] path) the layout is
 /// byte-identical to the pre-segmentation log. Recovery merges all
 /// segments by sequence number; per-segment torn tails are repaired by
-/// the backends, and a gap in the merged sequence (a lost or missing
-/// segment) is reported as corruption by the replay layer.
+/// the backends. A gap in the merged sequence is classified by the
+/// replay layer: a bounded gap at the global tail is the normal residue
+/// of a crash under concurrent appends (an earlier-allocated record torn
+/// or unwritten while a later one is already durable in a sibling
+/// segment) and is repaired via [`WriteAheadLog::retain_up_to`]; a wide
+/// or leading gap (a lost segment, a truncated log without its snapshot)
+/// is reported as corruption.
 #[derive(Debug)]
 pub struct WriteAheadLog {
     inner: RwLock<WalInner>,
     /// The next entry sequence number to allocate (1-based).
     next_seq: AtomicU64,
+    /// Contiguous-durability tracker behind [`WriteAheadLog::durable_position`].
+    durable: Mutex<Durable>,
     /// Segment mediums (empty = disabled). Backends synchronise
     /// internally, so appends need no WAL-level lock.
     segments: Box<[Box<dyn StorageBackend>]>,
@@ -180,6 +230,12 @@ impl WriteAheadLog {
         Self {
             inner: RwLock::new(WalInner { txns: Vec::new() }),
             next_seq: AtomicU64::new(next_seq),
+            durable: Mutex::new(Durable {
+                // Everything below the opening position is on the medium
+                // (or covered by the snapshot a recovery replays).
+                upto: next_seq - 1,
+                completed: BTreeSet::new(),
+            }),
             segments: segments.into_boxed_slice(),
             mask,
         }
@@ -293,18 +349,72 @@ impl WriteAheadLog {
         self.segments.first().map(|b| b.kind())
     }
 
-    /// The sequence number of the most recently allocated entry (0 =
-    /// nothing appended). Snapshots record this as their `wal_seq`
-    /// watermark.
+    /// The sequence number of the most recently **allocated** entry (0 =
+    /// nothing appended). Under concurrent appends this can run ahead of
+    /// what is actually on the mediums — an allocated sequence may still
+    /// be in flight, or about to fail and be rolled back. Use
+    /// [`WriteAheadLog::durable_position`] for watermarks that claim
+    /// coverage.
     pub fn position(&self) -> u64 {
         self.next_seq.load(Ordering::SeqCst) - 1
     }
 
+    /// The highest sequence number `d` such that every entry `1..=d` has
+    /// been **successfully appended** (0 = nothing durable). Unlike
+    /// [`WriteAheadLog::position`] this never counts allocated-but-
+    /// in-flight or failed appends, so it is the safe `wal_seq` watermark
+    /// for snapshots: a snapshot claiming coverage up to `d` never claims
+    /// a sequence the log does not durably hold. Quiesced (no in-flight
+    /// appends), the two positions are equal.
+    pub fn durable_position(&self) -> u64 {
+        self.durable.lock().upto
+    }
+
+    /// Marks one append as successfully persisted, advancing the
+    /// contiguous durability watermark when the chain below it is closed.
+    fn mark_durable(&self, seq: u64) {
+        self.durable.lock().mark(seq);
+    }
+
     /// Advances the position watermark to at least `seq` (recovery: the
     /// snapshot may be newer than the last surviving log entry after a
-    /// checkpoint truncation).
+    /// checkpoint truncation). The sequences below `seq` are covered by
+    /// snapshot + replayed log, so the durable watermark advances too.
     pub fn advance_position(&self, seq: u64) {
         self.next_seq.fetch_max(seq + 1, Ordering::SeqCst);
+        self.durable.lock().advance_to(seq);
+    }
+
+    /// Physically truncates every segment back to the entries with
+    /// sequence ≤ `seq` and rewinds the allocator — the recovery-side
+    /// repair of a crash tail: sequences past the last contiguous entry
+    /// are dropped from *all* segments so siblings cannot carry orphaned
+    /// later records, and appends continue at `seq + 1`. Returns the
+    /// number of entries dropped. Recovery-only: callers must guarantee
+    /// no concurrent appends.
+    pub fn retain_up_to(&self, seq: u64) -> Result<usize, StorageError> {
+        let mut dropped = 0usize;
+        for seg in self.segments.iter() {
+            let raw = seg.read_log()?;
+            let keep: Vec<&String> = raw
+                .lines
+                .iter()
+                .filter(|line| decode_entry(line).map(|e| e.seq <= seq).unwrap_or(false))
+                .collect();
+            if keep.len() == raw.lines.len() {
+                continue;
+            }
+            dropped += raw.lines.len() - keep.len();
+            seg.reset()?;
+            for line in keep {
+                seg.append_line(line)?;
+            }
+        }
+        self.next_seq.store(seq + 1, Ordering::SeqCst);
+        let mut durable = self.durable.lock();
+        durable.upto = seq;
+        durable.completed.clear();
+        Ok(dropped)
     }
 
     /// The segment an entry sequence number maps to.
@@ -314,25 +424,55 @@ impl WriteAheadLog {
     }
 
     /// Allocates the next sequence number, encodes and appends to the
-    /// owning segment. On failure the allocation is rolled back if no
-    /// later sequence was handed out in the meantime (best effort — an
-    /// unrecovered allocation leaves a gap that recovery reports as
-    /// corruption, which is the honest outcome of a medium failing
-    /// mid-commit).
+    /// owning segment. On failure the allocation is rolled back when no
+    /// later sequence was handed out in the meantime; otherwise the
+    /// abandoned number is plugged with a durable [`WalRecord::Abandoned`]
+    /// tombstone (on its own segment, falling back to each sibling) so a
+    /// transient medium error never leaves a sequence hole that recovery
+    /// would have to treat as lost records. Only if *every* segment
+    /// refuses the tombstone does the hole remain — the honest outcome of
+    /// all mediums failing at once, and still repairable by recovery's
+    /// crash-tail truncation if nothing lands after it.
     fn append_allocated(&self, record: WalRecord) -> Result<u64, StorageError> {
         let seq = self.next_seq.fetch_add(1, Ordering::SeqCst);
         let result = encode_entry(&WalEntry { seq, record })
             .and_then(|line| self.segment_of(seq).append_line(&line));
         match result {
-            Ok(()) => Ok(seq),
+            Ok(()) => {
+                self.mark_durable(seq);
+                Ok(seq)
+            }
             Err(e) => {
-                let _ = self.next_seq.compare_exchange(
-                    seq + 1,
-                    seq,
-                    Ordering::SeqCst,
-                    Ordering::SeqCst,
-                );
+                let rolled_back = self
+                    .next_seq
+                    .compare_exchange(seq + 1, seq, Ordering::SeqCst, Ordering::SeqCst)
+                    .is_ok();
+                if !rolled_back {
+                    self.plug_abandoned(seq);
+                }
                 Err(e)
+            }
+        }
+    }
+
+    /// Durably records an [`WalRecord::Abandoned`] tombstone for a
+    /// sequence number whose append failed and whose allocation could not
+    /// be rolled back. Tries the owning segment first (its failure may
+    /// have been transient), then every sibling — recovery merges by
+    /// sequence and never checks which segment a sequence lives on.
+    fn plug_abandoned(&self, seq: u64) {
+        let Ok(line) = encode_entry(&WalEntry {
+            seq,
+            record: WalRecord::Abandoned,
+        }) else {
+            return;
+        };
+        let n = self.segments.len();
+        let owner = ((seq - 1) & self.mask) as usize;
+        for i in 0..n {
+            if self.segments[(owner + i) % n].append_line(&line).is_ok() {
+                self.mark_durable(seq);
+                return;
             }
         }
     }
@@ -412,9 +552,9 @@ impl WriteAheadLog {
 
     /// Truncates every segment's log to empty while keeping the position
     /// watermark and the transaction view — the checkpoint step after a
-    /// snapshot carrying `wal_seq == position()` has been persisted.
-    /// Future appends continue the sequence, so recovery can verify
-    /// contiguity across the checkpoint.
+    /// snapshot carrying `wal_seq == durable_position()` has been
+    /// persisted. Future appends continue the sequence, so recovery can
+    /// verify contiguity across the checkpoint.
     pub fn truncate(&self) -> Result<(), StorageError> {
         for seg in self.segments.iter() {
             seg.reset()?;
@@ -426,7 +566,7 @@ impl WriteAheadLog {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::backend::MemoryBackend;
+    use crate::backend::{MemoryBackend, RawLog};
     use crate::txnlog::TxnTarget;
 
     fn txn(seq: u64) -> TxnRecord {
@@ -669,6 +809,133 @@ mod tests {
         let seqs: Vec<u64> = entries.iter().map(|e| e.seq).collect();
         assert_eq!(seqs, vec![1, 2, 3], "only the torn record is lost");
         assert_eq!(wal.position(), 3);
+    }
+
+    #[test]
+    fn durable_marks_close_out_of_order_chains() {
+        let mut d = Durable::default();
+        d.mark(2);
+        assert_eq!(d.upto, 0, "seq 1 still in flight");
+        d.mark(1);
+        assert_eq!(d.upto, 2, "chain closed through the buffered completion");
+        d.mark(4);
+        d.mark(5);
+        assert_eq!(d.upto, 2);
+        d.mark(3);
+        assert_eq!(d.upto, 5);
+    }
+
+    #[test]
+    fn retain_up_to_truncates_all_segments_and_rewinds() {
+        let mediums: Vec<MemoryBackend> = (0..2).map(|_| MemoryBackend::new()).collect();
+        let wal = WriteAheadLog::create_segmented(
+            mediums
+                .iter()
+                .map(|m| Box::new(m.clone()) as Box<dyn StorageBackend>)
+                .collect(),
+        )
+        .unwrap();
+        for i in 1..=6u64 {
+            wal.append(WalRecord::Removed { id: InstanceId(i) })
+                .unwrap();
+        }
+        let dropped = wal.retain_up_to(3).unwrap();
+        assert_eq!(dropped, 3, "seqs 4..=6 removed across both segments");
+        assert_eq!(wal.position(), 3);
+        assert_eq!(wal.durable_position(), 3);
+        assert_eq!(
+            wal.append(WalRecord::Removed { id: InstanceId(9) })
+                .unwrap(),
+            4,
+            "sequence resumes after the cut"
+        );
+        let (_, entries, _) = WriteAheadLog::open_segmented(
+            mediums
+                .iter()
+                .map(|m| Box::new(m.clone()) as Box<dyn StorageBackend>)
+                .collect(),
+        )
+        .unwrap();
+        let seqs: Vec<u64> = entries.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![1, 2, 3, 4], "the cut is physical");
+    }
+
+    /// A backend that fails exactly one append — and holds that append
+    /// until released, so a test can deterministically arrange a later
+    /// sequence to become durable first (the CAS-rollback-impossible
+    /// window).
+    #[derive(Debug)]
+    struct FailingOnce {
+        inner: MemoryBackend,
+        armed: std::sync::atomic::AtomicBool,
+        entered: Mutex<std::sync::mpsc::Sender<()>>,
+        release: Mutex<std::sync::mpsc::Receiver<()>>,
+    }
+
+    impl StorageBackend for FailingOnce {
+        fn append_line(&self, line: &str) -> Result<(), StorageError> {
+            if self.armed.swap(false, Ordering::SeqCst) {
+                self.entered.lock().send(()).unwrap();
+                self.release.lock().recv().unwrap();
+                return Err(StorageError::corrupt("injected append failure"));
+            }
+            self.inner.append_line(line)
+        }
+        fn sync(&self) -> Result<(), StorageError> {
+            self.inner.sync()
+        }
+        fn read_log(&self) -> Result<RawLog, StorageError> {
+            self.inner.read_log()
+        }
+        fn reset(&self) -> Result<(), StorageError> {
+            self.inner.reset()
+        }
+        fn kind(&self) -> &'static str {
+            "failing-once"
+        }
+    }
+
+    #[test]
+    fn failed_append_with_later_durable_seq_plugs_a_tombstone() {
+        let flaky_medium = MemoryBackend::new();
+        let other = MemoryBackend::new();
+        let (entered_tx, entered_rx) = std::sync::mpsc::channel();
+        let (release_tx, release_rx) = std::sync::mpsc::channel();
+        let flaky = FailingOnce {
+            inner: flaky_medium.clone(),
+            armed: std::sync::atomic::AtomicBool::new(true),
+            entered: Mutex::new(entered_tx),
+            release: Mutex::new(release_rx),
+        };
+        let wal = std::sync::Arc::new(
+            WriteAheadLog::create_segmented(vec![Box::new(flaky), Box::new(other.clone())])
+                .unwrap(),
+        );
+        let w = wal.clone();
+        // Seq 1 → segment 0 (the failing medium); the appender parks
+        // inside the backend holding its allocation.
+        let t = std::thread::spawn(move || w.append(WalRecord::Removed { id: InstanceId(1) }));
+        entered_rx.recv().unwrap();
+        // Seq 2 → segment 1, durable. Now seq 1 can no longer be rolled
+        // back by the CAS.
+        wal.append(WalRecord::Removed { id: InstanceId(2) })
+            .unwrap();
+        assert_eq!(wal.durable_position(), 0, "seq 1 still pending");
+        release_tx.send(()).unwrap();
+        assert!(t.join().unwrap().is_err(), "the append itself still fails");
+        assert_eq!(wal.position(), 2);
+        assert_eq!(
+            wal.durable_position(),
+            2,
+            "the tombstone closed the chain under seq 2"
+        );
+        // The abandoned sequence is durably plugged: a reopen sees a
+        // contiguous log with a no-op at seq 1.
+        let (_, entries, _) =
+            WriteAheadLog::open_segmented(vec![Box::new(flaky_medium), Box::new(other)]).unwrap();
+        let seqs: Vec<u64> = entries.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![1, 2]);
+        assert!(matches!(entries[0].record, WalRecord::Abandoned));
     }
 
     #[test]

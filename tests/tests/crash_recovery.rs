@@ -402,14 +402,20 @@ fn segmented_torn_tail_in_one_segment_only() {
 }
 
 /// A whole segment gone (file lost, not a crash tear) leaves periodic
-/// holes in the merged sequence — recovery must refuse with a gap error
-/// rather than rebuild a world with every Nth record missing.
+/// holes spanning the whole merged sequence — far wider than the
+/// crash-tail repair window — and recovery must refuse with a gap error
+/// rather than rebuild a world with every Nth record missing. The
+/// workload is sized so the holes span well past
+/// [`recovery::TAIL_REPAIR_WINDOW`], distinguishing this from the
+/// bounded tail gap a crash under concurrent appends leaves (which
+/// recovery *does* repair; see
+/// [`crash_tail_gap_from_concurrent_appends_is_repaired`]).
 #[test]
 fn missing_segment_is_a_gap_error() {
     let mediums = segmented_mediums(2);
     let engine = ProcessEngine::with_segmented_wal(boxed(&mediums)).unwrap();
     let name = engine.deploy(scenarios::order_process()).unwrap();
-    for _ in 0..4 {
+    for _ in 0..(2 * recovery::TAIL_REPAIR_WINDOW) {
         engine.create_instance(&name).unwrap();
     }
     drop(engine);
@@ -425,6 +431,97 @@ fn missing_segment_is_a_gap_error() {
             "a lost segment must refuse recovery, got: {err}"
         );
     }
+}
+
+/// The crash window of concurrent segmented appends: sequence allocation
+/// is decoupled from the durable write, so a crash can leave an
+/// earlier-allocated record torn (or never written) in one segment while
+/// a later sequence is already durable in a sibling. The resulting
+/// bounded tail gap must be repaired — truncating back to the last
+/// contiguous record — not refused as corruption, and the repair must be
+/// physical so a second recovery sees a clean log.
+#[test]
+fn crash_tail_gap_from_concurrent_appends_is_repaired() {
+    let mediums = segmented_mediums(2);
+    let engine = ProcessEngine::with_segmented_wal(boxed(&mediums)).unwrap();
+    let name = engine.deploy(scenarios::order_process()).unwrap();
+    let survivor = engine.create_instance(&name).unwrap();
+    let expected_json = to_json(&engine.snapshot()).unwrap();
+    // Two more records: seq 3 → segment 0, seq 4 → segment 1.
+    let torn = engine.create_instance(&name).unwrap();
+    let stranded = engine.create_instance(&name).unwrap();
+    assert_eq!(engine.wal().position(), 4);
+    drop(engine);
+
+    // The crash: seq 3's append died mid-write (torn tail in segment 0)
+    // while seq 4 had already completed in segment 1.
+    let raw = mediums[0].raw();
+    mediums[0].set_raw(&raw[..raw.len() - 5]);
+
+    let (rec, report) = recovery::recover_segmented(boxed(&mediums)).unwrap();
+    assert!(report.torn_tail_bytes > 0, "the tear itself is counted");
+    assert_eq!(
+        report.tail_dropped, 1,
+        "seq 4, stranded past the gap, is truncated away"
+    );
+    assert_eq!(report.last_seq, 2, "the world ends at the last contiguous record");
+    assert!(rec.store.get(survivor).is_some());
+    assert!(rec.store.get(torn).is_none(), "the torn record must not apply");
+    assert!(
+        rec.store.get(stranded).is_none(),
+        "a record past the gap was never acknowledged and must not apply"
+    );
+    assert_eq!(
+        to_json(&rec.snapshot()).unwrap(),
+        expected_json,
+        "recovery lands exactly on the last contiguous record"
+    );
+    // The recovered engine resumes the sequence where the repair cut it.
+    let next = rec.create_instance(&name).unwrap();
+    assert!(rec.store.get(next).is_some());
+    drop(rec);
+
+    // The repair was physical: recovering the same mediums again finds a
+    // contiguous log with nothing to drop.
+    let (rec2, report2) = recovery::recover_segmented(boxed(&mediums)).unwrap();
+    assert_eq!(report2.torn_tail_bytes, 0);
+    assert_eq!(report2.tail_dropped, 0);
+    assert!(rec2.store.get(next).is_some(), "post-repair appends survive");
+}
+
+/// The same crash window with an entirely *unwritten* (not torn) earlier
+/// record, recovered from a snapshot: the gap opens right at the
+/// snapshot watermark, which is still a repairable crash tail — the
+/// snapshot covers the base.
+#[test]
+fn crash_tail_gap_at_snapshot_watermark_is_repaired() {
+    let mediums = segmented_mediums(2);
+    let engine = ProcessEngine::with_segmented_wal(boxed(&mediums)).unwrap();
+    let name = engine.deploy(scenarios::order_process()).unwrap();
+    engine.create_instance(&name).unwrap();
+    let snap = engine.snapshot();
+    let expected_json = to_json(&snap).unwrap();
+    engine.create_instance(&name).unwrap(); // seq 3 → segment 0
+    engine.create_instance(&name).unwrap(); // seq 4 → segment 1
+    drop(engine);
+
+    // Seq 3 never reached its medium at all: drop segment 0's last line.
+    let text = String::from_utf8(mediums[0].raw()).unwrap();
+    let mut lines: Vec<&str> = text.lines().collect();
+    lines.pop();
+    let kept = lines.join("\n") + "\n";
+    mediums[0].set_raw(kept.as_bytes());
+
+    let (rec, report) =
+        recovery::recover_from_segmented(Some(&snap), boxed(&mediums)).unwrap();
+    assert_eq!(report.torn_tail_bytes, 0, "nothing was torn — seq 3 is simply absent");
+    assert_eq!(report.tail_dropped, 1, "seq 4 is truncated away");
+    assert_eq!(report.last_seq, snap.wal_seq);
+    assert_eq!(
+        to_json(&rec.snapshot()).unwrap(),
+        expected_json,
+        "the world is exactly the snapshot"
+    );
 }
 
 /// File-backed segments end to end: `FileBackend::segments` derives the

@@ -98,6 +98,54 @@ fn delta_streams_changes_and_removals() {
     assert_eq!(canon(view.flat()), canon(engine.worklist_full()));
 }
 
+/// An unresolvable index miss (an instance whose type the repository
+/// does not know) is recomputed ONCE, not on every poll: the delta scan
+/// installs the recomputed (empty) item set stamped with the pre-scan
+/// epoch, and reports the resolution failure to the monitor exactly
+/// once — a permanently dangling instance must not churn every delta
+/// consumer and grow the event log without bound.
+#[test]
+fn unresolvable_miss_is_recomputed_once_not_every_poll() {
+    let engine = ProcessEngine::new();
+    let name = engine.deploy(scenarios::order_process()).unwrap();
+    engine.create_instance(&name).unwrap();
+
+    // Corrupt entry: an instance of a type the repository does not know.
+    let dep = engine.repo.deployed(&name, 1).unwrap();
+    let ghost_state = dep.execution().init().unwrap();
+    let ghost = engine.store.create("ghost type", 1, ghost_state);
+
+    let before = engine.monitor.len();
+    let d1 = engine.worklist_delta(0);
+    assert!(
+        d1.added
+            .iter()
+            .any(|(id, items)| *id == ghost && items.is_empty()),
+        "the unresolvable instance is reported once, offering nothing"
+    );
+
+    // Nothing changed: the ghost must not be re-missed and re-reported.
+    let d2 = engine.worklist_delta(d1.epoch);
+    assert!(
+        d2.added.iter().all(|(id, _)| *id != ghost),
+        "unresolvable miss re-reported on every poll"
+    );
+    let d3 = engine.worklist_delta(d2.epoch);
+    assert!(d3.added.iter().all(|(id, _)| *id != ghost));
+
+    let failures = engine.monitor.events()[before..]
+        .iter()
+        .filter(|(_, e)| {
+            matches!(
+                e,
+                adept_engine::EngineEvent::WorklistResolutionFailed { instance, .. }
+                    if *instance == ghost
+            )
+        })
+        .count();
+    assert_eq!(failures, 1, "the failure reaches the monitor exactly once");
+}
+
 /// 4 writers (create/drive/remove on disjoint instance pools) + 2 cursor
 /// readers polling concurrently. After the writers join, one final poll
 /// per reader must reconstruct exactly the full recompute: no lost
