@@ -1,0 +1,134 @@
+//! Deviation classification: what the detector found wrong.
+
+use adept_model::{InstanceId, NodeId};
+use std::fmt;
+
+/// A classified deviation of one running instance from its intended
+/// execution — the input of [`AdaptationPolicy::plan`](crate::AdaptationPolicy::plan).
+///
+/// Every deviation has a stable [`key`](Deviation::key): the single-flight
+/// guard ensures at most one recovery attempt chain per key, so an
+/// instance is never adapted twice for one deviation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Deviation {
+    /// An activity failed (the engine emitted `ActivityFailed`).
+    ActivityFailed {
+        /// The instance.
+        instance: InstanceId,
+        /// The failed activity.
+        node: NodeId,
+        /// How many times this activity has failed so far (monotone —
+        /// each failure is a *new* deviation with a new key).
+        attempts: u32,
+        /// The application-level failure reason.
+        reason: String,
+    },
+    /// A started activity exceeded its deadline (logical-clock ticks).
+    DeadlineBreached {
+        /// The instance.
+        instance: InstanceId,
+        /// The overrunning activity.
+        node: NodeId,
+        /// The tick the activity started — part of the key, so one
+        /// overrunning start is one deviation no matter how long it runs.
+        since: u64,
+        /// Ticks waited beyond the start.
+        waited: u64,
+    },
+    /// An instance has been sitting on a pending external loop decision
+    /// with no activity for too long.
+    DecisionStuck {
+        /// The instance.
+        instance: InstanceId,
+        /// The loop-end node awaiting the decision.
+        loop_end: NodeId,
+        /// Completed iterations at detection (keys one deviation per
+        /// stuck iteration).
+        completed: u32,
+        /// Ticks since the instance's last engine event.
+        waited: u64,
+    },
+    /// The worklist repeatedly failed to resolve the instance — it offers
+    /// no work and nobody will ever pick it up.
+    WorklistStarvation {
+        /// The instance.
+        instance: InstanceId,
+        /// Resolution failures observed.
+        failures: u32,
+    },
+}
+
+impl Deviation {
+    /// The deviating instance.
+    pub fn instance(&self) -> InstanceId {
+        match self {
+            Deviation::ActivityFailed { instance, .. }
+            | Deviation::DeadlineBreached { instance, .. }
+            | Deviation::DecisionStuck { instance, .. }
+            | Deviation::WorklistStarvation { instance, .. } => *instance,
+        }
+    }
+
+    /// The node the deviation anchors to, when one is known.
+    pub fn node(&self) -> Option<NodeId> {
+        match self {
+            Deviation::ActivityFailed { node, .. } | Deviation::DeadlineBreached { node, .. } => {
+                Some(*node)
+            }
+            Deviation::DecisionStuck { loop_end, .. } => Some(*loop_end),
+            Deviation::WorklistStarvation { .. } => None,
+        }
+    }
+
+    /// The stable single-flight key: equal keys describe the *same*
+    /// deviation occurrence and are recovered at most once.
+    pub fn key(&self) -> String {
+        match self {
+            Deviation::ActivityFailed { node, attempts, .. } => format!("fail:{node}#{attempts}"),
+            Deviation::DeadlineBreached { node, since, .. } => format!("deadline:{node}@{since}"),
+            Deviation::DecisionStuck {
+                loop_end,
+                completed,
+                ..
+            } => format!("stuck:{loop_end}#{completed}"),
+            Deviation::WorklistStarvation { failures, .. } => format!("starve:#{failures}"),
+        }
+    }
+}
+
+impl fmt::Display for Deviation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Deviation::ActivityFailed {
+                instance,
+                node,
+                attempts,
+                reason,
+            } => write!(
+                f,
+                "{instance}: {node} failed (attempt {attempts}): {reason}"
+            ),
+            Deviation::DeadlineBreached {
+                instance,
+                node,
+                waited,
+                ..
+            } => write!(
+                f,
+                "{instance}: {node} breached its deadline ({waited} ticks)"
+            ),
+            Deviation::DecisionStuck {
+                instance,
+                loop_end,
+                waited,
+                ..
+            } => write!(
+                f,
+                "{instance}: decision at {loop_end} stuck for {waited} ticks"
+            ),
+            Deviation::WorklistStarvation { instance, failures } => {
+                write!(f, "{instance}: starved ({failures} worklist failures)")
+            }
+        }
+    }
+}

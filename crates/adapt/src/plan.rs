@@ -1,0 +1,110 @@
+//! Recovery plans: what the synthesizer proposes.
+
+use adept_model::NodeId;
+use std::fmt;
+
+/// A synthesized recovery, expressed in terms the engine's existing
+/// change vocabulary can stage — the output of
+/// [`AdaptationPolicy::plan`](crate::AdaptationPolicy::plan). Structural
+/// plans become staged change transactions that must pass
+/// [`preview`](adept_engine::ChangeSession::preview) before committing;
+/// command plans go through the ordinary submit path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RecoveryPlan {
+    /// Remove the (pending) activity from the flow — `deleteActivity`.
+    SkipActivity {
+        /// The activity to skip.
+        node: NodeId,
+    },
+    /// Insert a compensation activity right after the failed one and
+    /// (optionally) skip the failed activity itself.
+    InsertCompensation {
+        /// The failed activity.
+        failed: NodeId,
+        /// Name of the compensation activity.
+        compensation: String,
+        /// Whether the failed activity is removed after inserting the
+        /// compensation.
+        skip_failed: bool,
+    },
+    /// Commit a retry-note bias on the activity and re-start it after a
+    /// backoff delay.
+    RetryWithBackoff {
+        /// The activity to retry.
+        node: NodeId,
+        /// Logical ticks to wait before the re-start.
+        delay_ticks: u64,
+        /// Which retry this is (for the bias note).
+        attempt: u32,
+    },
+    /// Resolve a stuck external loop decision (`iterate = true` resets
+    /// the loop body for another pass, `false` exits the loop).
+    JumpBack {
+        /// The loop-end node.
+        loop_end: NodeId,
+        /// Whether to iterate again instead of exiting.
+        iterate: bool,
+    },
+    /// Cancel an overrunning activity: fail it back to `Activated` so a
+    /// follow-up deviation can retry or skip it.
+    Cancel {
+        /// The running activity.
+        node: NodeId,
+    },
+    /// Give up: hand the instance to a human. With a `node`, the
+    /// activity's role is rewritten so it lands on the escalation role's
+    /// worklist; without one, the instance is only marked unrecoverable.
+    Escalate {
+        /// The activity to re-assign, when one is known (and still
+        /// exists).
+        node: Option<NodeId>,
+        /// The worklist role to escalate to.
+        role: String,
+    },
+}
+
+impl RecoveryPlan {
+    /// The plan's short name (for reports and monitor events).
+    pub fn name(&self) -> &'static str {
+        match self {
+            RecoveryPlan::SkipActivity { .. } => "skip",
+            RecoveryPlan::InsertCompensation { .. } => "compensate",
+            RecoveryPlan::RetryWithBackoff { .. } => "retry",
+            RecoveryPlan::JumpBack { .. } => "jump-back",
+            RecoveryPlan::Cancel { .. } => "cancel",
+            RecoveryPlan::Escalate { .. } => "escalate",
+        }
+    }
+}
+
+impl fmt::Display for RecoveryPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecoveryPlan::SkipActivity { node } => write!(f, "skip({node})"),
+            RecoveryPlan::InsertCompensation {
+                failed,
+                compensation,
+                skip_failed,
+            } => write!(
+                f,
+                "compensate({failed}, \"{compensation}\"{})",
+                if *skip_failed { ", skip" } else { "" }
+            ),
+            RecoveryPlan::RetryWithBackoff {
+                node,
+                delay_ticks,
+                attempt,
+            } => write!(f, "retry({node}, #{attempt}, +{delay_ticks}t)"),
+            RecoveryPlan::JumpBack { loop_end, iterate } => write!(
+                f,
+                "jump-back({loop_end}, {})",
+                if *iterate { "iterate" } else { "exit" }
+            ),
+            RecoveryPlan::Cancel { node } => write!(f, "cancel({node})"),
+            RecoveryPlan::Escalate { node, role } => match node {
+                Some(n) => write!(f, "escalate({n} -> \"{role}\")"),
+                None => write!(f, "escalate(\"{role}\")"),
+            },
+        }
+    }
+}

@@ -1,0 +1,132 @@
+//! Adaptation-loop benchmarks: repair throughput over an
+//! exception-heavy population and per-deviation detection latency, each
+//! at 1/4/16 worker threads.
+//!
+//! Caveat: CI runs on a single vCPU, so the 4- and 16-thread points
+//! there measure scheduling overhead, not speedup — compare thread
+//! counts only on multi-core hosts. The 1-thread point is the stable
+//! reference either way.
+
+use adept_adapt::{AdaptationConfig, AdaptationLoop, RetryThenSkip};
+use adept_engine::{EngineCommand, ProcessEngine};
+use adept_model::InstanceId;
+use adept_simgen::exception_scenario;
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+const THREADS: [usize; 3] = [1, 4, 16];
+
+/// An engine with `n` orders all failed at their flaky step — the
+/// backlog one loop pass has to repair.
+fn engine_with_failures(n: usize) -> ProcessEngine {
+    let engine = ProcessEngine::new();
+    let name = engine.deploy(exception_scenario()).unwrap();
+    let ids: Vec<InstanceId> = (0..n)
+        .map(|_| engine.create_instance(&name).unwrap())
+        .collect();
+    let (schema, _) = engine.materialized(ids[0]).unwrap();
+    let intake = schema.node_by_name("intake").unwrap().id;
+    let process = schema.node_by_name("process").unwrap().id;
+    for id in ids {
+        for cmd in [
+            EngineCommand::Start {
+                instance: id,
+                node: intake,
+            },
+            EngineCommand::Complete {
+                instance: id,
+                node: intake,
+                writes: vec![],
+            },
+            EngineCommand::Start {
+                instance: id,
+                node: process,
+            },
+            EngineCommand::FailActivity {
+                instance: id,
+                node: process,
+                reason: "bench exception".into(),
+            },
+        ] {
+            engine.submit(cmd).unwrap();
+        }
+    }
+    engine
+}
+
+/// Skip-on-first-failure: every deviation costs exactly one previewed
+/// change transaction, so elements/sec is committed repairs per second.
+fn skip_policy() -> RetryThenSkip {
+    RetryThenSkip {
+        max_retries: 0,
+        base_delay: 1,
+    }
+}
+
+fn bench_repair_throughput(c: &mut Criterion) {
+    const BACKLOG: usize = 64;
+    let mut group = c.benchmark_group("adaptation_repair_throughput");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(BACKLOG as u64));
+    for threads in THREADS {
+        group.bench_with_input(
+            BenchmarkId::new("repair", threads),
+            &threads,
+            |b, &threads| {
+                b.iter_batched(
+                    || engine_with_failures(BACKLOG),
+                    |engine| {
+                        let mut looper = AdaptationLoop::from_backlog(
+                            &engine,
+                            AdaptationConfig {
+                                threads,
+                                max_in_flight: BACKLOG,
+                                ..AdaptationConfig::default()
+                            },
+                        )
+                        .with_policy(skip_policy());
+                        let report = looper.run_until_quiescent(16);
+                        assert_eq!(report.committed, BACKLOG as u64);
+                        black_box(report)
+                    },
+                    BatchSize::LargeInput,
+                )
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_detection_latency(c: &mut Criterion) {
+    let mut group = c.benchmark_group("adaptation_detection_latency");
+    group.sample_size(20);
+    for threads in THREADS {
+        group.bench_with_input(
+            BenchmarkId::new("detect_and_commit", threads),
+            &threads,
+            |b, &threads| {
+                b.iter_batched(
+                    || engine_with_failures(1),
+                    |engine| {
+                        // One tick: poll the failure event, classify it,
+                        // synthesize + preview + commit the skip.
+                        let mut looper = AdaptationLoop::from_backlog(
+                            &engine,
+                            AdaptationConfig {
+                                threads,
+                                ..AdaptationConfig::default()
+                            },
+                        )
+                        .with_policy(skip_policy());
+                        black_box(looper.tick())
+                    },
+                    BatchSize::LargeInput,
+                )
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_repair_throughput, bench_detection_latency);
+criterion_main!(benches);

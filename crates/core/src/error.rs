@@ -51,6 +51,19 @@ impl fmt::Display for ChangeError {
     }
 }
 
+impl ChangeError {
+    /// The node the failure anchors to, when the error names one —
+    /// lets monitoring consumers attach rejections to a schema position
+    /// without parsing the message.
+    pub fn failing_node(&self) -> Option<NodeId> {
+        match self {
+            ChangeError::StatePrecondition { node, .. } => Some(*node),
+            ChangeError::UnknownNode(n) => Some(*n),
+            _ => None,
+        }
+    }
+}
+
 impl std::error::Error for ChangeError {}
 
 impl From<ModelError> for ChangeError {

@@ -73,6 +73,7 @@
 pub mod adapt;
 pub mod apply;
 pub mod compliance;
+pub mod compose;
 pub mod delta;
 pub mod error;
 pub mod inverse;
@@ -83,6 +84,10 @@ pub mod txn;
 pub use adapt::adapt_instance_state;
 pub use apply::{apply_op, apply_op_unverified, apply_recorded};
 pub use compliance::{check_fast, check_trace, Conflict, ConflictKind, Verdict};
+pub use compose::{
+    annotate_activity, compensation_for, control_predecessor, control_successor, enclosing_loop,
+    insert_after, skip_activity,
+};
 pub use delta::Delta;
 pub use error::ChangeError;
 pub use inverse::{inverse_of, undo_last};

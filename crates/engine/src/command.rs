@@ -56,6 +56,18 @@ pub enum EngineCommand {
         /// Output values, one per declared write edge.
         writes: Vec<(DataId, Value)>,
     },
+    /// Fail a running activity: the node drops back to `Activated` (its
+    /// `Started` history record withdrawn) and an
+    /// [`EngineEvent::ActivityFailed`] is emitted — the signal the
+    /// adaptation loop classifies deviations from.
+    FailActivity {
+        /// The instance.
+        instance: InstanceId,
+        /// The running activity node.
+        node: NodeId,
+        /// Application-level failure reason.
+        reason: String,
+    },
     /// Resolve a pending XOR decision.
     DecideXor {
         /// The instance.
@@ -95,6 +107,7 @@ impl EngineCommand {
             EngineCommand::CreateInstance { .. } => None,
             EngineCommand::Start { instance, .. }
             | EngineCommand::Complete { instance, .. }
+            | EngineCommand::FailActivity { instance, .. }
             | EngineCommand::DecideXor { instance, .. }
             | EngineCommand::DecideLoop { instance, .. }
             | EngineCommand::Drive { instance, .. } => Some(*instance),
@@ -112,6 +125,11 @@ impl fmt::Display for EngineCommand {
                 node,
                 writes,
             } => write!(f, "{instance}: complete {node} ({} writes)", writes.len()),
+            EngineCommand::FailActivity {
+                instance,
+                node,
+                reason,
+            } => write!(f, "{instance}: fail {node} ({reason})"),
             EngineCommand::DecideXor {
                 instance,
                 split,
@@ -771,6 +789,17 @@ fn apply_cmd(
                 node: *node,
             });
             completed = 1;
+        }
+        EngineCommand::FailActivity { node, reason, .. } => {
+            // fail_activity validates before mutating; never snapshots.
+            if let Err(e) = ex.fail_activity(&mut inst.state, *node) {
+                return fail(e.into(), inst, None, carry_enabled, before);
+            }
+            events.push(EngineEvent::ActivityFailed {
+                instance: id,
+                node: *node,
+                reason: reason.clone(),
+            });
         }
         EngineCommand::DecideXor {
             split,

@@ -46,6 +46,19 @@ impl fmt::Display for EngineError {
     }
 }
 
+impl EngineError {
+    /// Classifies the error for typed failure-path monitor events.
+    pub fn failure_kind(&self) -> crate::monitor::FailureKind {
+        use crate::monitor::FailureKind;
+        match self {
+            EngineError::Change(e) => FailureKind::of_change(e),
+            EngineError::Runtime(_) => FailureKind::State,
+            EngineError::NotFound(_) => FailureKind::Unresolvable,
+            EngineError::Storage(_) => FailureKind::Internal,
+        }
+    }
+}
+
 impl std::error::Error for EngineError {}
 
 impl From<ChangeError> for EngineError {
@@ -309,6 +322,18 @@ impl ProcessEngine {
         Ok(((*ctx.schema).clone(), (*ctx.blocks).clone()))
     }
 
+    /// The materialised `(schema, blocks)` context of an instance — the
+    /// shared `Arc`s the command path executes against (bias already
+    /// overlaid). External observers like the adaptation loop build
+    /// read-only [`Execution`]s from this without cloning the schema.
+    pub fn materialized(
+        &self,
+        id: InstanceId,
+    ) -> Result<(Arc<ProcessSchema>, Arc<Blocks>), EngineError> {
+        let ctx = self.exec_context(id)?;
+        Ok((ctx.schema.clone(), ctx.blocks.clone()))
+    }
+
     /// The global worklist: every activated activity of every instance,
     /// answered from the incremental index (instances the index does not
     /// cover are recomputed and installed on the way).
@@ -375,6 +400,7 @@ impl ProcessEngine {
                     if self.wl_failures.insert(id, ()).is_none() {
                         self.monitor.record(EngineEvent::WorklistResolutionFailed {
                             instance: id,
+                            kind: e.failure_kind(),
                             reason: e.to_string(),
                         });
                     }
@@ -531,6 +557,7 @@ impl ProcessEngine {
                         if self.wl_failures.insert(id, ()).is_none() {
                             self.monitor.record(EngineEvent::WorklistResolutionFailed {
                                 instance: id,
+                                kind: e.failure_kind(),
                                 reason: e.to_string(),
                             });
                         }
@@ -1123,6 +1150,8 @@ impl ProcessEngine {
                 Verdict::NotCompliant(c) => {
                     self.monitor.record(EngineEvent::MigrationRejected {
                         instance: id,
+                        node: None,
+                        kind: crate::monitor::FailureKind::from(&c.kind),
                         reason: c.to_string(),
                     });
                     return InstanceOutcome {

@@ -211,7 +211,7 @@ pub use command::{CommandOutcome, EngineCommand};
 pub use engine::{EngineError, ProcessEngine};
 pub use monitor::{
     render_instance_dot, render_instance_summary, EngineEvent, EventBatch, EventCursor, EventLag,
-    Monitor, DEFAULT_EVENT_RETENTION,
+    FailureKind, Monitor, DEFAULT_EVENT_RETENTION,
 };
 pub use recovery::{
     recover, recover_from, recover_from_segmented, recover_segmented, RecoveryReport,

@@ -6,6 +6,7 @@
 //! engine-level event with a logical timestamp and renders instances as
 //! annotated DOT graphs / textual state summaries.
 
+use adept_core::{ChangeError, ConflictKind};
 use adept_model::{render, InstanceId, NodeId, ProcessSchema};
 use adept_state::{InstanceState, NodeState};
 use adept_storage::Shards;
@@ -13,6 +14,85 @@ use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// A typed classification of why a failure-path event fired, carried by
+/// the rejection/failure events so consumers (the adaptation loop above
+/// all) can classify deviations without parsing a message string or
+/// re-reading instance history.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FailureKind {
+    /// A state precondition failed (paper: state-related conflict).
+    State,
+    /// The change or lookup was structurally impossible.
+    Structural,
+    /// A semantic (data-flow) conflict.
+    Semantic,
+    /// The target instance vanished under a concurrent removal.
+    Vanished,
+    /// Post-change verification of the resulting schema failed.
+    Verification,
+    /// A concurrent change won the race (stale base version / bias).
+    ConcurrentChange,
+    /// The target could not be resolved at all.
+    Unresolvable,
+    /// An activity's execution itself failed.
+    ActivityError,
+    /// An internal invariant broke (storage, journaling).
+    Internal,
+    /// Unclassified — the kind used by the deprecated untyped
+    /// constructors.
+    Other,
+}
+
+impl fmt::Display for FailureKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            FailureKind::State => "state",
+            FailureKind::Structural => "structural",
+            FailureKind::Semantic => "semantic",
+            FailureKind::Vanished => "vanished",
+            FailureKind::Verification => "verification",
+            FailureKind::ConcurrentChange => "concurrent-change",
+            FailureKind::Unresolvable => "unresolvable",
+            FailureKind::ActivityError => "activity-error",
+            FailureKind::Internal => "internal",
+            FailureKind::Other => "other",
+        };
+        f.write_str(s)
+    }
+}
+
+impl From<&ConflictKind> for FailureKind {
+    fn from(k: &ConflictKind) -> Self {
+        match k {
+            ConflictKind::State => FailureKind::State,
+            ConflictKind::Structural => FailureKind::Structural,
+            ConflictKind::Semantic => FailureKind::Semantic,
+            ConflictKind::Vanished => FailureKind::Vanished,
+            ConflictKind::Internal => FailureKind::Internal,
+        }
+    }
+}
+
+impl FailureKind {
+    /// Classifies a change-layer error.
+    pub fn of_change(e: &ChangeError) -> Self {
+        match e {
+            ChangeError::StatePrecondition { .. } | ChangeError::Runtime(_) => FailureKind::State,
+            ChangeError::PostconditionViolated(_) => FailureKind::Verification,
+            ChangeError::Precondition(msg) => {
+                if msg.contains("concurrent") || msg.contains("base version") {
+                    FailureKind::ConcurrentChange
+                } else {
+                    FailureKind::Structural
+                }
+            }
+            ChangeError::Model(_) | ChangeError::UnknownNode(_) | ChangeError::UnknownData(_) => {
+                FailureKind::Structural
+            }
+        }
+    }
+}
 
 /// An engine-level event.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -57,6 +137,8 @@ pub enum EngineEvent {
     WorklistResolutionFailed {
         /// The unresolvable instance.
         instance: InstanceId,
+        /// Typed failure classification.
+        kind: FailureKind,
         /// Why resolution failed.
         reason: String,
     },
@@ -73,6 +155,11 @@ pub enum EngineEvent {
         instance: InstanceId,
         /// Rendered change operation.
         op: String,
+        /// The node the rejection anchors to, when one is known (the
+        /// conflicting or unknown node).
+        node: Option<NodeId>,
+        /// Typed failure classification.
+        kind: FailureKind,
         /// Why it was rejected.
         reason: String,
     },
@@ -88,6 +175,8 @@ pub enum EngineEvent {
     EvolutionRejected {
         /// Type name.
         type_name: String,
+        /// Typed failure classification.
+        kind: FailureKind,
         /// Why the commit failed.
         reason: String,
     },
@@ -102,6 +191,10 @@ pub enum EngineEvent {
     MigrationRejected {
         /// The instance.
         instance: InstanceId,
+        /// The conflicting node, when the compliance check names one.
+        node: Option<NodeId>,
+        /// Typed failure classification.
+        kind: FailureKind,
         /// Why it stays.
         reason: String,
     },
@@ -147,6 +240,105 @@ pub enum EngineEvent {
         /// The WAL watermark the snapshot covers.
         wal_seq: u64,
     },
+    /// A running activity failed and dropped back to `Activated`.
+    ActivityFailed {
+        /// The instance.
+        instance: InstanceId,
+        /// The activity node that failed.
+        node: NodeId,
+        /// Why it failed (application-level reason).
+        reason: String,
+    },
+    /// The adaptation loop classified a deviation on an instance.
+    DeviationDetected {
+        /// The deviating instance.
+        instance: InstanceId,
+        /// The node the deviation anchors to, when one is known.
+        node: Option<NodeId>,
+        /// Rendered deviation key (e.g. `"fail:N5#2"`).
+        kind: String,
+    },
+    /// The adaptation loop committed a recovery change that passed
+    /// preview compliance.
+    AdaptationCommitted {
+        /// The repaired instance.
+        instance: InstanceId,
+        /// Rendered recovery plan.
+        plan: String,
+        /// The deviation key this plan recovered from.
+        deviation: String,
+        /// Transaction-log sequence of the committed change (0 for
+        /// command-level repairs that commit no change transaction).
+        seq: u64,
+    },
+    /// The adaptation loop rejected (or gave up on) a recovery plan.
+    AdaptationRejected {
+        /// The instance.
+        instance: InstanceId,
+        /// Rendered recovery plan (or `"-"` when no plan was found).
+        plan: String,
+        /// The deviation key the plan targeted.
+        deviation: String,
+        /// Why the plan was rejected.
+        reason: String,
+    },
+}
+
+impl EngineEvent {
+    /// Untyped [`EngineEvent::WorklistResolutionFailed`] constructor.
+    #[deprecated(
+        since = "0.4.0",
+        note = "construct the variant with a typed `kind` instead"
+    )]
+    pub fn worklist_resolution_failed(instance: InstanceId, reason: String) -> Self {
+        EngineEvent::WorklistResolutionFailed {
+            instance,
+            kind: FailureKind::Other,
+            reason,
+        }
+    }
+
+    /// Untyped [`EngineEvent::AdHocRejected`] constructor.
+    #[deprecated(
+        since = "0.4.0",
+        note = "construct the variant with a typed `kind` and failing `node` instead"
+    )]
+    pub fn ad_hoc_rejected(instance: InstanceId, op: String, reason: String) -> Self {
+        EngineEvent::AdHocRejected {
+            instance,
+            op,
+            node: None,
+            kind: FailureKind::Other,
+            reason,
+        }
+    }
+
+    /// Untyped [`EngineEvent::MigrationRejected`] constructor.
+    #[deprecated(
+        since = "0.4.0",
+        note = "construct the variant with a typed `kind` and conflicting `node` instead"
+    )]
+    pub fn migration_rejected(instance: InstanceId, reason: String) -> Self {
+        EngineEvent::MigrationRejected {
+            instance,
+            node: None,
+            kind: FailureKind::Other,
+            reason,
+        }
+    }
+
+    /// Untyped [`EngineEvent::EvolutionRejected`] constructor.
+    #[deprecated(
+        since = "0.4.0",
+        note = "construct the variant with a typed `kind` instead"
+    )]
+    pub fn evolution_rejected(type_name: String, reason: String) -> Self {
+        EngineEvent::EvolutionRejected {
+            type_name,
+            kind: FailureKind::Other,
+            reason,
+        }
+    }
 }
 
 impl fmt::Display for EngineEvent {
@@ -167,8 +359,12 @@ impl fmt::Display for EngineEvent {
                 node,
                 choice,
             } => write!(f, "{instance}: decided {node} ({choice})"),
-            EngineEvent::WorklistResolutionFailed { instance, reason } => {
-                write!(f, "{instance}: worklist cannot resolve: {reason}")
+            EngineEvent::WorklistResolutionFailed {
+                instance,
+                kind,
+                reason,
+            } => {
+                write!(f, "{instance}: worklist cannot resolve ({kind}): {reason}")
             }
             EngineEvent::AdHocChanged { instance, op } => {
                 write!(f, "{instance}: ad-hoc change {op}")
@@ -176,20 +372,41 @@ impl fmt::Display for EngineEvent {
             EngineEvent::AdHocRejected {
                 instance,
                 op,
+                node,
+                kind,
                 reason,
-            } => write!(f, "{instance}: ad-hoc change {op} rejected: {reason}"),
+            } => {
+                write!(f, "{instance}: ad-hoc change {op} rejected ({kind}")?;
+                if let Some(n) = node {
+                    write!(f, " at {n}")?;
+                }
+                write!(f, "): {reason}")
+            }
             EngineEvent::TypeEvolved { type_name, version } => {
                 write!(f, "\"{type_name}\" evolved to V{version}")
             }
-            EngineEvent::EvolutionRejected { type_name, reason } => {
-                write!(f, "\"{type_name}\" evolution rejected: {reason}")
+            EngineEvent::EvolutionRejected {
+                type_name,
+                kind,
+                reason,
+            } => {
+                write!(f, "\"{type_name}\" evolution rejected ({kind}): {reason}")
             }
             EngineEvent::Migrated {
                 instance,
                 to_version,
             } => write!(f, "{instance} migrated to V{to_version}"),
-            EngineEvent::MigrationRejected { instance, reason } => {
-                write!(f, "{instance} stays: {reason}")
+            EngineEvent::MigrationRejected {
+                instance,
+                node,
+                kind,
+                reason,
+            } => {
+                write!(f, "{instance} stays ({kind}")?;
+                if let Some(n) = node {
+                    write!(f, " at {n}")?;
+                }
+                write!(f, "): {reason}")
             }
             EngineEvent::InstanceFinished { instance } => write!(f, "{instance} finished"),
             EngineEvent::InstanceRemoved { instance } => write!(f, "{instance} removed"),
@@ -211,6 +428,40 @@ impl fmt::Display for EngineEvent {
             EngineEvent::CheckpointTaken { wal_seq } => {
                 write!(f, "checkpoint at wal #{wal_seq}")
             }
+            EngineEvent::ActivityFailed {
+                instance,
+                node,
+                reason,
+            } => write!(f, "{instance}: {node} failed: {reason}"),
+            EngineEvent::DeviationDetected {
+                instance,
+                node,
+                kind,
+            } => {
+                write!(f, "{instance}: deviation {kind}")?;
+                if let Some(n) = node {
+                    write!(f, " at {n}")?;
+                }
+                Ok(())
+            }
+            EngineEvent::AdaptationCommitted {
+                instance,
+                plan,
+                deviation,
+                seq,
+            } => write!(
+                f,
+                "{instance}: adaptation {plan} committed for {deviation} (txn #{seq})"
+            ),
+            EngineEvent::AdaptationRejected {
+                instance,
+                plan,
+                deviation,
+                reason,
+            } => write!(
+                f,
+                "{instance}: adaptation {plan} rejected for {deviation}: {reason}"
+            ),
         }
     }
 }

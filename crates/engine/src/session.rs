@@ -25,7 +25,7 @@
 //! practical at population scale.
 
 use crate::engine::{EngineError, ProcessEngine};
-use crate::monitor::EngineEvent;
+use crate::monitor::{EngineEvent, FailureKind};
 use adept_core::{
     adapt_instance_state, ChangeError, ChangeOp, ChangeTxn, Delta, StagedOp, TxnPreview, Verdict,
 };
@@ -137,6 +137,8 @@ impl ChangeSession<'_> {
                     self.engine.monitor.record(EngineEvent::AdHocRejected {
                         instance: *id,
                         op: op.to_string(),
+                        node: e.failing_node(),
+                        kind: FailureKind::of_change(&e),
                         reason: e.to_string(),
                     });
                 }
@@ -281,17 +283,20 @@ impl ChangeSession<'_> {
         // marking.
         if let Err((idx, verdict)) = txn.check_compliance(&blocks, &inst.state) {
             let rec = &txn.staged()[idx].rec;
-            let reason = match &verdict {
-                Verdict::NotCompliant(c) => c.to_string(),
+            let (kind, reason) = match &verdict {
+                Verdict::NotCompliant(c) => (FailureKind::from(&c.kind), c.to_string()),
                 Verdict::Compliant => unreachable!("conflict verdicts only"),
             };
+            let anchor = rec.anchor_nodes().first().copied();
             engine.monitor.record(EngineEvent::AdHocRejected {
                 instance: id,
                 op: rec.op.to_string(),
+                node: anchor,
+                kind,
                 reason: reason.clone(),
             });
             return Err(EngineError::Change(ChangeError::StatePrecondition {
-                node: rec.anchor_nodes().first().copied().unwrap_or(NodeId(0)),
+                node: anchor.unwrap_or(NodeId(0)),
                 reason,
             }));
         }
@@ -303,6 +308,8 @@ impl ChangeSession<'_> {
                 engine.monitor.record(EngineEvent::AdHocRejected {
                     instance: id,
                     op: txn.delta().summary(),
+                    node: e.failing_node(),
+                    kind: FailureKind::of_change(&e),
                     reason: e.to_string(),
                 });
                 return Err(e.into());
@@ -400,6 +407,7 @@ impl ChangeSession<'_> {
             Err((_txn, e)) => {
                 engine.monitor.record(EngineEvent::EvolutionRejected {
                     type_name: name,
+                    kind: FailureKind::of_change(&e),
                     reason: e.to_string(),
                 });
                 return Err(e.into());
@@ -443,8 +451,13 @@ impl ChangeSession<'_> {
         ) {
             Ok(v) => v,
             Err(e) => {
+                let kind = match &e {
+                    adept_storage::JournaledError::Change(c) => FailureKind::of_change(c),
+                    adept_storage::JournaledError::Storage(_) => FailureKind::Internal,
+                };
                 engine.monitor.record(EngineEvent::EvolutionRejected {
                     type_name: name,
+                    kind,
                     reason: e.to_string(),
                 });
                 return Err(e.into());

@@ -11,6 +11,9 @@
 //!   by a deterministic [`RandomDriver`];
 //! * [`changegen`] — random valid change operations for equivalence
 //!   property tests and migration benchmarks;
+//! * [`exceptiongen`] — exception-heavy populations: schemas whose
+//!   activities are annotated flaky (with failure budgets) or
+//!   deadline-bound, the raw material of the `adept-adapt` stress tests;
 //! * [`scenarios`] — the paper's literal processes: the Fig. 1 / Fig. 3
 //!   order process (plus ΔT and the I2 bias), an e-health clinical pathway
 //!   and a container-logistics process (the deployment domains reported in
@@ -20,10 +23,14 @@
 #![warn(rust_2018_idioms)]
 
 pub mod changegen;
+pub mod exceptiongen;
 pub mod popgen;
 pub mod scenarios;
 pub mod schemagen;
 
 pub use changegen::{random_change, try_random_change, OpKind, ALL_OP_KINDS};
+pub use exceptiongen::{
+    exception_scenario, exception_schema, flaky_budget, flaky_nodes, ExceptionParams, FLAKY_PREFIX,
+};
 pub use popgen::{generate_finished_population, generate_population, RandomDriver};
 pub use schemagen::{generate_schema, GenParams};

@@ -276,6 +276,33 @@ impl<'s> Execution<'s> {
         Ok(())
     }
 
+    /// Fails a running activity: the node drops back to `Activated` and its
+    /// `Started` record is withdrawn, as if the start never happened.
+    ///
+    /// Starting an activity signals no edges and writes no data, so undoing
+    /// it is exactly the inverse pair of [`Execution::start_activity`]'s two
+    /// mutations — [`Execution::replay`] and [`Execution::audit`] see a
+    /// history with the failed attempt erased and stay consistent.
+    pub fn fail_activity(&self, st: &mut InstanceState, n: NodeId) -> Result<(), RuntimeError> {
+        let node = self.schema.node(n)?;
+        if node.kind != NodeKind::Activity {
+            return Err(RuntimeError::NotAnActivity(n));
+        }
+        if st.marking.node(n) != NodeState::Running {
+            return Err(RuntimeError::NotRunning(n));
+        }
+        st.marking.set_node(n, NodeState::Activated);
+        if let Some(i) = st
+            .history
+            .events
+            .iter()
+            .rposition(|e| matches!(e, Event::Started { node, .. } if *node == n))
+        {
+            st.history.events.remove(i);
+        }
+        Ok(())
+    }
+
     /// Completes a running activity with the given output writes. Every
     /// declared write edge must be supplied exactly once and no undeclared
     /// writes are accepted.

@@ -46,9 +46,15 @@
 //!   acquire), so whole-store reads never block the write hot path behind
 //!   a global barrier.
 //!
-//! Lock order: at most one shard lock per thread; shard lock →
-//! repository lock when `schema_of` resolves a deployed version (the
-//! repository never calls back into the store); and shard lock →
+//! Lock order: at most one store shard lock per thread; store shard lock
+//! → repository shard lock when `schema_of` resolves a deployed version
+//! (the repository never calls back into the store). The
+//! [`SchemaRepository`] is itself sharded by a hash of the type name —
+//! one types table and one deployments table per shard — and its only
+//! internal order is types shard → deployed shard *of the same name*
+//! (installs hold both across the double insert; reads take exactly
+//! one), so repository shards never form a cycle with each other or with
+//! the store. And store shard lock →
 //! **wal-segment lock** when a commit journals inside the shard's
 //! critical section — with a segmented [`WriteAheadLog`] the sequence
 //! allocator is an atomic and each append takes exactly one segment

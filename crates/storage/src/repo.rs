@@ -2,11 +2,12 @@
 
 use crate::error::JournaledError;
 use crate::error::StorageError;
+use crate::shards::Shards;
 use adept_core::{ChangeError, ChangeOp, Delta, ProcessType};
 use adept_model::{Blocks, ProcessSchema, SchemaId};
 use adept_state::Execution;
-use parking_lot::RwLock;
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
 
 /// A deployed schema version with its pre-computed block structure, shared
@@ -37,13 +38,47 @@ impl DeployedSchema {
     }
 }
 
+/// Shard count of the repository's type and deployment tables.
+const REPO_SHARDS: usize = 16;
+
+/// FNV-1a over the type name — both tables shard on it, so a type's
+/// `ProcessType` entry and all its deployed versions co-locate.
+fn name_key(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
 /// The repository of process types. Thread-safe: migrations read schema
 /// versions from many worker threads.
-#[derive(Debug, Default)]
+///
+/// Both tables are sharded over [`Shards`] by a hash of the type name, so
+/// `schema_of` cache misses during mass adaptation of instances of
+/// *different* types stop serializing on one global `RwLock` — the same
+/// discipline the instance store uses. Lock order **within one name's
+/// shard pair** is types shard → deployed shard (installs hold both
+/// across the double insert so readers never observe a type without its
+/// deployment); no path acquires a types shard while holding a deployed
+/// shard, and the repository never calls back into the instance store,
+/// so the global order stays acyclic (see the crate docs).
+#[derive(Debug)]
 pub struct SchemaRepository {
-    types: RwLock<BTreeMap<String, ProcessType>>,
-    deployed: RwLock<BTreeMap<(String, u32), DeployedSchema>>,
-    next_schema_id: RwLock<u32>,
+    types: Shards<BTreeMap<String, ProcessType>>,
+    deployed: Shards<BTreeMap<(String, u32), DeployedSchema>>,
+    next_schema_id: AtomicU32,
+}
+
+impl Default for SchemaRepository {
+    fn default() -> Self {
+        Self {
+            types: Shards::new(REPO_SHARDS),
+            deployed: Shards::new(REPO_SHARDS),
+            next_schema_id: AtomicU32::new(0),
+        }
+    }
 }
 
 impl SchemaRepository {
@@ -54,10 +89,8 @@ impl SchemaRepository {
 
     /// Deploys a new process type (version 1). The schema must verify.
     pub fn deploy(&self, mut schema: ProcessSchema) -> Result<String, ChangeError> {
-        let mut ids = self.next_schema_id.write();
-        *ids += 1;
-        schema.id = SchemaId(*ids);
-        drop(ids);
+        let id = self.next_schema_id.fetch_add(1, Ordering::Relaxed) + 1;
+        schema.id = SchemaId(id);
         self.deploy_assigned(schema)
     }
 
@@ -66,9 +99,8 @@ impl SchemaRepository {
     /// the pre-crash one (post-images in the WAL reference them), so the
     /// id counter advances past the recorded id instead of reassigning.
     pub fn deploy_recorded(&self, schema: ProcessSchema) -> Result<String, ChangeError> {
-        let mut ids = self.next_schema_id.write();
-        *ids = (*ids).max(schema.id.0);
-        drop(ids);
+        self.next_schema_id
+            .fetch_max(schema.id.0, Ordering::Relaxed);
         self.deploy_assigned(schema)
     }
 
@@ -76,9 +108,20 @@ impl SchemaRepository {
         let name = schema.name.clone();
         let pt = ProcessType::new(schema)?;
         let dep = DeployedSchema::new(pt.latest().clone())?;
-        self.deployed.write().insert((name.clone(), 1), dep);
-        self.types.write().insert(name.clone(), pt);
+        self.install_type(name.clone(), pt, dep);
         Ok(name)
+    }
+
+    /// Installs a verified type + its V1 deployment atomically: both shard
+    /// locks (types → deployed, the documented order) are held across the
+    /// double insert, so no reader observes the type without its deployed
+    /// schema.
+    fn install_type(&self, name: String, pt: ProcessType, dep: DeployedSchema) {
+        let k = name_key(&name);
+        let mut types = self.types.for_raw(k).write();
+        let mut deployed = self.deployed.for_raw(k).write();
+        deployed.insert((name.clone(), 1), dep);
+        types.insert(name, pt);
     }
 
     /// Deploys a new type with a write-ahead journaling hook: `journal`
@@ -90,28 +133,29 @@ impl SchemaRepository {
         mut schema: ProcessSchema,
         journal: impl FnOnce(&ProcessSchema) -> Result<(), StorageError>,
     ) -> Result<String, JournaledError> {
-        let mut ids = self.next_schema_id.write();
-        *ids += 1;
-        schema.id = SchemaId(*ids);
-        drop(ids);
+        let id = self.next_schema_id.fetch_add(1, Ordering::Relaxed) + 1;
+        schema.id = SchemaId(id);
         let name = schema.name.clone();
         let pt = ProcessType::new(schema)?;
         let dep = DeployedSchema::new(pt.latest().clone())?;
         journal(&dep.schema)?;
-        self.deployed.write().insert((name.clone(), 1), dep);
-        self.types.write().insert(name.clone(), pt);
+        self.install_type(name.clone(), pt, dep);
         Ok(name)
     }
 
     /// Evolves a type to a new version and returns `(new_version, delta)`.
     pub fn evolve(&self, name: &str, ops: &[ChangeOp]) -> Result<(u32, Delta), ChangeError> {
-        let mut types = self.types.write();
+        let k = name_key(name);
+        let mut types = self.types.for_raw(k).write();
         let pt = types
             .get_mut(name)
             .ok_or_else(|| ChangeError::Precondition(format!("unknown process type {name:?}")))?;
         let (v, delta) = pt.evolve(ops)?;
         let dep = DeployedSchema::new(pt.latest().clone())?;
-        self.deployed.write().insert((name.to_string(), v), dep);
+        self.deployed
+            .for_raw(k)
+            .write()
+            .insert((name.to_string(), v), dep);
         Ok((v, delta))
     }
 
@@ -128,7 +172,8 @@ impl SchemaRepository {
         schema: ProcessSchema,
         delta: Delta,
     ) -> Result<u32, ChangeError> {
-        let mut types = self.types.write();
+        let k = name_key(name);
+        let mut types = self.types.for_raw(k).write();
         let pt = types
             .get_mut(name)
             .ok_or_else(|| ChangeError::Precondition(format!("unknown process type {name:?}")))?;
@@ -141,7 +186,10 @@ impl SchemaRepository {
         let v = pt.push_prepared(schema, delta)?;
         match DeployedSchema::new(pt.latest().clone()) {
             Ok(dep) => {
-                self.deployed.write().insert((name.to_string(), v), dep);
+                self.deployed
+                    .for_raw(k)
+                    .write()
+                    .insert((name.to_string(), v), dep);
                 Ok(v)
             }
             Err(e) => {
@@ -156,10 +204,11 @@ impl SchemaRepository {
     /// [`SchemaRepository::install_evolution`] with a write-ahead
     /// journaling hook. `journal` receives the new version number and
     /// runs after the evolution has fully validated (version pushed,
-    /// block structure analysed) but while the types lock is still held —
-    /// i.e. **before** any reader can observe the new version, so the WAL
-    /// records evolutions in their visibility order. If journaling fails
-    /// the pushed version is rolled back and nothing is installed.
+    /// block structure analysed) but while the types shard lock is still
+    /// held — i.e. **before** any reader can observe the new version, so
+    /// the WAL records evolutions in their visibility order. If
+    /// journaling fails the pushed version is rolled back and nothing is
+    /// installed.
     pub fn install_evolution_journaled(
         &self,
         name: &str,
@@ -168,7 +217,8 @@ impl SchemaRepository {
         delta: Delta,
         journal: impl FnOnce(u32) -> Result<(), StorageError>,
     ) -> Result<u32, JournaledError> {
-        let mut types = self.types.write();
+        let k = name_key(name);
+        let mut types = self.types.for_raw(k).write();
         let pt = types
             .get_mut(name)
             .ok_or_else(|| ChangeError::Precondition(format!("unknown process type {name:?}")))?;
@@ -191,13 +241,17 @@ impl SchemaRepository {
             pt.pop_prepared();
             return Err(e.into());
         }
-        self.deployed.write().insert((name.to_string(), v), dep);
+        self.deployed
+            .for_raw(k)
+            .write()
+            .insert((name.to_string(), v), dep);
         Ok(v)
     }
 
     /// The deployed schema of a specific version.
     pub fn deployed(&self, name: &str, version: u32) -> Option<DeployedSchema> {
         self.deployed
+            .for_raw(name_key(name))
             .read()
             .get(&(name.to_string(), version))
             .cloned()
@@ -205,12 +259,17 @@ impl SchemaRepository {
 
     /// The newest version number of a type.
     pub fn latest_version(&self, name: &str) -> Option<u32> {
-        self.types.read().get(name).map(|t| t.version_count())
+        self.types
+            .for_raw(name_key(name))
+            .read()
+            .get(name)
+            .map(|t| t.version_count())
     }
 
     /// The delta transforming `from` into `from + 1`.
     pub fn delta_between(&self, name: &str, from: u32) -> Option<Delta> {
         self.types
+            .for_raw(name_key(name))
             .read()
             .get(name)
             .and_then(|t| t.delta_between(from).cloned())
@@ -218,21 +277,33 @@ impl SchemaRepository {
 
     /// A snapshot of a whole process type (for reports and tests).
     pub fn process_type(&self, name: &str) -> Option<ProcessType> {
-        self.types.read().get(name).cloned()
+        self.types.for_raw(name_key(name)).read().get(name).cloned()
     }
 
-    /// All deployed type names.
+    /// All deployed type names, sorted. Visits shards one at a time
+    /// (release before next acquire) like the instance store's whole-store
+    /// reads.
     pub fn type_names(&self) -> Vec<String> {
-        self.types.read().keys().cloned().collect()
+        let mut names: Vec<String> = self
+            .types
+            .iter()
+            .flat_map(|s| s.read().keys().cloned().collect::<Vec<_>>())
+            .collect();
+        names.sort();
+        names
     }
 
     /// Total bytes of all deployed schema versions (Fig. 2 accounting:
     /// schemas are stored once, not per instance).
     pub fn schema_bytes(&self) -> usize {
         self.deployed
-            .read()
-            .values()
-            .map(|d| d.schema.approx_size())
+            .iter()
+            .map(|s| {
+                s.read()
+                    .values()
+                    .map(|d| d.schema.approx_size())
+                    .sum::<usize>()
+            })
             .sum()
     }
 }
@@ -298,5 +369,26 @@ mod tests {
         let s = b.build().unwrap();
         let repo = SchemaRepository::new();
         assert!(repo.deploy(s).is_err());
+    }
+
+    #[test]
+    fn names_spread_across_shards_and_compose() {
+        let repo = SchemaRepository::new();
+        let mut names = Vec::new();
+        for i in 0..64 {
+            let mut b = SchemaBuilder::new(format!("type-{i}"));
+            b.activity("a");
+            names.push(repo.deploy(b.build().unwrap()).unwrap());
+        }
+        names.sort();
+        assert_eq!(repo.type_names(), names);
+        // Schema ids stay unique under the atomic allocator.
+        let mut ids: Vec<u32> = names
+            .iter()
+            .map(|n| repo.deployed(n, 1).unwrap().schema.id.0)
+            .collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 64);
     }
 }

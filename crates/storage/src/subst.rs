@@ -12,9 +12,10 @@
 //! the instance-specific schema without replaying change operations — a
 //! pure graph patch, which is what makes instance access cheap.
 
-use adept_core::Delta;
+use adept_core::{ChangeOp, Delta};
 use adept_model::{
-    DataEdge, DataElement, Edge, EdgeId, ModelError, Node, NodeId, NodeKind, ProcessSchema,
+    ActivityAttributes, DataEdge, DataElement, Edge, EdgeId, ModelError, Node, NodeId, NodeKind,
+    ProcessSchema,
 };
 use serde::{Deserialize, Serialize};
 
@@ -35,6 +36,12 @@ pub struct SubstitutionBlock {
     pub removed_nodes: Vec<NodeId>,
     /// Nodes the bias replaced by silent null tasks.
     pub nullified_nodes: Vec<NodeId>,
+    /// Attribute rewrites of *original-schema* nodes (added nodes carry
+    /// their attributes in `added_nodes` already). Without this, an
+    /// attribute-only bias — a retry note, a worklist escalation — would
+    /// leave no trace in the block and silently vanish from the
+    /// materialised schema.
+    pub patched_attrs: Vec<(NodeId, ActivityAttributes)>,
 }
 
 impl SubstitutionBlock {
@@ -47,6 +54,7 @@ impl SubstitutionBlock {
             && self.removed_edges.is_empty()
             && self.removed_nodes.is_empty()
             && self.nullified_nodes.is_empty()
+            && self.patched_attrs.is_empty()
     }
 
     /// Derives the substitution block of a bias: `materialized` must be the
@@ -93,6 +101,23 @@ impl SubstitutionBlock {
         });
         let removed_nodes = block.removed_nodes.clone();
         block.added_nodes.retain(|n| !removed_nodes.contains(&n.id));
+        // Attribute rewrites: record the *final* attributes from the
+        // materialised schema (last write wins; nodes the bias itself
+        // added or later removed need no patch entry).
+        let added: Vec<NodeId> = block.added_nodes.iter().map(|n| n.id).collect();
+        for rec in &delta.ops {
+            if let ChangeOp::SetActivityAttributes { node, .. } = &rec.op {
+                if added.contains(node)
+                    || removed_nodes.contains(node)
+                    || block.patched_attrs.iter().any(|(n, _)| n == node)
+                {
+                    continue;
+                }
+                if let Ok(n) = materialized.node(*node) {
+                    block.patched_attrs.push((*node, n.attrs.clone()));
+                }
+            }
+        }
         block
     }
 
@@ -132,6 +157,9 @@ impl SubstitutionBlock {
         for de in &self.added_data_edges {
             s.add_data_edge(de.clone())?;
         }
+        for (n, attrs) in &self.patched_attrs {
+            s.node_mut(*n)?.attrs = attrs.clone();
+        }
         Ok(s)
     }
 
@@ -150,6 +178,8 @@ impl SubstitutionBlock {
         s += self.removed_edges.capacity() * size_of::<EdgeId>();
         s += self.removed_nodes.capacity() * size_of::<NodeId>();
         s += self.nullified_nodes.capacity() * size_of::<NodeId>();
+        s +=
+            self.patched_attrs.capacity() * (size_of::<NodeId>() + size_of::<ActivityAttributes>());
         s
     }
 }
@@ -253,14 +283,43 @@ mod tests {
         );
         let block = SubstitutionBlock::from_delta(&delta, &materialized);
         let rebuilt = block.overlay(&base).unwrap();
-        // The overlay reproduces graph structure; attribute-only ops leave
-        // no trace in the block, so compare structure via listing.
+        // Edge insertion order may differ between overlay and direct
+        // application, so compare structure via counts.
         assert_eq!(rebuilt.edge_count(), materialized.edge_count());
         assert_eq!(rebuilt.node_count(), materialized.node_count());
         assert_eq!(
             rebuilt.sync_edges().count(),
             materialized.sync_edges().count()
         );
+    }
+
+    #[test]
+    fn overlay_preserves_attribute_only_changes() {
+        let base = base();
+        let mut materialized = base.clone();
+        materialized.reserve_private_id_space();
+        let confirm = materialized.node_by_name("confirm order").unwrap().id;
+        let mut attrs = materialized.node(confirm).unwrap().attrs.clone();
+        attrs.role = Some("supervisor".into());
+        attrs.skippable = true;
+        let mut delta = Delta::new();
+        delta.push(
+            apply_op(
+                &mut materialized,
+                &ChangeOp::SetActivityAttributes {
+                    node: confirm,
+                    attrs,
+                },
+            )
+            .unwrap(),
+        );
+        let block = SubstitutionBlock::from_delta(&delta, &materialized);
+        assert!(!block.is_empty(), "attr patches must leave a trace");
+        let rebuilt = block.overlay(&base).unwrap();
+        let n = rebuilt.node(confirm).unwrap();
+        assert_eq!(n.attrs.role.as_deref(), Some("supervisor"));
+        assert!(n.attrs.skippable);
+        assert_eq!(rebuilt, materialized);
     }
 
     #[test]

@@ -1,0 +1,137 @@
+//! Automatic run-time adaptation: a flaky order process is repaired by
+//! the `adept-adapt` loop — failures are retried with backoff, then
+//! skipped; an unskippable failure is escalated onto the supervisor's
+//! worklist. Every recovery passes the engine's change-transaction
+//! preview before it commits, and the whole trail lands on the monitor
+//! stream.
+
+use adept_adapt::{AdaptationConfig, AdaptationLoop, EscalateToWorklist, RetryThenSkip};
+use adept_engine::{EngineCommand, ProcessEngine};
+use adept_model::InstanceId;
+use adept_simgen::exception_scenario;
+
+fn submit(engine: &ProcessEngine, cmd: EngineCommand) {
+    engine.submit(cmd).expect("command applies");
+}
+
+fn main() {
+    let engine = ProcessEngine::new();
+
+    // One skippable flaky order ("process" fails twice, then would
+    // succeed) and one unskippable variant nobody can repair.
+    let name = engine.deploy(exception_scenario()).expect("deploys");
+    let mut hard = exception_scenario();
+    hard.name = "hard order".into();
+    let p = hard.node_by_name("process").expect("process exists").id;
+    hard.node_mut(p).expect("process exists").attrs.skippable = false;
+    let hard_name = engine.deploy(hard).expect("deploys");
+
+    let flaky = engine.create_instance(&name).expect("creates");
+    let stuck = engine.create_instance(&hard_name).expect("creates");
+
+    let mut looper = AdaptationLoop::new(
+        &engine,
+        AdaptationConfig {
+            max_in_flight: 8,
+            ..AdaptationConfig::default()
+        },
+    )
+    .with_policy(RetryThenSkip {
+        max_retries: 1,
+        base_delay: 1,
+    })
+    .with_policy(EscalateToWorklist::new("supervisor"));
+
+    // Drive both orders into their flaky step and fail it.
+    for id in [flaky, stuck] {
+        let (schema, _) = engine.materialized(id).expect("materializes");
+        let intake = schema.node_by_name("intake").expect("intake").id;
+        let process = schema.node_by_name("process").expect("process").id;
+        submit(
+            &engine,
+            EngineCommand::Start {
+                instance: id,
+                node: intake,
+            },
+        );
+        submit(
+            &engine,
+            EngineCommand::Complete {
+                instance: id,
+                node: intake,
+                writes: vec![],
+            },
+        );
+        submit(
+            &engine,
+            EngineCommand::Start {
+                instance: id,
+                node: process,
+            },
+        );
+        submit(
+            &engine,
+            EngineCommand::FailActivity {
+                instance: id,
+                node: process,
+                reason: "supplier timeout".into(),
+            },
+        );
+    }
+
+    // Tick 1 plans: a backoff retry for the skippable order, an
+    // escalation for the unskippable one. Tick 2 fires the re-start.
+    looper.tick();
+    looper.tick();
+    // Both retried steps fail once more — the budget is now spent, so
+    // the next tick deletes the skippable step and escalates the
+    // unskippable one.
+    for id in [flaky, stuck] {
+        let process = engine
+            .materialized(id)
+            .expect("materializes")
+            .0
+            .node_by_name("process")
+            .expect("still present")
+            .id;
+        submit(
+            &engine,
+            EngineCommand::FailActivity {
+                instance: id,
+                node: process,
+                reason: "supplier timeout".into(),
+            },
+        );
+    }
+    looper.tick();
+
+    // The skippable order now runs to completion without its flaky step.
+    submit(
+        &engine,
+        EngineCommand::Drive {
+            instance: flaky,
+            max: None,
+        },
+    );
+
+    println!("== adaptation trail ==");
+    for (seq, event) in engine.monitor.events() {
+        println!("  {seq:>3}  {event}");
+    }
+
+    println!("\n== supervisor worklist ==");
+    for item in engine.worklist_for("supervisor") {
+        println!("  {item}");
+    }
+
+    let report = looper.report();
+    println!("\n== report ==");
+    println!(
+        "  ticks {}, deviations {}, committed {}, escalated {}, retries fired {}",
+        report.ticks, report.deviations, report.committed, report.escalated, report.retries_fired
+    );
+    assert!(report.committed >= 2, "retry + skip must have committed");
+    assert_eq!(report.escalated, 1, "the hard order must be escalated");
+    let escalated: Vec<InstanceId> = looper.escalated_instances().collect();
+    assert_eq!(escalated, vec![stuck]);
+}

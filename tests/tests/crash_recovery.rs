@@ -464,9 +464,15 @@ fn crash_tail_gap_from_concurrent_appends_is_repaired() {
         report.tail_dropped, 1,
         "seq 4, stranded past the gap, is truncated away"
     );
-    assert_eq!(report.last_seq, 2, "the world ends at the last contiguous record");
+    assert_eq!(
+        report.last_seq, 2,
+        "the world ends at the last contiguous record"
+    );
     assert!(rec.store.get(survivor).is_some());
-    assert!(rec.store.get(torn).is_none(), "the torn record must not apply");
+    assert!(
+        rec.store.get(torn).is_none(),
+        "the torn record must not apply"
+    );
     assert!(
         rec.store.get(stranded).is_none(),
         "a record past the gap was never acknowledged and must not apply"
@@ -486,7 +492,10 @@ fn crash_tail_gap_from_concurrent_appends_is_repaired() {
     let (rec2, report2) = recovery::recover_segmented(boxed(&mediums)).unwrap();
     assert_eq!(report2.torn_tail_bytes, 0);
     assert_eq!(report2.tail_dropped, 0);
-    assert!(rec2.store.get(next).is_some(), "post-repair appends survive");
+    assert!(
+        rec2.store.get(next).is_some(),
+        "post-repair appends survive"
+    );
 }
 
 /// The same crash window with an entirely *unwritten* (not torn) earlier
@@ -512,9 +521,11 @@ fn crash_tail_gap_at_snapshot_watermark_is_repaired() {
     let kept = lines.join("\n") + "\n";
     mediums[0].set_raw(kept.as_bytes());
 
-    let (rec, report) =
-        recovery::recover_from_segmented(Some(&snap), boxed(&mediums)).unwrap();
-    assert_eq!(report.torn_tail_bytes, 0, "nothing was torn — seq 3 is simply absent");
+    let (rec, report) = recovery::recover_from_segmented(Some(&snap), boxed(&mediums)).unwrap();
+    assert_eq!(
+        report.torn_tail_bytes, 0,
+        "nothing was torn — seq 3 is simply absent"
+    );
     assert_eq!(report.tail_dropped, 1, "seq 4 is truncated away");
     assert_eq!(report.last_seq, snap.wal_seq);
     assert_eq!(
