@@ -292,7 +292,9 @@ impl ProcessEngine {
             }
             Some(id) => {
                 let mut results = self.apply_group(id, std::slice::from_ref(&cmd), driver);
-                results.pop().expect("one command, one result")
+                results
+                    .pop()
+                    .expect("invariant: apply_group returns one result per command")
             }
         }
     }
@@ -356,7 +358,7 @@ impl ProcessEngine {
         }
         results
             .into_iter()
-            .map(|r| r.expect("every command produced a result"))
+            .map(|r| r.expect("invariant: every submitted command was routed to exactly one group"))
             .collect()
     }
 

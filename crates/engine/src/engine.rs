@@ -12,6 +12,7 @@ use adept_core::{
 };
 use adept_model::{Blocks, DataId, InstanceId, NodeId, ProcessSchema, Value};
 use adept_state::{Decision, Driver, Execution, RuntimeError};
+use adept_storage::ordered::classes;
 use adept_storage::{
     InstanceRecord, InstanceStore, JournaledError, MemoryBreakdown, Representation,
     SchemaRepository, Snapshot, StorageBackend, StorageError, StoredInstance, TxnLog, TxnRecord,
@@ -128,9 +129,9 @@ impl ProcessEngine {
             store: InstanceStore::new(strategy),
             monitor: Monitor::new(),
             txn_log: TxnLog::new(),
-            ctx_cache: ShardedMap::default(),
+            ctx_cache: ShardedMap::new(&classes::ENGINE_CTX_CACHE),
             wl_index: WorklistIndex::default(),
-            wl_failures: ShardedMap::default(),
+            wl_failures: ShardedMap::new(&classes::ENGINE_WL_FAILURES),
         }
     }
 
@@ -270,9 +271,9 @@ impl ProcessEngine {
             store,
             monitor: Monitor::new(),
             txn_log,
-            ctx_cache: ShardedMap::default(),
+            ctx_cache: ShardedMap::new(&classes::ENGINE_CTX_CACHE),
             wl_index: WorklistIndex::default(),
-            wl_failures: ShardedMap::default(),
+            wl_failures: ShardedMap::new(&classes::ENGINE_WL_FAILURES),
         }
     }
 
@@ -352,7 +353,7 @@ impl ProcessEngine {
     /// [`ProcessEngine::try_worklist`] to fail fast instead.
     pub fn worklist(&self) -> Vec<WorkItem> {
         self.worklist_inner(false)
-            .expect("lenient worklist never errors")
+            .expect("invariant: the lenient worklist pass records failures instead of erroring")
     }
 
     /// Drops an instance's cached execution context and worklist entry so
@@ -896,7 +897,7 @@ impl ProcessEngine {
         Ok((
             receipt
                 .new_version
-                .expect("evolution commits produce a version"),
+                .expect("invariant: a committed evolution always carries its new version"),
             receipt.delta,
         ))
     }
@@ -957,7 +958,7 @@ impl ProcessEngine {
                     );
                 }
             })
-            .expect("crossbeam scope");
+            .expect("invariant: worker panics are caught at join, the scope itself cannot fail");
             results.into_iter().flatten().collect()
         };
 
@@ -1094,7 +1095,19 @@ impl ProcessEngine {
             );
             match res.verdict {
                 Verdict::Compliant => {
-                    let adapted = res.adapted.expect("compliant results carry state");
+                    let Some(adapted) = res.adapted else {
+                        // A compliant verdict without adapted state is a
+                        // checker bug; surface it as a per-instance
+                        // failure instead of sinking the whole batch.
+                        return InstanceOutcome {
+                            instance: id,
+                            biased: inst.is_biased(),
+                            verdict: Verdict::conflict(
+                                ConflictKind::Internal,
+                                "compliant migration result carried no adapted state".to_string(),
+                            ),
+                        };
+                    };
                     // CAS install: a command committing between this
                     // hop's read and its install must not be overwritten
                     // by state adapted from the stale snapshot — on a

@@ -168,10 +168,10 @@
 //! later one is durable in a sibling) is repaired by truncating back to
 //! the last contiguous record, while a lost segment — periodic holes
 //! wider than [`recovery::TAIL_REPAIR_WINDOW`] — is a refused gap, not
-//! a silently thinner history. Lock order everywhere
-//! is store shard → wal segment (the journal append happens inside the
-//! store shard's critical section; no path takes a store lock while
-//! holding a segment lock).
+//! a silently thinner history. Every lock on these paths carries a
+//! declared `adept_storage::ordered::LockClass` (store shard → wal
+//! segment, machine-checked in debug builds); `docs/LOCK_ORDER.md` has
+//! the authoritative acquisition DAG.
 //!
 //! ```
 //! use adept_engine::{recovery, ProcessEngine};

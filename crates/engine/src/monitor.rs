@@ -583,7 +583,10 @@ impl Monitor {
             clock: AtomicU64::new(0),
             evicted: AtomicU64::new(0),
             retention: AtomicUsize::new(DEFAULT_EVENT_RETENTION),
-            segments: Shards::new(EVENT_SHARDS),
+            segments: Shards::new(
+                &adept_storage::ordered::classes::MONITOR_SEGMENT,
+                EVENT_SHARDS,
+            ),
         }
     }
 
@@ -668,7 +671,7 @@ impl Monitor {
     /// hole are withheld until the hole fills, so the returned batch
     /// never skips a sequence.
     pub fn events_since(&self, cursor: u64) -> Result<EventBatch, EventLag> {
-        let guards: Vec<_> = self.segments.iter().map(|s| s.read()).collect();
+        let guards = self.segments.read_all();
         // Watermark read *under* the guards: eviction happens under a
         // shard write lock, so no eviction can race this pass.
         let oldest = self.evicted.load(Ordering::SeqCst);

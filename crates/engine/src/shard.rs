@@ -10,16 +10,13 @@
 //! recipe, one hash, and an instance maps to the same shard *index* in
 //! every table.
 //!
-//! Lock order: a thread holds at most one shard lock per table, and the
-//! engine never takes a store shard lock while holding a side-table lock
-//! (side tables are consulted before or after store access, not inside
-//! it) — with one ordered exception: the command path draws its worklist
-//! install epoch via [`crate::worklist::WorklistIndex::begin_install`]
-//! *inside* the store shard critical section, nesting store shard →
-//! worklist-index shard. Nothing ever takes a store lock while holding
-//! an index lock, so the order is acyclic.
+//! Lock order: every table is built from [`adept_storage::ordered`]
+//! locks carrying a declared [`LockClass`], so nesting between tables
+//! (and against the store shards and WAL) is machine-checked in debug
+//! builds and documented in `docs/LOCK_ORDER.md`.
 
 use adept_model::InstanceId;
+use adept_storage::ordered::LockClass;
 use adept_storage::{Shards, DEFAULT_SHARD_COUNT};
 use std::collections::BTreeMap;
 
@@ -29,15 +26,13 @@ pub(crate) struct ShardedMap<V> {
     shards: Shards<BTreeMap<InstanceId, V>>,
 }
 
-impl<V> Default for ShardedMap<V> {
-    fn default() -> Self {
+impl<V> ShardedMap<V> {
+    /// An empty map whose shard locks carry `class`.
+    pub fn new(class: &'static LockClass) -> Self {
         Self {
-            shards: Shards::new(DEFAULT_SHARD_COUNT),
+            shards: Shards::new(class, DEFAULT_SHARD_COUNT),
         }
     }
-}
-
-impl<V> ShardedMap<V> {
     /// Clone of the value under `id`, if present (shard read lock).
     pub fn get_cloned(&self, id: InstanceId) -> Option<V>
     where
@@ -63,7 +58,7 @@ mod tests {
 
     #[test]
     fn insert_get_remove_roundtrip() {
-        let map: ShardedMap<u32> = ShardedMap::default();
+        let map: ShardedMap<u32> = ShardedMap::new(&adept_storage::ordered::classes::TEST_SUPPORT);
         assert_eq!(map.shards.count(), DEFAULT_SHARD_COUNT);
         for i in 1..=100u64 {
             assert!(map.insert(InstanceId(i), i as u32).is_none());

@@ -12,7 +12,7 @@
 
 use adept_model::{InstanceId, NodeId};
 use adept_state::{Execution, InstanceState};
-use parking_lot::RwLock;
+use adept_storage::ordered::{classes, OrderedRwLock};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
@@ -115,7 +115,10 @@ impl Default for WorklistIndex {
     fn default() -> Self {
         Self {
             epoch: AtomicU64::new(0),
-            shards: adept_storage::Shards::new(adept_storage::DEFAULT_SHARD_COUNT),
+            shards: adept_storage::Shards::new(
+                &classes::WORKLIST_INDEX,
+                adept_storage::DEFAULT_SHARD_COUNT,
+            ),
         }
     }
 }
@@ -176,7 +179,7 @@ struct IndexEntry {
 
 impl WorklistIndex {
     #[inline]
-    fn shard(&self, id: InstanceId) -> &RwLock<IndexState> {
+    fn shard(&self, id: InstanceId) -> &OrderedRwLock<IndexState> {
         self.shards.for_id(id)
     }
 
@@ -295,7 +298,7 @@ impl WorklistIndex {
         out: &mut Vec<WorkItem>,
         misses: &mut Vec<InstanceId>,
     ) {
-        let guards: Vec<_> = self.shards.iter().map(|s| s.read()).collect();
+        let guards = self.shards.read_all();
         for id in ids {
             match guards[self.shards.index_of(*id)].entries.get(id) {
                 Some(e) => out.extend(e.items.iter().cloned()),
@@ -319,7 +322,7 @@ impl WorklistIndex {
     /// `since == 0` is the bootstrap scan: *every* live entry is
     /// reported, including epoch-0 entries a restored engine stamps.
     pub fn delta(&self, since: u64, ids: &[InstanceId]) -> IndexDelta {
-        let guards: Vec<_> = self.shards.iter().map(|s| s.read()).collect();
+        let guards = self.shards.read_all();
         let epoch_now = self.current();
         let min_pending = guards
             .iter()

@@ -23,7 +23,7 @@
 //! was damaged in place, and the WAL layer treats it as a hard error.
 
 use crate::error::StorageError;
-use parking_lot::Mutex;
+use crate::ordered::{classes, OrderedMutex};
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Write};
 use std::path::{Path, PathBuf};
@@ -108,9 +108,17 @@ fn split_lines(bytes: &[u8]) -> (Vec<String>, usize) {
 /// against one buffer. [`MemoryBackend::set_raw`] / [`MemoryBackend::raw`]
 /// expose the medium for fault injection (truncating mid-record simulates
 /// a torn append).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct MemoryBackend {
-    buf: std::sync::Arc<Mutex<Vec<u8>>>,
+    buf: std::sync::Arc<OrderedMutex<Vec<u8>>>,
+}
+
+impl Default for MemoryBackend {
+    fn default() -> Self {
+        Self {
+            buf: std::sync::Arc::new(OrderedMutex::new(&classes::WAL_MEMORY_BUF, Vec::new())),
+        }
+    }
 }
 
 impl MemoryBackend {
@@ -212,11 +220,11 @@ struct FileState {
 pub struct FileBackend {
     path: PathBuf,
     policy: SyncPolicy,
-    state: Mutex<FileState>,
+    state: OrderedMutex<FileState>,
     /// Appends covered by a completed fsync (group-commit bookkeeping,
     /// compared against `FileState::written`). Separate lock so a slow
     /// fsync never blocks concurrent writes.
-    synced: Mutex<u64>,
+    synced: OrderedMutex<u64>,
 }
 
 impl FileBackend {
@@ -230,8 +238,8 @@ impl FileBackend {
         Self {
             path: path.into(),
             policy,
-            state: Mutex::new(FileState::default()),
-            synced: Mutex::new(0),
+            state: OrderedMutex::new(&classes::WAL_FILE_STATE, FileState::default()),
+            synced: OrderedMutex::new(&classes::WAL_FILE_SYNCED, 0),
         }
     }
 
@@ -289,7 +297,10 @@ impl StorageBackend for FileBackend {
         let (file, my_mark) = {
             let mut state = self.state.lock();
             Self::open_append(&mut state, &self.path)?;
-            let file = state.file.clone().expect("opened above");
+            let file = state
+                .file
+                .clone()
+                .expect("invariant: open_append populated the handle just above");
             if state.dirty {
                 // A previous append failed mid-write; cut any partial
                 // bytes off before writing so the new record starts on a
@@ -398,8 +409,8 @@ impl StorageBackend for FileBackend {
     }
 
     fn reset(&self) -> Result<(), StorageError> {
-        // Lock order synced → state, matching the group-commit path in
-        // append_line (which holds `synced` while reading `written`).
+        // synced before state, matching the group-commit path in
+        // append_line — machine-checked, see docs/LOCK_ORDER.md.
         let mut synced = self.synced.lock();
         let mut state = self.state.lock();
         state.file = None;

@@ -28,28 +28,26 @@
 //!
 //! ## Lock order
 //!
-//! * A thread holds **at most one shard lock at a time**. Cross-shard
-//!   operations ([`InstanceStore::ids`], [`InstanceStore::len`],
-//!   [`InstanceStore::memory`], [`InstanceStore::all`],
-//!   [`InstanceStore::instances_of`]) visit shards sequentially,
-//!   releasing each lock before taking the next — they compose per-shard
-//!   snapshots instead of stopping the world, so they are cheap but not
-//!   linearisable against concurrent writers (the same was true of the
-//!   old single-lock store across *calls*).
-//! * [`InstanceStore::schema_of`] resolves deployed schemas while holding
-//!   a shard lock, so the global lock order is *shard lock → repository
-//!   lock*. The repository never calls back into the store, which makes
-//!   that order acyclic.
-//! * The stats counters and the id allocator are atomics and participate
-//!   in no lock order.
+//! Machine-checked: shard locks are [`crate::ordered::OrderedRwLock`]s of
+//! class `store.shard` — the root of every mutation path in the global
+//! acquisition order (see `docs/LOCK_ORDER.md` for the authoritative
+//! class DAG). Cross-shard operations ([`InstanceStore::ids`],
+//! [`InstanceStore::len`], [`InstanceStore::memory`],
+//! [`InstanceStore::all`], [`InstanceStore::instances_of`]) visit shards
+//! sequentially, releasing each lock before taking the next — they
+//! compose per-shard snapshots instead of stopping the world, so they
+//! are cheap but not linearisable against concurrent writers (the same
+//! was true of the old single-lock store across *calls*). The stats
+//! counters and the id allocator are atomics and participate in no lock
+//! order.
 
+use crate::ordered::{classes, OrderedRwLock};
 use crate::repo::SchemaRepository;
 use crate::shards::Shards;
 use crate::subst::SubstitutionBlock;
 use adept_core::Delta;
 use adept_model::{InstanceId, ProcessSchema};
 use adept_state::InstanceState;
-use parking_lot::RwLock;
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -218,7 +216,7 @@ impl InstanceStore {
     pub fn with_shards(strategy: Representation, shards: usize) -> Self {
         Self {
             strategy,
-            shards: Shards::new(shards),
+            shards: Shards::new(&classes::STORE_SHARD, shards),
             next_id: AtomicU64::new(0),
             stats: StatCounters::default(),
         }
@@ -235,7 +233,7 @@ impl InstanceStore {
     }
 
     #[inline]
-    fn shard(&self, id: InstanceId) -> &RwLock<ShardState> {
+    fn shard(&self, id: InstanceId) -> &OrderedRwLock<ShardState> {
         self.shards.for_id(id)
     }
 

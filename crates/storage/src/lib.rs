@@ -46,23 +46,16 @@
 //!   acquire), so whole-store reads never block the write hot path behind
 //!   a global barrier.
 //!
-//! Lock order: at most one store shard lock per thread; store shard lock
-//! → repository shard lock when `schema_of` resolves a deployed version
-//! (the repository never calls back into the store). The
-//! [`SchemaRepository`] is itself sharded by a hash of the type name —
-//! one types table and one deployments table per shard — and its only
-//! internal order is types shard → deployed shard *of the same name*
-//! (installs hold both across the double insert; reads take exactly
-//! one), so repository shards never form a cycle with each other or with
-//! the store. And store shard lock →
-//! **wal-segment lock** when a commit journals inside the shard's
-//! critical section — with a segmented [`WriteAheadLog`] the sequence
-//! allocator is an atomic and each append takes exactly one segment
-//! backend's lock, so two shards journaling concurrently usually hit
-//! different segments. No path acquires a shard lock while holding a
-//! segment lock, so the order is acyclic. See [`instances`] for the full
-//! discipline. `InstanceStore::with_shards(_, 1)` reproduces the old
-//! single-map behaviour and serves as the contention baseline in the
+//! Lock order: **machine-checked**. Every lock in this crate (and in
+//! `adept-engine`) is an [`ordered::OrderedRwLock`] /
+//! [`ordered::OrderedMutex`] carrying a declared [`ordered::LockClass`];
+//! debug and `--features lock-order-check` builds validate every
+//! acquisition against the class DAG and panic (with both acquisition
+//! sites) on a rank inversion or a second same-class shard outside the
+//! ascending sweep API. The single authoritative class table and its
+//! rationale live in `docs/LOCK_ORDER.md`.
+//! `InstanceStore::with_shards(_, 1)` reproduces the old single-map
+//! behaviour and serves as the contention baseline in the
 //! `store_throughput` benchmark.
 //!
 //! # Durability & recovery
@@ -137,6 +130,7 @@
 pub mod backend;
 pub mod error;
 pub mod instances;
+pub mod ordered;
 pub mod persist;
 pub mod repo;
 pub mod shards;
@@ -150,6 +144,7 @@ pub use instances::{
     AccessStats, InstanceStore, MemoryBreakdown, Representation, StoredInstance,
     DEFAULT_SHARD_COUNT,
 };
+pub use ordered::{LockClass, OrderedMutex, OrderedRwLock};
 pub use persist::{
     from_json, restore, restore_with_txns, snapshot, snapshot_with_txns, to_json, InstanceRecord,
     Snapshot,

@@ -2,6 +2,7 @@
 
 use crate::error::JournaledError;
 use crate::error::StorageError;
+use crate::ordered::classes;
 use crate::shards::Shards;
 use adept_core::{ChangeError, ChangeOp, Delta, ProcessType};
 use adept_model::{Blocks, ProcessSchema, SchemaId};
@@ -57,13 +58,12 @@ fn name_key(name: &str) -> u64 {
 ///
 /// Both tables are sharded over [`Shards`] by a hash of the type name, so
 /// `schema_of` cache misses during mass adaptation of instances of
-/// *different* types stop serializing on one global `RwLock` — the same
-/// discipline the instance store uses. Lock order **within one name's
-/// shard pair** is types shard → deployed shard (installs hold both
-/// across the double insert so readers never observe a type without its
-/// deployment); no path acquires a types shard while holding a deployed
-/// shard, and the repository never calls back into the instance store,
-/// so the global order stays acyclic (see the crate docs).
+/// *different* types stop serializing on one global lock — the same
+/// discipline the instance store uses. Lock order is machine-checked:
+/// the tables carry the `repo.types-shard` / `repo.deployed-shard`
+/// classes (installs hold both across the double insert so readers never
+/// observe a type without its deployment); see `docs/LOCK_ORDER.md` for
+/// the authoritative class DAG.
 #[derive(Debug)]
 pub struct SchemaRepository {
     types: Shards<BTreeMap<String, ProcessType>>,
@@ -74,8 +74,8 @@ pub struct SchemaRepository {
 impl Default for SchemaRepository {
     fn default() -> Self {
         Self {
-            types: Shards::new(REPO_SHARDS),
-            deployed: Shards::new(REPO_SHARDS),
+            types: Shards::new(&classes::REPO_TYPES, REPO_SHARDS),
+            deployed: Shards::new(&classes::REPO_DEPLOYED, REPO_SHARDS),
             next_schema_id: AtomicU32::new(0),
         }
     }

@@ -145,7 +145,7 @@ impl TxnLog {
                     record,
                 )
             })
-            .expect("txn journaling failed on the infallible append path")
+            .expect("invariant: the non-journaling append closure is infallible")
     }
 
     /// A snapshot of all records in commit order.

@@ -22,11 +22,11 @@
 
 use crate::backend::StorageBackend;
 use crate::error::StorageError;
+use crate::ordered::{classes, OrderedMutex, OrderedRwLock};
 use crate::persist::InstanceRecord;
 use crate::txnlog::TxnRecord;
 use adept_model::{InstanceId, ProcessSchema};
 use adept_state::InstanceState;
-use parking_lot::{Mutex, RwLock};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -206,11 +206,11 @@ impl Durable {
 /// is reported as corruption.
 #[derive(Debug)]
 pub struct WriteAheadLog {
-    inner: RwLock<WalInner>,
+    inner: OrderedRwLock<WalInner>,
     /// The next entry sequence number to allocate (1-based).
     next_seq: AtomicU64,
     /// Contiguous-durability tracker behind [`WriteAheadLog::durable_position`].
-    durable: Mutex<Durable>,
+    durable: OrderedMutex<Durable>,
     /// Segment mediums (empty = disabled). Backends synchronise
     /// internally, so appends need no WAL-level lock.
     segments: Box<[Box<dyn StorageBackend>]>,
@@ -228,14 +228,17 @@ impl WriteAheadLog {
     fn assemble(segments: Vec<Box<dyn StorageBackend>>, next_seq: u64) -> Self {
         let mask = segments.len().saturating_sub(1) as u64;
         Self {
-            inner: RwLock::new(WalInner { txns: Vec::new() }),
+            inner: OrderedRwLock::new(&classes::WAL_VIEW, WalInner { txns: Vec::new() }),
             next_seq: AtomicU64::new(next_seq),
-            durable: Mutex::new(Durable {
-                // Everything below the opening position is on the medium
-                // (or covered by the snapshot a recovery replays).
-                upto: next_seq - 1,
-                completed: BTreeSet::new(),
-            }),
+            durable: OrderedMutex::new(
+                &classes::WAL_DURABLE,
+                Durable {
+                    // Everything below the opening position is on the medium
+                    // (or covered by the snapshot a recovery replays).
+                    upto: next_seq - 1,
+                    completed: BTreeSet::new(),
+                },
+            ),
             segments: segments.into_boxed_slice(),
             mask,
         }
@@ -868,8 +871,8 @@ mod tests {
     struct FailingOnce {
         inner: MemoryBackend,
         armed: std::sync::atomic::AtomicBool,
-        entered: Mutex<std::sync::mpsc::Sender<()>>,
-        release: Mutex<std::sync::mpsc::Receiver<()>>,
+        entered: OrderedMutex<std::sync::mpsc::Sender<()>>,
+        release: OrderedMutex<std::sync::mpsc::Receiver<()>>,
     }
 
     impl StorageBackend for FailingOnce {
@@ -904,8 +907,8 @@ mod tests {
         let flaky = FailingOnce {
             inner: flaky_medium.clone(),
             armed: std::sync::atomic::AtomicBool::new(true),
-            entered: Mutex::new(entered_tx),
-            release: Mutex::new(release_rx),
+            entered: OrderedMutex::new(&classes::TEST_SUPPORT, entered_tx),
+            release: OrderedMutex::new(&classes::TEST_SUPPORT, release_rx),
         };
         let wal = std::sync::Arc::new(
             WriteAheadLog::create_segmented(vec![Box::new(flaky), Box::new(other.clone())])

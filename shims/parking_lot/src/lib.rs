@@ -2,6 +2,10 @@
 //! API this workspace uses, implemented over `std::sync`. Poisoned locks
 //! are transparently recovered (parking_lot has no poisoning either).
 
+// This shim *provides* the raw lock types the rest of the workspace is
+// forbidden from naming (clippy.toml `disallowed-types`).
+#![allow(clippy::disallowed_types)]
+
 use std::sync;
 
 /// A reader-writer lock with parking_lot's non-poisoning API.
@@ -53,5 +57,10 @@ impl<T> Mutex<T> {
     /// Consumes the mutex, returning the inner value.
     pub fn into_inner(self) -> T {
         self.0.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Mutable access without locking (requires exclusive access).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.0.get_mut().unwrap_or_else(|e| e.into_inner())
     }
 }

@@ -137,8 +137,7 @@ fn exception_heavy_population_is_repaired_under_concurrent_churn() {
     .with_policy(EscalateToWorklist::new("supervisor"));
 
     let workers_done = AtomicUsize::new(0);
-    let halves: Vec<&[FlakyInstance]> =
-        population.chunks(population.len().div_ceil(2)).collect();
+    let halves: Vec<&[FlakyInstance]> = population.chunks(population.len().div_ceil(2)).collect();
     let workers = halves.len() + 1;
     crossbeam::scope(|scope| {
         // Injector threads: fail flaky work, push everything forward.
