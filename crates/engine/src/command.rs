@@ -25,8 +25,11 @@ use crate::engine::{EngineError, ProcessEngine};
 use crate::monitor::EngineEvent;
 use crate::worklist::items_for;
 use adept_core::{ChangeError, Delta};
-use adept_model::{Blocks, DataId, InstanceId, NodeId, ProcessSchema, Value};
-use adept_state::{enabled_diff, DefaultDriver, Driver, Execution, RunEvent};
+use adept_model::{Blocks, CompiledSchema, DataId, InstanceId, NodeId, ProcessSchema, Value};
+use adept_state::{
+    enabled_diff, CompiledExecution, DefaultDriver, Driver, Execution, InstanceState, RunEvent,
+    RuntimeError,
+};
 use adept_storage::{StorageError, StoredInstance, WalRecord};
 use std::fmt;
 use std::sync::Arc;
@@ -196,6 +199,12 @@ pub(crate) struct ExecCtx {
     /// after their up-front validation, so the command path skips the
     /// defensive state snapshot entirely.
     pub snapshot_free: bool,
+    /// The shared compiled arena of the `(type, version)` this context
+    /// resolved to — present exactly when the instance is unbiased and the
+    /// engine's compiled path is enabled. Biased instances materialise an
+    /// overlaid schema the arena does not describe, so they stay `None`
+    /// and every command takes the interpreted path.
+    pub compiled: Option<Arc<CompiledSchema>>,
 }
 
 /// Whether [`Execution::propagate`] can fail at runtime on this schema: a
@@ -240,9 +249,140 @@ impl ExecCtx {
         Execution::with_blocks_ref(&self.schema, &self.blocks)
     }
 
+    /// The execution path for this context: the compiled core when the
+    /// arena is cached (unbiased instance, compiled path enabled), the
+    /// interpreter otherwise. Both are zero-copy over the context.
+    pub fn exec(&self) -> ExecRef<'_> {
+        match &self.compiled {
+            Some(arena) => ExecRef::Compiled(CompiledExecution::new(&self.schema, arena)),
+            None => ExecRef::Interp(Execution::with_blocks_ref(&self.schema, &self.blocks)),
+        }
+    }
+
     /// Whether the context still describes the live instance.
     pub fn matches(&self, inst: &StoredInstance) -> bool {
         inst.version == self.version && inst.bias == self.bias
+    }
+}
+
+/// The command path's execution dispatch: the same operation vocabulary
+/// over either tier of the two-tier execution core. Observationally
+/// identical by construction (the equivalence suite drives both tiers
+/// through full lifecycles and asserts byte-identical states), so the
+/// command layer treats the choice as an implementation detail.
+#[derive(Debug)]
+pub(crate) enum ExecRef<'a> {
+    /// The `BTreeMap`-backed interpreter (biased instances, fallback).
+    Interp(Execution<'a>),
+    /// The flat arena core (unbiased instances on a committed version).
+    Compiled(CompiledExecution<'a>),
+}
+
+impl<'a> ExecRef<'a> {
+    /// The schema both tiers execute.
+    pub fn schema(&self) -> &'a ProcessSchema {
+        match self {
+            ExecRef::Interp(e) => e.schema,
+            ExecRef::Compiled(c) => c.schema,
+        }
+    }
+
+    /// Whether this is the compiled tier (for the path counters).
+    pub fn is_compiled(&self) -> bool {
+        matches!(self, ExecRef::Compiled(_))
+    }
+
+    /// See [`Execution::init`].
+    pub fn init(&self) -> Result<InstanceState, RuntimeError> {
+        match self {
+            ExecRef::Interp(e) => e.init(),
+            ExecRef::Compiled(c) => c.init(),
+        }
+    }
+
+    /// See [`Execution::enabled`].
+    pub fn enabled(&self, st: &InstanceState) -> Vec<NodeId> {
+        match self {
+            ExecRef::Interp(e) => e.enabled(st),
+            ExecRef::Compiled(c) => c.enabled(st),
+        }
+    }
+
+    /// See [`Execution::is_finished`].
+    pub fn is_finished(&self, st: &InstanceState) -> bool {
+        match self {
+            ExecRef::Interp(e) => e.is_finished(st),
+            ExecRef::Compiled(c) => c.is_finished(st),
+        }
+    }
+
+    /// See [`Execution::start_activity`].
+    pub fn start_activity(&self, st: &mut InstanceState, n: NodeId) -> Result<(), RuntimeError> {
+        match self {
+            ExecRef::Interp(e) => e.start_activity(st, n),
+            ExecRef::Compiled(c) => c.start_activity(st, n),
+        }
+    }
+
+    /// See [`Execution::fail_activity`].
+    pub fn fail_activity(&self, st: &mut InstanceState, n: NodeId) -> Result<(), RuntimeError> {
+        match self {
+            ExecRef::Interp(e) => e.fail_activity(st, n),
+            ExecRef::Compiled(c) => c.fail_activity(st, n),
+        }
+    }
+
+    /// See [`Execution::complete_activity`].
+    pub fn complete_activity(
+        &self,
+        st: &mut InstanceState,
+        n: NodeId,
+        writes: Vec<(DataId, Value)>,
+    ) -> Result<(), RuntimeError> {
+        match self {
+            ExecRef::Interp(e) => e.complete_activity(st, n, writes),
+            ExecRef::Compiled(c) => c.complete_activity(st, n, writes),
+        }
+    }
+
+    /// See [`Execution::decide_xor`].
+    pub fn decide_xor(
+        &self,
+        st: &mut InstanceState,
+        split: NodeId,
+        branch_target: NodeId,
+    ) -> Result<(), RuntimeError> {
+        match self {
+            ExecRef::Interp(e) => e.decide_xor(st, split, branch_target),
+            ExecRef::Compiled(c) => c.decide_xor(st, split, branch_target),
+        }
+    }
+
+    /// See [`Execution::decide_loop`].
+    pub fn decide_loop(
+        &self,
+        st: &mut InstanceState,
+        loop_end: NodeId,
+        iterate: bool,
+    ) -> Result<(), RuntimeError> {
+        match self {
+            ExecRef::Interp(e) => e.decide_loop(st, loop_end, iterate),
+            ExecRef::Compiled(c) => c.decide_loop(st, loop_end, iterate),
+        }
+    }
+
+    /// See [`Execution::run_observed`].
+    pub fn run_observed(
+        &self,
+        st: &mut InstanceState,
+        driver: &mut dyn Driver,
+        max_activities: Option<usize>,
+        observe: &mut dyn FnMut(RunEvent),
+    ) -> Result<usize, RuntimeError> {
+        match self {
+            ExecRef::Interp(e) => e.run_observed(st, driver, max_activities, observe),
+            ExecRef::Compiled(c) => c.run_observed(st, driver, max_activities, observe),
+        }
     }
 }
 
@@ -373,7 +513,15 @@ impl ProcessEngine {
             .repo
             .deployed(type_name, version)
             .ok_or_else(|| EngineError::NotFound(format!("version {version}")))?;
-        let ex = dep.execution();
+        let arena = self
+            .compiled_enabled()
+            .then(|| self.repo.compiled(type_name, version))
+            .flatten();
+        let ex = match &arena {
+            Some(a) => ExecRef::Compiled(CompiledExecution::new(&dep.schema, a)),
+            None => ExecRef::Interp(dep.execution()),
+        };
+        self.note_path(ex.is_compiled());
         let st = ex.init()?;
         let enabled = ex.enabled(&st);
         let finished = ex.is_finished(&st);
@@ -388,7 +536,7 @@ impl ProcessEngine {
             version,
             state: st.clone(),
         })?;
-        let items = items_for(&ex, id, type_name, version, &st);
+        let items = items_for(&dep.schema, &enabled, id, type_name, version);
         // The epoch is drawn BEFORE the instance becomes visible: any
         // concurrent command on the new id necessarily runs after
         // insert_new and therefore draws a larger epoch — its fresher
@@ -461,7 +609,8 @@ impl ProcessEngine {
                 if !ctx.matches(inst) {
                     return GroupApply::Stale;
                 }
-                let ex = ctx.execution();
+                let ex = ctx.exec();
+                self.note_path(ex.is_compiled());
                 let mut was_finished = ex.is_finished(&inst.state);
                 // The pre-image is kept only when the journal can actually
                 // fail — the rollback that keeps an unjournaled mutation
@@ -501,10 +650,13 @@ impl ProcessEngine {
                 // is registered pending (store shard → index shard, the
                 // documented order) so delta cursors wait for the install
                 // below rather than skip past it.
+                // The last command's carried enabled set IS the post-group
+                // set — no extra marking scan for the worklist install.
+                let enabled = carry_enabled.unwrap_or_else(|| ex.enabled(&inst.state));
                 GroupApply::Applied {
                     results,
                     epoch: self.wl_index.begin_install(id),
-                    items: items_for(&ex, id, &inst.type_name, inst.version, &inst.state),
+                    items: items_for(ex.schema(), &enabled, id, &inst.type_name, inst.version),
                 }
             });
             match applied {
@@ -567,7 +719,8 @@ impl ProcessEngine {
                 self.invalidate_instance(id);
                 continue;
             };
-            let ex = ctx.execution();
+            let ex = ctx.exec();
+            self.note_path(ex.is_compiled());
             let was_finished = ex.is_finished(&pre);
             let before = ex.enabled(&pre);
             let mut st = pre.clone();
@@ -618,7 +771,7 @@ impl ProcessEngine {
                 inst.state = st;
                 Some(Ok((
                     self.wl_index.begin_install(id),
-                    items_for(&ex, id, &inst.type_name, inst.version, &inst.state),
+                    items_for(ex.schema(), &after, id, &inst.type_name, inst.version),
                 )))
             });
             match installed {
@@ -651,7 +804,12 @@ impl ProcessEngine {
                 .store
                 .with_instance(id, |inst| ctx.matches(inst))
                 .ok_or_else(|| EngineError::NotFound(format!("{id}")))?;
-            if live {
+            // A cached context is also stale when the path selector
+            // flipped since it was built — rebuild so toggling the
+            // compiled core takes effect on the next resolution.
+            let path_current =
+                ctx.compiled.is_some() == (ctx.bias.is_empty() && self.compiled_enabled());
+            if live && path_current {
                 return Ok(ctx);
             }
         }
@@ -685,12 +843,21 @@ impl ProcessEngine {
                     .map_err(|e| EngineError::Change(ChangeError::Precondition(e.to_string())))?,
             )
         };
+        // The compiled arena only describes committed versions: biased
+        // instances (and engines with the compiled path disabled) leave it
+        // out and every command falls back to the interpreter.
+        let compiled = if bias.is_empty() && self.compiled_enabled() {
+            self.repo.compiled(&type_name, version)
+        } else {
+            None
+        };
         let ctx = Arc::new(ExecCtx {
             snapshot_free: propagate_is_total(&schema),
             schema,
             blocks,
             version,
             bias,
+            compiled,
         });
         self.ctx_cache.insert(id, ctx.clone());
         // Closes the remove race: if `remove_instance` cleared the cache
@@ -742,7 +909,7 @@ impl ProcessEngine {
 /// `carry_enabled` threads the post-command enabled set to the next
 /// command of the same group, halving the marking scans of a batch.
 fn apply_cmd(
-    ex: &Execution<'_>,
+    ex: &ExecRef<'_>,
     inst: &mut StoredInstance,
     cmd: &EngineCommand,
     was_finished: &mut bool,

@@ -20,6 +20,7 @@ use adept_storage::{
 };
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Engine-level error.
@@ -113,6 +114,14 @@ pub struct ProcessEngine {
     /// Instances already reported as unresolvable by the worklist (one
     /// monitor event per ongoing failure, not one per poll).
     wl_failures: ShardedMap<()>,
+    /// Whether unbiased instances run on the compiled arena core (default
+    /// `true`). Flip off to force the interpreter everywhere — the knob
+    /// the equivalence suite and the macro benchmark compare across.
+    compiled_enabled: AtomicBool,
+    /// Commands/creates/drives served by the compiled tier.
+    path_compiled: AtomicU64,
+    /// Commands/creates/drives served by the interpreted tier.
+    path_interp: AtomicU64,
 }
 
 impl ProcessEngine {
@@ -132,6 +141,9 @@ impl ProcessEngine {
             ctx_cache: ShardedMap::new(&classes::ENGINE_CTX_CACHE),
             wl_index: WorklistIndex::default(),
             wl_failures: ShardedMap::new(&classes::ENGINE_WL_FAILURES),
+            compiled_enabled: AtomicBool::new(true),
+            path_compiled: AtomicU64::new(0),
+            path_interp: AtomicU64::new(0),
         }
     }
 
@@ -274,6 +286,46 @@ impl ProcessEngine {
             ctx_cache: ShardedMap::new(&classes::ENGINE_CTX_CACHE),
             wl_index: WorklistIndex::default(),
             wl_failures: ShardedMap::new(&classes::ENGINE_WL_FAILURES),
+            compiled_enabled: AtomicBool::new(true),
+            path_compiled: AtomicU64::new(0),
+            path_interp: AtomicU64::new(0),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Execution-path selection
+    // ------------------------------------------------------------------
+
+    /// Whether unbiased instances run on the compiled arena core.
+    pub fn compiled_enabled(&self) -> bool {
+        self.compiled_enabled.load(Ordering::Relaxed)
+    }
+
+    /// Enables or disables the compiled execution core. Takes effect on
+    /// the next context resolution of each instance: a cached context
+    /// whose path disagrees with the flag is treated as stale and
+    /// rebuilt, so no command runs on the old tier after the flip.
+    pub fn set_compiled_enabled(&self, enabled: bool) {
+        self.compiled_enabled.store(enabled, Ordering::Relaxed);
+    }
+
+    /// `(compiled, interpreted)` — how many command-path executions each
+    /// tier served. Biased instances always count on the interpreted side;
+    /// this is how the equivalence suite proves the fallback actually
+    /// triggers.
+    pub fn exec_path_counts(&self) -> (u64, u64) {
+        (
+            self.path_compiled.load(Ordering::Relaxed),
+            self.path_interp.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Tallies one command-path execution on the given tier.
+    pub(crate) fn note_path(&self, compiled: bool) {
+        if compiled {
+            self.path_compiled.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.path_interp.fetch_add(1, Ordering::Relaxed);
         }
     }
 
@@ -430,13 +482,14 @@ impl ProcessEngine {
                     if !ctx.matches(inst) {
                         return None;
                     }
-                    let ex = ctx.execution();
+                    let ex = ctx.exec();
+                    let enabled = ex.enabled(&inst.state);
                     Some(items_for(
-                        &ex,
+                        ex.schema(),
+                        &enabled,
                         id,
                         &inst.type_name,
                         inst.version,
-                        &inst.state,
                     ))
                 })
                 .ok_or_else(|| EngineError::NotFound(format!("{id}")))?;
@@ -472,12 +525,13 @@ impl ProcessEngine {
         };
         let ex = Execution::new(&schema)
             .map_err(|e| EngineError::Change(ChangeError::Precondition(e.to_string())))?;
+        let enabled = ex.enabled(&inst.state);
         Ok(items_for(
-            &ex,
+            &schema,
+            &enabled,
             id,
             &inst.type_name,
             inst.version,
-            &inst.state,
         ))
     }
 
@@ -501,8 +555,9 @@ impl ProcessEngine {
                 continue;
             };
             let found = self.store.with_instance(id, |inst| {
-                let ex = ctx.execution();
-                items_for(&ex, id, &inst.type_name, inst.version, &inst.state)
+                let ex = ctx.exec();
+                let enabled = ex.enabled(&inst.state);
+                items_for(ex.schema(), &enabled, id, &inst.type_name, inst.version)
             });
             items.extend(found.into_iter().flatten());
         }

@@ -19,6 +19,21 @@
 //!   Fig. 3 views). Decisions, starts, completions — driven or manual —
 //!   all land here, gap-free.
 //!
+//! ## The hot path: compiled schema arenas
+//!
+//! Command execution resolves each instance's cached `ExecCtx` once per
+//! batch and dispatches it to one of two observationally identical
+//! tiers: the interpreted `adept_state::Execution`, or — for unbiased
+//! instances of a committed version, the default — the **compiled**
+//! core (`adept_state::CompiledExecution` over a shared
+//! `Arc<adept_model::CompiledSchema>` arena cached in the schema
+//! repository, one compile per version). Ad-hoc-biased instances always
+//! fall back to the interpreter; redeploying a type evicts its arenas.
+//! [`ProcessEngine::set_compiled_enabled`] flips the tier at run time
+//! and [`ProcessEngine::exec_path_counts`] reports the split — see
+//! `docs/EXECUTION_CORE.md` for the full invalidation and fallback
+//! rules.
+//!
 //! ## Executing instances: submit / submit_batch
 //!
 //! ```

@@ -547,7 +547,10 @@ impl EventCursor {
 /// Internally the log is segmented across [`Shards`]: sequence `s` lives
 /// in shard `s & (N-1)`, so consecutive appends round-robin across
 /// independent locks and concurrent recorders don't serialize on one
-/// global `RwLock<Vec>`. Reads merge the shards by sequence.
+/// global `RwLock<Vec>`. Reads merge the shards by sequence, visiting
+/// one shard guard at a time (bounded by the clock value at entry), so
+/// even a whole-log read never holds more than a single recorder's lock
+/// at any moment.
 ///
 /// Retention is bounded (default [`DEFAULT_EVENT_RETENTION`]): once a
 /// shard's ring exceeds its share of the cap, the oldest events are
@@ -670,19 +673,35 @@ impl Monitor {
     /// (block reserved, some shards not yet pushed); events past such a
     /// hole are withheld until the hole fills, so the returned batch
     /// never skips a sequence.
+    ///
+    /// The scan holds **one shard guard at a time**: a reader merging a
+    /// large window no longer blocks every concurrent recorder for the
+    /// whole pass, only the one shard it is currently copying. The
+    /// batch is sequence-bounded by the clock value read at entry, so
+    /// under a constant append load the scan terminates instead of
+    /// chasing the tail. Eviction may race the unlocked portions of the
+    /// scan, but it can never produce a silent gap: an evicted sequence
+    /// is simply absent from the merge, so the contiguous-prefix rule
+    /// ends the batch before it and the *next* poll reports the lag.
     pub fn events_since(&self, cursor: u64) -> Result<EventBatch, EventLag> {
-        let guards = self.segments.read_all();
-        // Watermark read *under* the guards: eviction happens under a
-        // shard write lock, so no eviction can race this pass.
+        // Exclusive upper bound: sequences reserved after this point
+        // belong to the next poll.
+        let bound = self.clock.load(Ordering::SeqCst);
         let oldest = self.evicted.load(Ordering::SeqCst);
         if cursor < oldest {
             return Err(EventLag { oldest });
         }
-        let mut pending: Vec<(u64, EngineEvent)> = guards
-            .iter()
-            .flat_map(|g| g.iter().filter(|(t, _)| *t >= cursor).cloned())
-            .collect();
-        drop(guards);
+        let mut pending: Vec<(u64, EngineEvent)> = Vec::new();
+        for shard in self.segments.iter() {
+            let ring = shard.read();
+            pending.extend(
+                ring.iter()
+                    .filter(|(t, _)| *t >= cursor && *t < bound)
+                    .cloned(),
+            );
+            // Guard drops here — the next shard is acquired only after
+            // this one is released (one shard per table).
+        }
         pending.sort_by_key(|(t, _)| *t);
         // Keep only the contiguous prefix from the cursor.
         let mut next = cursor;
@@ -693,6 +712,16 @@ impl Monitor {
             }
             events.push((t, e));
             next += 1;
+        }
+        if events.is_empty() {
+            // Eviction may have overtaken the cursor *during* the scan,
+            // leaving nothing contiguous at its position. Report the
+            // lag now rather than an empty batch that would poll
+            // forever at a dead position.
+            let oldest = self.evicted.load(Ordering::SeqCst);
+            if next < oldest {
+                return Err(EventLag { oldest });
+            }
         }
         Ok(EventBatch { events, next })
     }
@@ -848,6 +877,38 @@ mod tests {
         assert!(skipped > 0);
         let batch = stale.poll(&m).unwrap();
         assert_eq!(batch.len(), 16);
+    }
+
+    #[test]
+    fn reader_stays_contiguous_under_concurrent_recorders() {
+        // The per-shard scan holds one guard at a time, so recorders
+        // keep landing events mid-merge; the contiguous-prefix rule
+        // must still hand the poller a gap-free, duplicate-free stream.
+        let m = std::sync::Arc::new(Monitor::new());
+        let writers: Vec<_> = (0..4)
+            .map(|w| {
+                let m = std::sync::Arc::clone(&m);
+                std::thread::spawn(move || {
+                    for i in 0..200u64 {
+                        m.record(ev(w * 1000 + i));
+                    }
+                })
+            })
+            .collect();
+        let mut cursor = m.subscribe_from(0);
+        let mut seen = 0u64;
+        while seen < 800 {
+            let batch = cursor.poll(&m).expect("retention never exceeded");
+            for (t, _) in &batch {
+                assert_eq!(*t, seen, "stream must be gap- and duplicate-free");
+                seen += 1;
+            }
+        }
+        for w in writers {
+            w.join().unwrap();
+        }
+        assert_eq!(m.recorded(), 800);
+        assert_eq!(m.events().len(), 800);
     }
 
     #[test]

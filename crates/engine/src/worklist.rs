@@ -10,8 +10,7 @@
 //! commits, migrations and undos — so serving the global worklist is an
 //! index walk instead of an O(instances × nodes) recompute.
 
-use adept_model::{InstanceId, NodeId};
-use adept_state::{Execution, InstanceState};
+use adept_model::{InstanceId, NodeId, ProcessSchema};
 use adept_storage::ordered::{classes, OrderedRwLock};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
@@ -57,18 +56,20 @@ impl fmt::Display for WorkItem {
     }
 }
 
-/// The work items an instance currently offers: its enabled activities,
-/// annotated with name, role and version for claiming.
+/// The work items an instance currently offers: its enabled activities
+/// (as computed by whichever execution path the caller ran — compiled or
+/// interpreted, both produce the same id-ordered set), annotated with
+/// name, role and version for claiming.
 pub(crate) fn items_for(
-    ex: &Execution<'_>,
+    schema: &ProcessSchema,
+    enabled: &[NodeId],
     instance: InstanceId,
     type_name: &str,
     version: u32,
-    state: &InstanceState,
 ) -> Vec<WorkItem> {
     let mut items = Vec::new();
-    for node in ex.enabled(state) {
-        let Ok(n) = ex.schema.node(node) else {
+    for &node in enabled {
+        let Ok(n) = schema.node(node) else {
             continue;
         };
         items.push(WorkItem {

@@ -48,6 +48,7 @@
 
 pub mod blocks;
 pub mod builder;
+pub mod compiled;
 pub mod data;
 pub mod edge;
 pub mod error;
@@ -59,6 +60,7 @@ pub mod schema;
 
 pub use blocks::{BlockInfo, BlockKind, Blocks};
 pub use builder::SchemaBuilder;
+pub use compiled::{CEdge, CNode, CompiledSchema};
 pub use data::{AccessMode, DataEdge, DataElement, Value, ValueType};
 pub use edge::{CmpOp, Edge, EdgeKind, Guard, LoopCond};
 pub use error::ModelError;

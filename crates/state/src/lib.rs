@@ -16,10 +16,25 @@
 //! * [`Execution::replay`] — reproducing a history on a (possibly changed)
 //!   schema, the semantic oracle for compliance checking;
 //! * [`DataContext`] — instance data values with full write logs.
+//!
+//! ## The hot path: the compiled tier
+//!
+//! [`Execution`] is the reference semantics; [`CompiledExecution`] is
+//! the same semantics run over a flat `adept_model::CompiledSchema`
+//! arena — slot-indexed node/edge arrays and precomputed adjacency
+//! instead of per-query `BTreeMap` walks — carrying state in a
+//! [`CompactMarking`] (dense vectors indexed by arena slot) for the
+//! duration of a multi-step run. The contract is observational
+//! equivalence: identical enabled sets, events and errors, and
+//! byte-identical serialized [`InstanceState`] (the compact form
+//! converts in and writes back, so snapshots and audit never see it).
+//! Unbiased instances run compiled by default; ad-hoc-changed ones fall
+//! back to the interpreter. See `docs/EXECUTION_CORE.md`.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod compact;
 pub mod datactx;
 pub mod error;
 pub mod execution;
@@ -27,6 +42,7 @@ pub mod history;
 pub mod marking;
 pub mod replay;
 
+pub use compact::{CompactMarking, CompiledExecution};
 pub use datactx::{DataContext, WriteRecord};
 pub use error::RuntimeError;
 pub use execution::{

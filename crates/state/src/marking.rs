@@ -147,6 +147,22 @@ impl Marking {
         self.loop_counts.remove(&loop_end);
     }
 
+    /// Sets a loop counter to an absolute value (`0` clears the entry, so
+    /// the stored map stays minimal). Used when a marking is re-assembled
+    /// from a compact per-slot representation.
+    pub fn set_loop_count(&mut self, loop_end: NodeId, count: u32) {
+        if count == 0 {
+            self.loop_counts.remove(&loop_end);
+        } else {
+            self.loop_counts.insert(loop_end, count);
+        }
+    }
+
+    /// All non-zero loop counters, in id order.
+    pub fn loop_counters(&self) -> impl Iterator<Item = (NodeId, u32)> + '_ {
+        self.loop_counts.iter().map(|(n, c)| (*n, *c))
+    }
+
     /// All explicitly marked nodes (non-`NotActivated`), in id order.
     pub fn marked_nodes(&self) -> impl Iterator<Item = (NodeId, NodeState)> + '_ {
         self.nodes.iter().map(|(n, s)| (*n, *s))

@@ -5,7 +5,7 @@ use crate::error::StorageError;
 use crate::ordered::classes;
 use crate::shards::Shards;
 use adept_core::{ChangeError, ChangeOp, Delta, ProcessType};
-use adept_model::{Blocks, ProcessSchema, SchemaId};
+use adept_model::{Blocks, CompiledSchema, ProcessSchema, SchemaId};
 use adept_state::Execution;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU32, Ordering};
@@ -60,14 +60,22 @@ fn name_key(name: &str) -> u64 {
 /// `schema_of` cache misses during mass adaptation of instances of
 /// *different* types stop serializing on one global lock — the same
 /// discipline the instance store uses. Lock order is machine-checked:
-/// the tables carry the `repo.types-shard` / `repo.deployed-shard`
-/// classes (installs hold both across the double insert so readers never
-/// observe a type without its deployment); see `docs/LOCK_ORDER.md` for
-/// the authoritative class DAG.
+/// the tables carry the `repo.types-shard` / `repo.deployed-shard` /
+/// `repo.compiled-shard` classes (installs hold the first two across the
+/// double insert so readers never observe a type without its deployment);
+/// see `docs/LOCK_ORDER.md` for the authoritative class DAG.
+///
+/// The `compiled` table caches the [`CompiledSchema`] arena of each
+/// committed `(type, version)` — the flat execution core every unbiased
+/// instance of that version shares. It fills lazily on first demand
+/// ([`SchemaRepository::compiled`]) and is evicted when a redeploy resets
+/// a type's version chain; evolutions only append fresh version keys, so
+/// they never invalidate an existing arena.
 #[derive(Debug)]
 pub struct SchemaRepository {
     types: Shards<BTreeMap<String, ProcessType>>,
     deployed: Shards<BTreeMap<(String, u32), DeployedSchema>>,
+    compiled: Shards<BTreeMap<(String, u32), Arc<CompiledSchema>>>,
     next_schema_id: AtomicU32,
 }
 
@@ -76,6 +84,7 @@ impl Default for SchemaRepository {
         Self {
             types: Shards::new(&classes::REPO_TYPES, REPO_SHARDS),
             deployed: Shards::new(&classes::REPO_DEPLOYED, REPO_SHARDS),
+            compiled: Shards::new(&classes::REPO_COMPILED, REPO_SHARDS),
             next_schema_id: AtomicU32::new(0),
         }
     }
@@ -121,6 +130,14 @@ impl SchemaRepository {
         let mut types = self.types.for_raw(k).write();
         let mut deployed = self.deployed.for_raw(k).write();
         deployed.insert((name.clone(), 1), dep);
+        // A redeploy resets the version chain: every cached arena of the
+        // old chain is stale. Evicted under the types + deployed write
+        // locks (ranks 40, 42 → 44, the documented ascending order), so
+        // no reader can re-populate from the outgoing deployment.
+        self.compiled
+            .for_raw(k)
+            .write()
+            .retain(|(n, _), _| n != &name);
         types.insert(name, pt);
     }
 
@@ -257,6 +274,36 @@ impl SchemaRepository {
             .cloned()
     }
 
+    /// The compiled arena of a deployed `(type, version)` — the shared
+    /// immutable execution core for unbiased instances. Compiled on first
+    /// demand and cached; `None` when the version is not deployed.
+    ///
+    /// Lock discipline: a cache miss *releases* the compiled shard before
+    /// reading the deployed shard (rank 44 must never be held while
+    /// acquiring 42), compiles outside both locks, then re-acquires the
+    /// compiled shard to insert. Racing missers may compile twice; the
+    /// first insert wins and both return the same arena.
+    pub fn compiled(&self, name: &str, version: u32) -> Option<Arc<CompiledSchema>> {
+        let k = name_key(name);
+        let key = (name.to_string(), version);
+        if let Some(c) = self.compiled.for_raw(k).read().get(&key) {
+            return Some(Arc::clone(c));
+        }
+        let dep = self.deployed(name, version)?;
+        let arena = Arc::new(CompiledSchema::compile(&dep.schema, &dep.blocks));
+        let mut shard = self.compiled.for_raw(k).write();
+        Some(Arc::clone(shard.entry(key).or_insert(arena)))
+    }
+
+    /// Approximate bytes held by the compiled-arena cache (memory
+    /// accounting next to [`SchemaRepository::schema_bytes`]).
+    pub fn compiled_bytes(&self) -> usize {
+        self.compiled
+            .iter()
+            .map(|s| s.read().values().map(|c| c.approx_size()).sum::<usize>())
+            .sum()
+    }
+
     /// The newest version number of a type.
     pub fn latest_version(&self, name: &str) -> Option<u32> {
         self.types
@@ -351,6 +398,26 @@ mod tests {
         assert!(repo.delta_between(&name, 1).is_some());
         assert_eq!(repo.type_names(), vec![name]);
         assert!(repo.schema_bytes() > 0);
+    }
+
+    #[test]
+    fn compiled_arena_cached_and_evicted() {
+        let repo = SchemaRepository::new();
+        let name = repo.deploy(schema()).unwrap();
+        assert!(repo.compiled(&name, 2).is_none());
+        let c1 = repo.compiled(&name, 1).unwrap();
+        let c2 = repo.compiled(&name, 1).unwrap();
+        assert!(Arc::ptr_eq(&c1, &c2), "cache must return the shared arena");
+        assert_eq!(
+            c1.node_count(),
+            repo.deployed(&name, 1).unwrap().schema.node_count()
+        );
+        assert!(repo.compiled_bytes() > 0);
+        // A redeploy resets the version chain: the old arena is evicted
+        // and the next demand compiles from the new deployment.
+        repo.deploy(schema()).unwrap();
+        let c3 = repo.compiled(&name, 1).unwrap();
+        assert!(!Arc::ptr_eq(&c1, &c3), "stale arena survived redeploy");
     }
 
     #[test]

@@ -79,8 +79,11 @@ impl<T> Shards<T> {
     }
 
     /// Read guards over **all** shards at once, acquired in ascending
-    /// index order — the coherent cross-shard pass (worklist delta scan,
-    /// monitor merge-on-read) the lock checker sanctions as a sweep.
+    /// index order — the coherent cross-shard pass (worklist delta
+    /// scan) the lock checker sanctions as a sweep. Prefer a
+    /// one-guard-at-a-time [`Shards::iter`] walk when the read can
+    /// tolerate per-shard snapshots (as the monitor's sequence-bounded
+    /// merge does) so a slow reader never blocks every writer at once.
     #[track_caller]
     pub fn read_all(&self) -> Vec<OrderedRwLockReadGuard<'_, T>> {
         self.inner.iter().map(|shard| shard.read_sweep()).collect()

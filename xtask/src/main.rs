@@ -49,9 +49,16 @@ const RAW_LOCK_ALLOWED: &[&str] = &["crates/storage/src/ordered.rs"];
 /// the lock types themselves and are excluded by construction).
 const LOCK_SCAN_ROOTS: &[&str] = &["crates", "tests", "examples"];
 
-/// Directories rule 3 (panic denylist) applies to: the engine/storage
-/// mutation paths whose panics would take down command processing.
-const PANIC_SCAN_ROOTS: &[&str] = &["crates/engine/src", "crates/storage/src"];
+/// Paths rule 3 (panic denylist) applies to: the engine/storage
+/// mutation paths plus the compiled execution core, whose panics would
+/// take down command processing. Entries may be directories (walked
+/// recursively) or single `.rs` files.
+const PANIC_SCAN_ROOTS: &[&str] = &[
+    "crates/engine/src",
+    "crates/storage/src",
+    "crates/model/src/compiled.rs",
+    "crates/state/src/compact.rs",
+];
 
 fn lint() -> ExitCode {
     let root = repo_root();
@@ -114,6 +121,9 @@ fn rel_path(root: &Path, file: &Path) -> String {
 }
 
 fn rust_files(dir: &Path) -> Vec<PathBuf> {
+    if dir.is_file() {
+        return vec![dir.to_path_buf()];
+    }
     let mut out = Vec::new();
     let mut stack = vec![dir.to_path_buf()];
     while let Some(d) = stack.pop() {
